@@ -1,0 +1,55 @@
+//! Criterion microbenchmarks of the real CPU SpMM kernels.
+//!
+//! These measure this machine's actual execution of each strategy (not
+//! the machine models): plan construction + parallel execution of
+//! `A × XW` at dimension 16 on a mid-sized power-law graph and a
+//! structured graph.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mpspmm_core::{
+    MergePathSerialFixup, MergePathSpmm, NnzSplitSpmm, RowSplitSpmm, SerialSpmm, SpmmKernel,
+};
+use mpspmm_gcn::ops::random_features;
+use mpspmm_graphs::{DatasetSpec, GraphClass};
+
+fn bench_kernels(c: &mut Criterion) {
+    let inputs = [
+        (
+            "powerlaw-50k",
+            DatasetSpec::custom("pl", GraphClass::PowerLaw, 10_000, 50_000, 1_000),
+        ),
+        (
+            "structured-50k",
+            DatasetSpec::custom("st", GraphClass::Structured, 20_000, 50_000, 8),
+        ),
+    ];
+    for (label, spec) in inputs {
+        let a = spec.synthesize(7);
+        let b = random_features(a.cols(), 16, 1.0, 3);
+        let kernels: Vec<(&str, Box<dyn SpmmKernel>)> = vec![
+            ("serial", Box::new(SerialSpmm)),
+            ("row-split", Box::new(RowSplitSpmm::with_threads(1024))),
+            ("gnnadvisor", Box::new(NnzSplitSpmm::new())),
+            ("mergepath", Box::new(MergePathSpmm::new())),
+            (
+                "mergepath-serialfixup",
+                Box::new(MergePathSerialFixup::new()),
+            ),
+        ];
+        let mut group = c.benchmark_group(format!("spmm/{label}"));
+        group.throughput(Throughput::Elements(a.nnz() as u64));
+        for (name, kernel) in &kernels {
+            group.bench_with_input(BenchmarkId::from_parameter(name), &a, |bch, a| {
+                bch.iter(|| kernel.spmm(a, &b).expect("shapes match"));
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_kernels
+}
+criterion_main!(benches);

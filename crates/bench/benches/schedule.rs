@@ -1,0 +1,31 @@
+//! Criterion benchmark of merge-path schedule construction — the
+//! "scheduling overhead" of the online setting (Figure 8), measured on
+//! this CPU.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mpspmm_core::Schedule;
+use mpspmm_graphs::{DatasetSpec, GraphClass};
+
+fn bench_schedule(c: &mut Criterion) {
+    let spec = DatasetSpec::custom("pl", GraphClass::PowerLaw, 50_000, 250_000, 2_000);
+    let a = spec.synthesize(7);
+    let mut group = c.benchmark_group("schedule/build");
+    group.throughput(Throughput::Elements(a.merge_items() as u64));
+    for threads in [64usize, 1024, 16_384] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &threads,
+            |bch, &threads| {
+                bch.iter(|| Schedule::build(&a, threads));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_schedule
+}
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Ablation — limited-4 directory vs full-map directory on the multicore.
+//!
+//! Table I specifies a limited-4 MESI directory: at most four sharers are
+//! tracked exactly, and a fifth reader evicts one. Power-law graphs have
+//! hub `XW` rows read by *many* cores, so the limited directory keeps
+//! re-invalidating their sharers. This ablation compares completion time
+//! and sharer-eviction counts against a full-map directory (no sharer
+//! limit) at 256 and 1024 cores.
+
+use mpspmm_bench::{banner, full_size_requested, load, SEED};
+use mpspmm_core::{MergePathSpmm, SpmmKernel};
+use mpspmm_graphs::find_dataset;
+use mpspmm_multicore::{simulate, McConfig};
+
+const SAMPLE: [&str; 3] = ["Pubmed", "Nell", "Yeast"];
+
+fn main() {
+    let full = full_size_requested();
+    banner(
+        "Ablation: directory",
+        "limited-4 vs full-map sharer tracking (MergePath-SpMM, dim 16)",
+        full,
+    );
+    println!("sample: {SAMPLE:?}, seed {SEED}\n");
+
+    println!(
+        "{:<10} {:>6} {:>16} {:>16} {:>10} {:>16}",
+        "Graph", "cores", "limited-4 cyc", "full-map cyc", "slowdown", "evictions (ltd)"
+    );
+    for name in SAMPLE {
+        let (_, a) = load(find_dataset(name).expect("in Table II"), full);
+        for cores in [256usize, 1024] {
+            let plan = MergePathSpmm::with_threads(cores).plan(&a, 16);
+            let limited = McConfig::with_cores(cores);
+            let mut full_map = McConfig::with_cores(cores);
+            full_map.directory_limit = usize::MAX;
+            let r_ltd = simulate(&plan, &a, 16, &limited);
+            let r_full = simulate(&plan, &a, 16, &full_map);
+            println!(
+                "{name:<10} {cores:>6} {:>16} {:>16} {:>9.2}x {:>16}",
+                r_ltd.cycles,
+                r_full.cycles,
+                r_ltd.cycles as f64 / r_full.cycles as f64,
+                r_ltd.directory_evictions,
+            );
+            assert_eq!(
+                r_full.directory_evictions, 0,
+                "full-map directory never evicts sharers"
+            );
+        }
+    }
+    println!(
+        "\nReading: hub rows of power-law inputs overflow the limited-4 \
+         sharer list constantly (tens of thousands of evictions; structured \
+         Yeast has none) — yet completion time is almost unchanged, because \
+         each core reads a given XW row only a handful of times, so an \
+         evicted sharer rarely loses a future hit. For this kernel's access \
+         pattern the limited directory is a sound cost saving; the \
+         memory-scaling pain of Figure 9 comes from network distance and \
+         atomic ping-pong instead."
+    );
+}

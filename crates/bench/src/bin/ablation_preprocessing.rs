@@ -1,0 +1,82 @@
+//! Ablation — preprocessing cost and metadata footprint.
+//!
+//! The paper stresses that MergePath-SpMM "requires no preprocessing,
+//! reordering, or extension of the sparse input matrix", whereas
+//! GNNAdvisor preprocesses the graph into neighbor partitions (a CSR
+//! extension) whose build time the paper's kernel timings exclude
+//! (§IV-A). This ablation measures, on this CPU:
+//!
+//! * GNNAdvisor's neighbor-partition index — build time + resident bytes,
+//! * MergePath-SpMM's schedule — build time (sequential and parallel) +
+//!   resident bytes,
+//!
+//! and relates both to one simulated kernel invocation so the "online"
+//! cost of each approach is visible.
+
+use std::time::Instant;
+
+use mpspmm_bench::{banner, full_size_requested, load, SEED};
+use mpspmm_core::{
+    default_cost_for_dim, thread_count, NeighborPartitionIndex, NnzSplitSpmm, Schedule,
+    MIN_THREADS,
+};
+use mpspmm_graphs::find_dataset;
+use mpspmm_simt::{GpuConfig, GpuKernel};
+
+const SAMPLE: [&str; 5] = ["Cora", "Pubmed", "email-Euall", "Nell", "com-Amazon"];
+
+fn main() {
+    let full = full_size_requested();
+    banner(
+        "Ablation: preprocessing",
+        "GNNAdvisor neighbor-partition index vs MergePath schedule (build cost, footprint)",
+        full,
+    );
+    println!("sample: {SAMPLE:?}, seed {SEED}, dim 16\n");
+
+    let cfg = GpuConfig::rtx6000();
+    let dim = 16;
+    let cost = default_cost_for_dim(dim);
+    println!(
+        "{:<12} {:>11} {:>11} | {:>11} {:>11} {:>12} | {:>11}",
+        "Graph", "NG build", "NG bytes", "MP build", "MP par(4)", "MP bytes", "kernel µs"
+    );
+    for name in SAMPLE {
+        let (_, a) = load(find_dataset(name).expect("in Table II"), full);
+
+        let t0 = Instant::now();
+        let index = NeighborPartitionIndex::build(&a, NnzSplitSpmm::new().ng_size_for(&a));
+        let ng_build = t0.elapsed();
+
+        let threads = thread_count(a.merge_items(), cost, MIN_THREADS);
+        let t1 = Instant::now();
+        let schedule = Schedule::build(&a, threads);
+        let mp_build = t1.elapsed();
+        let t2 = Instant::now();
+        let par = Schedule::build_parallel(&a, threads, 4);
+        let mp_par = t2.elapsed();
+        assert_eq!(schedule, par, "parallel build must be bit-identical");
+
+        // Schedule footprint: two merge coordinates per thread.
+        let mp_bytes = schedule.num_threads() * 4 * std::mem::size_of::<usize>();
+        let kernel = GpuKernel::MergePath { cost: Some(cost) }.simulate(&a, dim, &cfg);
+        println!(
+            "{name:<12} {:>9.2}ms {:>10}B | {:>9.2}ms {:>9.2}ms {:>11}B | {:>11.2}",
+            ng_build.as_secs_f64() * 1e3,
+            index.memory_bytes(),
+            mp_build.as_secs_f64() * 1e3,
+            mp_par.as_secs_f64() * 1e3,
+            mp_bytes,
+            kernel.micros,
+        );
+    }
+    println!(
+        "\nReading: both structures are cheap to build, but they scale \
+         differently — the NG index grows with the non-zero count (it is a \
+         per-group CSR extension and must be rebuilt whenever the graph \
+         changes), while the merge-path schedule grows only with the thread \
+         count and reuses the unmodified CSR arrays. The paper's \
+         preprocessing-free claim is about *kernel-input* format: \
+         MergePath-SpMM consumes RP/CP as-is."
+    );
+}

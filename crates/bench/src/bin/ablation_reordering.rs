@@ -1,0 +1,101 @@
+//! Ablation — does degree-sort reordering rescue row-splitting?
+//!
+//! The classic remedy for evil rows is to *reorder* the matrix (sort rows
+//! by degree) so contiguous chunks carry comparable work. MergePath-SpMM
+//! claims the same balance with no reordering at all. This ablation
+//! compares, on the GPU model:
+//!
+//! * row-splitting on the original matrix,
+//! * row-splitting on the degree-sorted matrix with contiguous chunks —
+//!   which backfires (the sort CONCENTRATES the heavy rows in one chunk),
+//! * row-splitting on the sorted matrix with rows dealt round-robin to
+//!   threads (the classic LPT-style scheme sorting actually enables),
+//! * MergePath-SpMM on the original matrix, unsorted.
+//!
+//! Load-balance statistics ([`LoadBalance`]) show *why*: even the LPT
+//! dealing cannot bound the per-thread maximum below the longest row; the
+//! merge path bounds every thread's work by construction.
+
+use std::time::Instant;
+
+use mpspmm_bench::{banner, full_size_requested, load, SEED};
+use mpspmm_core::analysis::LoadBalance;
+use mpspmm_core::{Flush, KernelPlan, MergePathSpmm, RowSplitSpmm, Segment, SpmmKernel, ThreadPlan};
+use mpspmm_simt::{lower_with_policy, GpuConfig, GpuKernel, LoweringPolicy};
+use mpspmm_graphs::find_dataset;
+use mpspmm_sparse::reorder::{degree_sort_permutation, permute_rows};
+use mpspmm_sparse::CsrMatrix;
+
+/// Rows of the (sorted) matrix dealt round-robin onto `threads` logical
+/// threads: the LPT-flavoured schedule degree sorting is meant to enable.
+fn dealt_row_plan(a: &CsrMatrix<f32>, threads: usize) -> KernelPlan {
+    let rp = a.row_ptr();
+    let mut plans = vec![ThreadPlan::default(); threads];
+    for row in 0..a.rows() {
+        if rp[row + 1] > rp[row] {
+            plans[row % threads].segments.push(Segment {
+                row,
+                nz_start: rp[row],
+                nz_end: rp[row + 1],
+                flush: Flush::Regular,
+            });
+        }
+    }
+    KernelPlan { threads: plans }
+}
+
+const SAMPLE: [&str; 4] = ["Oregon-1", "Nell", "soc-SlashDot811", "Pubmed"];
+
+fn main() {
+    let full = full_size_requested();
+    banner(
+        "Ablation: reordering",
+        "row-splitting ± degree sort vs MergePath-SpMM (dim 16)",
+        full,
+    );
+    println!("sample: {SAMPLE:?}, seed {SEED}\n");
+
+    let cfg = GpuConfig::rtx6000();
+    let dim = 16;
+    println!(
+        "{:<16} {:>10} {:>11} {:>11} {:>9} {:>10} | {:>8} {:>8} {:>8} {:>8}",
+        "Graph", "RS µs", "sortRS µs", "sortLPT µs", "sort ms", "MP µs", "imb RS", "imb sRS", "imb LPT", "imb MP"
+    );
+    for name in SAMPLE {
+        let (_, a) = load(find_dataset(name).expect("in Table II"), full);
+        let threads = 1024usize;
+
+        let t0 = Instant::now();
+        let perm = degree_sort_permutation(&a);
+        let sorted = permute_rows(&a, &perm);
+        let sort_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+        let rs = GpuKernel::RowSplit.simulate(&a, dim, &cfg).micros;
+        let srs = GpuKernel::RowSplit.simulate(&sorted, dim, &cfg).micros;
+        let lpt_plan = dealt_row_plan(&sorted, threads);
+        lpt_plan.validate(&sorted).expect("dealt plan is valid");
+        let lpt_run = lower_with_policy(&lpt_plan, dim, cfg.lanes, LoweringPolicy::merge_path(), sorted.cols());
+        let lpt = mpspmm_simt::engine::simulate(&lpt_run, &cfg).micros;
+        let mp = GpuKernel::MergePath { cost: None }.simulate(&a, dim, &cfg).micros;
+
+        let imb = |plan: &KernelPlan| LoadBalance::of(plan).imbalance;
+        let rs_plan = RowSplitSpmm::with_threads(threads).plan(&a, dim);
+        let srs_plan = RowSplitSpmm::with_threads(threads).plan(&sorted, dim);
+        let mp_plan = MergePathSpmm::new().plan(&a, dim);
+        println!(
+            "{name:<16} {rs:>10.2} {srs:>11.2} {lpt:>11.2} {sort_ms:>9.2} {mp:>10.2} | {:>8.1} {:>8.1} {:>8.2} {:>8.2}",
+            imb(&rs_plan),
+            imb(&srs_plan),
+            imb(&lpt_plan),
+            imb(&mp_plan),
+        );
+    }
+    println!(
+        "\nReading: sorting with contiguous chunks BACKFIRES (it stacks the \
+         heavy rows into one chunk); sorting with round-robin dealing (LPT) \
+         balances the sums but still cannot split the longest row, so its \
+         per-thread maximum — and its warp-chain tail — stays unbounded. \
+         MergePath-SpMM reaches a strictly tighter bound on the ORIGINAL \
+         matrix, with no sort cost and no permuted output to undo."
+    );
+}

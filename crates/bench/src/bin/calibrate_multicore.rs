@@ -1,0 +1,53 @@
+//! Calibration scratchpad for the multicore model: prints Figure 9
+//! scaling curves so `McConfig` constants can be tuned.
+
+use mpspmm_core::{MergePathSpmm, NnzSplitSpmm, SpmmKernel};
+use mpspmm_graphs::find_dataset;
+use mpspmm_multicore::{simulate, McConfig};
+
+fn main() {
+    let core_counts = [64usize, 128, 256, 512, 1024];
+    for (name, scale) in [
+        ("Cora", 1usize),
+        ("Pubmed", 1),
+        ("Nell", 1),
+        ("com-Amazon", 8),
+        ("Twitter-partial", 8),
+    ] {
+        let spec = find_dataset(name).unwrap();
+        let spec = if scale > 1 { spec.scaled_down(scale) } else { spec.clone() };
+        let a = spec.synthesize(7);
+        print!("{name:<16} (x1/{scale})  MergePath:");
+        let mut mp64 = 0.0;
+        for &cores in &core_counts {
+            let cfg = McConfig::with_cores(cores);
+            let plan = MergePathSpmm::with_threads(cores).plan(&a, 16);
+            let r = simulate(&plan, &a, 16, &cfg);
+            if cores == 64 {
+                mp64 = r.cycles as f64;
+            }
+            print!(" {:.2}", r.cycles as f64 / mp64);
+        }
+        print!("   GNNAdvisor:");
+        let mut g64 = 0.0;
+        let mut last = (0u64, 0u64);
+        for &cores in &core_counts {
+            let cfg = McConfig::with_cores(cores);
+            let plan = NnzSplitSpmm::new().plan(&a, 16);
+            let r = simulate(&plan, &a, 16, &cfg);
+            if cores == 64 {
+                g64 = r.cycles as f64;
+            }
+            print!(" {:.2}", r.cycles as f64 / g64);
+            last = (r.cycles, r.critical_memory);
+        }
+        // Absolute comparison at 1024 cores.
+        let cfg = McConfig::with_cores(1024);
+        let mp = simulate(&MergePathSpmm::with_threads(1024).plan(&a, 16), &a, 16, &cfg);
+        println!(
+            "   @1024: GNN/MP = {:.2} (memfrac MP {:.2})",
+            last.0 as f64 / mp.cycles as f64,
+            mp.memory_fraction()
+        );
+    }
+}

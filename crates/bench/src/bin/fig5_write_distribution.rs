@@ -1,0 +1,55 @@
+//! Figure 5 — distribution of output-write types in MergePath-SpMM.
+//!
+//! For every Table II graph at dimension 16 (merge-path cost 20), prints
+//! the share of output updates — and of non-zeros funnelled through them —
+//! that use atomic vs regular writes. This is the accounting behind the
+//! paper's observation that MergePath-SpMM's advantage over
+//! GNNAdvisor-opt tracks the atomic share: email-Euall (many rows, low
+//! degree) needs few atomics while email-Enron (fewer rows, higher degree)
+//! needs many; Type II graphs are almost entirely regular writes.
+
+use mpspmm_bench::{banner, full_size_requested, load};
+use mpspmm_core::{default_cost_for_dim, thread_count, MergePathSpmm, SpmmKernel, MIN_THREADS};
+use mpspmm_graphs::{table_ii, GraphClass};
+
+fn main() {
+    let full = full_size_requested();
+    banner(
+        "Figure 5",
+        "atomic vs regular output updates in MergePath-SpMM, dim 16",
+        full,
+    );
+
+    let dim = 16;
+    let cost = default_cost_for_dim(dim);
+    println!("merge-path cost = {cost} (Figure 6 optimum at dim 16)\n");
+    println!(
+        "{:<5} {:<16} {:>8} {:>14} {:>14} {:>13} {:>12}",
+        "Type", "Graph", "threads", "atomic upd %", "regular upd %", "atomic nnz %", "serial nnz"
+    );
+    for spec in table_ii() {
+        let (used, a) = load(spec, full);
+        let kernel = MergePathSpmm::with_cost(cost);
+        let plan = kernel.plan(&a, dim);
+        let stats = plan.write_stats();
+        println!(
+            "{:<5} {:<16} {:>8} {:>13.1}% {:>13.1}% {:>12.1}% {:>12}",
+            match used.class {
+                GraphClass::PowerLaw => "I",
+                GraphClass::Structured => "II",
+            },
+            used.name,
+            thread_count(a.merge_items(), cost, MIN_THREADS),
+            100.0 * stats.atomic_update_fraction(),
+            100.0 * (1.0 - stats.atomic_update_fraction()),
+            100.0 * stats.atomic_nnz_fraction(),
+            stats.serial_nnz,
+        );
+    }
+    println!(
+        "\nPaper shape: structured (Type II) graphs flush almost everything \
+         with regular writes; among Type I graphs, email-Euall's atomic \
+         share is far below email-Enron's despite similar non-zero counts, \
+         which is exactly where Figure 4's MergePath advantage widens."
+    );
+}

@@ -1,0 +1,81 @@
+//! Figure 6 — merge-path cost sensitivity across dimension sizes.
+//!
+//! For each dense dimension in {2, 4, 8, 16, 32, 64, 128}, sweeps the
+//! merge-path cost from 2 to 50 on a representative sample of graphs,
+//! prints the performance normalized to cost 2 (geometric mean), and
+//! reports the best-performing cost — the paper's secondary-axis series.
+
+use mpspmm_bench::{banner, full_size_requested, geomean, load, SEED};
+use mpspmm_graphs::find_dataset;
+use mpspmm_simt::{GpuConfig, GpuKernel};
+use mpspmm_sparse::CsrMatrix;
+
+const COSTS: [usize; 11] = [2, 5, 10, 15, 20, 25, 30, 35, 40, 45, 50];
+const SAMPLE: [&str; 5] = ["Pubmed", "Wiki-Vote", "email-Enron", "Nell", "PPI"];
+
+fn main() {
+    let full = full_size_requested();
+    banner(
+        "Figure 6",
+        "normalized performance and best merge-path cost per dimension size",
+        full,
+    );
+    println!("sample graphs: {SAMPLE:?}, seed {SEED}\n");
+
+    let cfg = GpuConfig::rtx6000();
+    let graphs: Vec<CsrMatrix<f32>> = SAMPLE
+        .iter()
+        .map(|n| load(find_dataset(n).expect("in Table II"), full).1)
+        .collect();
+
+    print!("{:<6}", "dim");
+    for c in COSTS {
+        print!(" {c:>6}");
+    }
+    println!(" {:>10}", "best cost");
+
+    let mut best_costs = Vec::new();
+    for dim in [2usize, 4, 8, 16, 32, 64, 128] {
+        // Geomean kernel time at each cost, normalized to cost 2.
+        let times: Vec<f64> = COSTS
+            .iter()
+            .map(|&cost| {
+                geomean(
+                    &graphs
+                        .iter()
+                        .map(|a| {
+                            GpuKernel::MergePath { cost: Some(cost) }
+                                .simulate(a, dim, &cfg)
+                                .micros
+                        })
+                        .collect::<Vec<_>>(),
+                )
+            })
+            .collect();
+        let base = times[0];
+        let (best_idx, _) = times
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite times"))
+            .expect("non-empty sweep");
+        print!("{dim:<6}");
+        for t in &times {
+            print!(" {:>6.2}", base / t);
+        }
+        println!(" {:>10}", COSTS[best_idx]);
+        best_costs.push((dim, COSTS[best_idx]));
+    }
+
+    println!("\nbest cost per dimension (this model): {best_costs:?}");
+    println!(
+        "paper's empirical optima:        [(2, 50), (4, 15), (8, 15), (16, 20), (32, 30), (64, 35), (128, 50)]"
+    );
+    println!(
+        "\nPaper shape: the optimal cost rises with the dimension size \
+         (more warp replication affords fewer threads / fewer atomics). \
+         Known deviation: at dimension 2 the paper's extreme-divergence \
+         penalty pushes the optimum back up to 50; our machine model \
+         reproduces the mid/high-dimension trend but keeps a low optimum \
+         at dimension 2 (see EXPERIMENTS.md)."
+    );
+}

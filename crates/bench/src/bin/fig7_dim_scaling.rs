@@ -1,0 +1,106 @@
+//! Figure 7 — performance scaling across dimension sizes.
+//!
+//! Speedup of MergePath-SpMM, GNNAdvisor, and GNNAdvisor-opt at dimensions
+//! 128 down to 2, normalized to GNNAdvisor at dimension 128 (geometric
+//! mean over the sample graphs). MergePath-SpMM uses the per-dimension
+//! best cost from this model's Figure 6 sweep, mirroring the paper's
+//! per-dimension tuning.
+
+use mpspmm_bench::{banner, full_size_requested, geomean, load, SEED};
+use mpspmm_graphs::find_dataset;
+use mpspmm_simt::{GpuConfig, GpuKernel};
+use mpspmm_sparse::CsrMatrix;
+
+const SAMPLE: [&str; 5] = ["Pubmed", "Wiki-Vote", "email-Enron", "Nell", "PPI"];
+const COSTS: [usize; 11] = [2, 5, 10, 15, 20, 25, 30, 35, 40, 45, 50];
+
+/// Best merge-path cost at `dim` for this machine model (the same sweep
+/// Figure 6 performs).
+fn best_cost(graphs: &[CsrMatrix<f32>], dim: usize, cfg: &GpuConfig) -> usize {
+    COSTS
+        .iter()
+        .copied()
+        .min_by(|&a, &b| {
+            let ta = geomean(
+                &graphs
+                    .iter()
+                    .map(|g| GpuKernel::MergePath { cost: Some(a) }.simulate(g, dim, cfg).micros)
+                    .collect::<Vec<_>>(),
+            );
+            let tb = geomean(
+                &graphs
+                    .iter()
+                    .map(|g| GpuKernel::MergePath { cost: Some(b) }.simulate(g, dim, cfg).micros)
+                    .collect::<Vec<_>>(),
+            );
+            ta.partial_cmp(&tb).expect("finite times")
+        })
+        .expect("non-empty cost list")
+}
+
+fn main() {
+    let full = full_size_requested();
+    banner(
+        "Figure 7",
+        "speedup at dimensions 128..2 normalized to GNNAdvisor at dim 128",
+        full,
+    );
+    println!("sample graphs: {SAMPLE:?}, seed {SEED}\n");
+
+    let cfg = GpuConfig::rtx6000();
+    let graphs: Vec<CsrMatrix<f32>> = SAMPLE
+        .iter()
+        .map(|n| load(find_dataset(n).expect("in Table II"), full).1)
+        .collect();
+
+    let denom: Vec<f64> = graphs
+        .iter()
+        .map(|a| {
+            GpuKernel::GnnAdvisor {
+                opt: false,
+                ng_size: None,
+            }
+            .simulate(a, 128, &cfg)
+            .micros
+        })
+        .collect();
+
+    println!(
+        "{:<6} {:>12} {:>16} {:>16} {:>10}",
+        "dim", "GNNAdvisor", "GNNAdvisor-opt", "MergePath-SpMM", "(MP cost)"
+    );
+    for dim in [128usize, 64, 32, 16, 8, 4, 2] {
+        let cost = best_cost(&graphs, dim, &cfg);
+        let speedup = |k: GpuKernel| {
+            geomean(
+                &graphs
+                    .iter()
+                    .zip(&denom)
+                    .map(|(a, d)| d / k.simulate(a, dim, &cfg).micros)
+                    .collect::<Vec<_>>(),
+            )
+        };
+        println!(
+            "{dim:<6} {:>12.2} {:>16.2} {:>16.2} {:>10}",
+            speedup(GpuKernel::GnnAdvisor {
+                opt: false,
+                ng_size: None
+            }),
+            speedup(GpuKernel::GnnAdvisor {
+                opt: true,
+                ng_size: None
+            }),
+            speedup(GpuKernel::MergePath { cost: Some(cost) }),
+            cost,
+        );
+    }
+
+    println!(
+        "\nPaper shape: all kernels speed up as the dimension shrinks; \
+         GNNAdvisor saturates below dim 32 (it cannot fill SIMD lanes); \
+         GNNAdvisor-opt keeps scaling below 32 (~9x at dim 2); \
+         MergePath-SpMM leads at every dimension (27.6x at dim 2 in the \
+         paper; this model reproduces the ordering with a compressed \
+         magnitude — see EXPERIMENTS.md)."
+    );
+}

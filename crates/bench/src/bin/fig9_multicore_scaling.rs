@@ -1,0 +1,98 @@
+//! Figure 9 — performance scaling on the 1000-core multicore (Table I).
+//!
+//! Simulates MergePath-SpMM and GNNAdvisor on the Graphite-like multicore
+//! model at 64–1024 cores (one kernel thread per core for MergePath;
+//! GNNAdvisor's neighbor groups dealt round-robin), printing each kernel's
+//! completion time normalized to its own 64-core run plus the critical
+//! core's compute/memory breakdown — the two series of Figure 9.
+//!
+//! Default mode scales com-Amazon and Twitter-partial down 1/8 to keep
+//! runtimes in seconds; pass `--full` for published sizes.
+
+use mpspmm_bench::{banner, full_size_requested, SEED};
+use mpspmm_core::{MergePathSpmm, NnzSplitSpmm, SpmmKernel};
+use mpspmm_graphs::find_dataset;
+use mpspmm_multicore::{simulate, McConfig};
+
+const CORE_COUNTS: [usize; 5] = [64, 128, 256, 512, 1024];
+
+fn main() {
+    let full = full_size_requested();
+    banner(
+        "Figure 9",
+        "MergePath-SpMM and GNNAdvisor completion times, 64..1024 cores, dim 16",
+        full,
+    );
+    println!("\nTable I machine: {:#?}\n", McConfig::table_i());
+
+    for (name, scale) in [
+        ("Cora", 1usize),
+        ("Pubmed", 1),
+        ("Nell", 1),
+        ("com-Amazon", 8),
+        ("Twitter-partial", 8),
+    ] {
+        let spec = find_dataset(name).expect("in Table II");
+        let spec = if full || scale == 1 {
+            spec.clone()
+        } else {
+            spec.scaled_down(scale)
+        };
+        let a = spec.synthesize(SEED);
+        // §V-D: with one thread per core the merge-path cost is
+        // items/cores; the paper notes only Cora stays under 25 at 1024
+        // cores (hence its flattening), all others exceed 100.
+        let cost_at_1024 = a.merge_items().div_ceil(1024);
+        println!(
+            "{name}{} — {} nodes, {} nnz, merge-path cost at 1024 cores = {}",
+            if spec.nnz != find_dataset(name).unwrap().nnz {
+                " (scaled 1/8)"
+            } else {
+                ""
+            },
+            a.rows(),
+            a.nnz(),
+            cost_at_1024,
+        );
+        for kernel in ["MergePath-SpMM", "GNNAdvisor"] {
+            print!("  {kernel:<16}");
+            let mut base = 0.0f64;
+            let mut at1024 = None;
+            for &cores in &CORE_COUNTS {
+                let cfg = McConfig::with_cores(cores);
+                let plan = match kernel {
+                    "MergePath-SpMM" => MergePathSpmm::with_threads(cores).plan(&a, 16),
+                    _ => NnzSplitSpmm::new().plan(&a, 16),
+                };
+                let r = simulate(&plan, &a, 16, &cfg);
+                if cores == CORE_COUNTS[0] {
+                    base = r.cycles as f64;
+                }
+                print!(" {:>5.2}", r.cycles as f64 / base);
+                if cores == 1024 {
+                    at1024 = Some(r);
+                }
+            }
+            let r = at1024.expect("1024-core run present");
+            println!(
+                "   | @1024: {} cycles, compute/memory of critical core = {}/{} ({:.0}% memory)",
+                r.cycles,
+                r.critical_compute,
+                r.critical_memory,
+                r.memory_fraction() * 100.0
+            );
+        }
+    }
+
+    println!(
+        "\ncolumns: completion time at 64/128/256/512/1024 cores, normalized \
+         to the kernel's own 64-core run (lower is better).\n\
+         Paper shape: GNNAdvisor stops scaling at high core counts on the \
+         evil-row graphs (Cora, Nell) — conflicting atomics become sharing \
+         misses that serialize; MergePath-SpMM keeps scaling to 1024 cores \
+         on all inputs (Cora flattens last, its merge-path cost drops below \
+         25); the memory-stall component scales far worse than compute; \
+         MergePath-SpMM leads GNNAdvisor at 1024 cores on the imbalanced \
+         graphs (paper: ~2x overall)."
+    );
+}

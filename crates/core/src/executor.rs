@@ -1,0 +1,386 @@
+//! CPU executors for [`KernelPlan`]s.
+//!
+//! Two executors share identical per-segment arithmetic:
+//!
+//! * [`execute_sequential`] replays every thread plan in order on the
+//!   calling thread — fully deterministic, used as the correctness oracle
+//!   and by the machine-model simulators.
+//! * [`execute_parallel`] runs thread plans on a pool of worker OS threads
+//!   (`crossbeam` scoped threads), with atomic f32 accumulation implemented
+//!   as compare-and-swap loops over `AtomicU32` bit patterns — the CPU
+//!   equivalent of the GPU's `atomicAdd(float*)` used by the paper's
+//!   kernels.
+//!
+//! Segment flush semantics (see [`Flush`]):
+//!
+//! * `Regular` — plain store by the exclusive owner;
+//! * `Atomic` — per-element CAS accumulation;
+//! * `Carry` — the thread keeps its partial result local; after **all**
+//!   threads join, a single serial phase adds the carries into the output
+//!   in thread order (the merge-path serial fix-up).
+//!
+//! Both executors return the output matrix together with the realized
+//! [`WriteStats`].
+
+use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
+
+use mpspmm_sparse::{CsrMatrix, DenseMatrix, SparseFormatError};
+use parking_lot::Mutex;
+
+use crate::plan::{Flush, KernelPlan, Segment};
+use crate::stats::WriteStats;
+
+/// Checks the SpMM operand shapes: `A`'s columns must match `B`'s rows.
+pub(crate) fn check_shapes(
+    a: &CsrMatrix<f32>,
+    b: &DenseMatrix<f32>,
+) -> Result<(), SparseFormatError> {
+    if a.cols() != b.rows() {
+        return Err(SparseFormatError::ShapeMismatch {
+            left: (a.rows(), a.cols()),
+            right: (b.rows(), b.cols()),
+        });
+    }
+    Ok(())
+}
+
+/// Accumulates one segment into `acc` (length = `b.cols()`), zeroing first.
+#[inline]
+fn accumulate_segment(seg: &Segment, a: &CsrMatrix<f32>, b: &DenseMatrix<f32>, acc: &mut [f32]) {
+    acc.fill(0.0);
+    let cols = a.col_indices();
+    let vals = a.values();
+    for k in seg.nz_start..seg.nz_end {
+        let v = vals[k];
+        let brow = b.row(cols[k]);
+        for (dst, &src) in acc.iter_mut().zip(brow) {
+            *dst += v * src;
+        }
+    }
+}
+
+/// Executes a plan on the calling thread, deterministically.
+///
+/// Thread plans run in thread order; carry flushes run afterwards, also in
+/// thread order. The result is bit-identical across runs.
+///
+/// # Errors
+///
+/// Returns [`SparseFormatError::ShapeMismatch`] if `a.cols() != b.rows()`.
+pub fn execute_sequential(
+    plan: &KernelPlan,
+    a: &CsrMatrix<f32>,
+    b: &DenseMatrix<f32>,
+) -> Result<(DenseMatrix<f32>, WriteStats), SparseFormatError> {
+    check_shapes(a, b)?;
+    let dim = b.cols();
+    let mut out = DenseMatrix::<f32>::zeros(a.rows(), dim);
+    let mut stats = WriteStats::default();
+    let mut acc = vec![0.0f32; dim];
+    let mut carries: Vec<(usize, Vec<f32>)> = Vec::new();
+    for tp in &plan.threads {
+        for seg in &tp.segments {
+            if seg.is_empty() {
+                continue;
+            }
+            accumulate_segment(seg, a, b, &mut acc);
+            match seg.flush {
+                Flush::Regular => {
+                    out.row_mut(seg.row).copy_from_slice(&acc);
+                    stats.regular_row_writes += 1;
+                    stats.regular_nnz += seg.len();
+                }
+                Flush::Atomic => {
+                    for (dst, &src) in out.row_mut(seg.row).iter_mut().zip(&acc) {
+                        *dst += src;
+                    }
+                    stats.atomic_row_updates += 1;
+                    stats.atomic_nnz += seg.len();
+                }
+                Flush::Carry => {
+                    carries.push((seg.row, acc.clone()));
+                    stats.serial_row_updates += 1;
+                    stats.serial_nnz += seg.len();
+                }
+            }
+        }
+    }
+    for (row, carry) in carries {
+        for (dst, src) in out.row_mut(row).iter_mut().zip(carry) {
+            *dst += src;
+        }
+    }
+    Ok((out, stats))
+}
+
+/// Adds `v` to the f32 stored in `cell` with a compare-and-swap loop.
+#[inline]
+fn atomic_add_f32(cell: &AtomicU32, v: f32) {
+    let mut current = cell.load(Ordering::Relaxed);
+    loop {
+        let new = (f32::from_bits(current) + v).to_bits();
+        match cell.compare_exchange_weak(current, new, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return,
+            Err(actual) => current = actual,
+        }
+    }
+}
+
+/// Executes a plan on `workers` OS threads.
+///
+/// Logical thread plans are claimed dynamically from a shared queue, so
+/// any number of logical threads runs correctly on any number of workers.
+/// The carry (serial fix-up) phase, if any, runs after all workers join,
+/// in logical-thread order.
+///
+/// Floating-point note: rows updated atomically by several logical threads
+/// accumulate in a non-deterministic order, so results may differ from
+/// [`execute_sequential`] by rounding (compare with a tolerance).
+///
+/// # Errors
+///
+/// Returns [`SparseFormatError::ShapeMismatch`] if `a.cols() != b.rows()`.
+///
+/// # Panics
+///
+/// Panics if `workers == 0`.
+pub fn execute_parallel(
+    plan: &KernelPlan,
+    a: &CsrMatrix<f32>,
+    b: &DenseMatrix<f32>,
+    workers: usize,
+) -> Result<(DenseMatrix<f32>, WriteStats), SparseFormatError> {
+    assert!(workers > 0, "need at least one worker");
+    check_shapes(a, b)?;
+    let dim = b.cols();
+    let cells: Vec<AtomicU32> = (0..a.rows() * dim).map(|_| AtomicU32::new(0)).collect();
+    let next = AtomicUsize::new(0);
+    let stats = Mutex::new(WriteStats::default());
+    // Carries collected as (logical thread, segment order, row, partial).
+    let all_carries = Mutex::new(Vec::<(usize, usize, usize, Vec<f32>)>::new());
+
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..workers.min(plan.threads.len()).max(1) {
+            scope.spawn(|_| {
+                let mut acc = vec![0.0f32; dim];
+                let mut local = WriteStats::default();
+                let mut local_carries = Vec::new();
+                loop {
+                    let t = next.fetch_add(1, Ordering::Relaxed);
+                    if t >= plan.threads.len() {
+                        break;
+                    }
+                    for (s, seg) in plan.threads[t].segments.iter().enumerate() {
+                        if seg.is_empty() {
+                            continue;
+                        }
+                        accumulate_segment(seg, a, b, &mut acc);
+                        let base = seg.row * dim;
+                        match seg.flush {
+                            Flush::Regular => {
+                                for (i, &v) in acc.iter().enumerate() {
+                                    // Exclusive owner: plain store suffices
+                                    // (plan invariant).
+                                    cells[base + i].store(v.to_bits(), Ordering::Relaxed);
+                                }
+                                local.regular_row_writes += 1;
+                                local.regular_nnz += seg.len();
+                            }
+                            Flush::Atomic => {
+                                for (i, &v) in acc.iter().enumerate() {
+                                    atomic_add_f32(&cells[base + i], v);
+                                }
+                                local.atomic_row_updates += 1;
+                                local.atomic_nnz += seg.len();
+                            }
+                            Flush::Carry => {
+                                local_carries.push((t, s, seg.row, acc.clone()));
+                                local.serial_row_updates += 1;
+                                local.serial_nnz += seg.len();
+                            }
+                        }
+                    }
+                }
+                *stats.lock() += local;
+                if !local_carries.is_empty() {
+                    all_carries.lock().append(&mut local_carries);
+                }
+            });
+        }
+    })
+    .expect("worker threads do not panic");
+
+    // Serial fix-up phase in deterministic (thread, segment) order.
+    let mut carries = all_carries.into_inner();
+    carries.sort_unstable_by_key(|&(t, s, _, _)| (t, s));
+    for (_, _, row, carry) in carries {
+        let base = row * dim;
+        for (i, v) in carry.into_iter().enumerate() {
+            atomic_add_f32(&cells[base + i], v);
+        }
+    }
+
+    let data: Vec<f32> = cells
+        .into_iter()
+        .map(|c| f32::from_bits(c.into_inner()))
+        .collect();
+    let out = DenseMatrix::from_vec(a.rows(), dim, data)
+        .expect("output buffer has exactly rows*dim elements");
+    Ok((out, stats.into_inner()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::ThreadPlan;
+
+    fn seg(row: usize, nz_start: usize, nz_end: usize, flush: Flush) -> Segment {
+        Segment {
+            row,
+            nz_start,
+            nz_end,
+            flush,
+        }
+    }
+
+    fn plan(threads: Vec<Vec<Segment>>) -> KernelPlan {
+        KernelPlan {
+            threads: threads
+                .into_iter()
+                .map(|segments| ThreadPlan { segments })
+                .collect(),
+        }
+    }
+
+    fn small() -> (CsrMatrix<f32>, DenseMatrix<f32>) {
+        let a = CsrMatrix::from_triplets(
+            3,
+            3,
+            &[(0, 0, 1.0), (0, 2, 2.0), (1, 1, 3.0), (2, 0, 4.0), (2, 1, 5.0)],
+        )
+        .unwrap();
+        let b = DenseMatrix::from_fn(3, 2, |r, c| (r * 2 + c) as f32 + 1.0);
+        (a, b)
+    }
+
+    fn whole_matrix_plan(a: &CsrMatrix<f32>) -> KernelPlan {
+        let rp = a.row_ptr();
+        plan(vec![(0..a.rows())
+            .map(|r| seg(r, rp[r], rp[r + 1], Flush::Regular))
+            .collect()])
+    }
+
+    fn dense_reference(a: &CsrMatrix<f32>, b: &DenseMatrix<f32>) -> DenseMatrix<f32> {
+        let mut out = DenseMatrix::zeros(a.rows(), b.cols());
+        for r in 0..a.rows() {
+            let row = a.row(r);
+            for (&c, &v) in row.cols.iter().zip(row.vals) {
+                for d in 0..b.cols() {
+                    out.set(r, d, out.get(r, d) + v * b.get(c, d));
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn sequential_matches_dense_reference() {
+        let (a, b) = small();
+        let p = whole_matrix_plan(&a);
+        let (out, stats) = execute_sequential(&p, &a, &b).unwrap();
+        assert!(out.approx_eq(&dense_reference(&a, &b), 1e-6).unwrap());
+        assert_eq!(stats.regular_nnz, 5);
+        assert_eq!(stats.atomic_nnz, 0);
+    }
+
+    #[test]
+    fn parallel_matches_sequential_with_atomics() {
+        let (a, b) = small();
+        let p = plan(vec![
+            vec![seg(0, 0, 1, Flush::Atomic)],
+            vec![seg(0, 1, 2, Flush::Atomic), seg(1, 2, 3, Flush::Regular)],
+            vec![seg(2, 3, 5, Flush::Regular)],
+        ]);
+        p.validate(&a).unwrap();
+        let (seq, seq_stats) = execute_sequential(&p, &a, &b).unwrap();
+        for workers in [1, 2, 4] {
+            let (par, par_stats) = execute_parallel(&p, &a, &b, workers).unwrap();
+            assert!(par.approx_eq(&seq, 1e-5).unwrap());
+            assert_eq!(par_stats, seq_stats);
+        }
+        assert_eq!(seq_stats.atomic_row_updates, 2);
+        assert_eq!(seq_stats.atomic_nnz, 2);
+    }
+
+    #[test]
+    fn carry_phase_matches_reference() {
+        let (a, b) = small();
+        let p = plan(vec![
+            vec![seg(0, 0, 1, Flush::Carry)],
+            vec![seg(0, 1, 2, Flush::Carry), seg(1, 2, 3, Flush::Regular)],
+            vec![seg(2, 3, 5, Flush::Regular)],
+        ]);
+        p.validate(&a).unwrap();
+        let reference = dense_reference(&a, &b);
+        let (seq, stats) = execute_sequential(&p, &a, &b).unwrap();
+        assert!(seq.approx_eq(&reference, 1e-6).unwrap());
+        assert_eq!(stats.serial_row_updates, 2);
+        assert_eq!(stats.serial_nnz, 2);
+        let (par, par_stats) = execute_parallel(&p, &a, &b, 2).unwrap();
+        assert!(par.approx_eq(&reference, 1e-5).unwrap());
+        assert_eq!(par_stats, stats);
+    }
+
+    #[test]
+    fn shape_mismatch_is_rejected() {
+        let (a, _) = small();
+        let bad_b = DenseMatrix::<f32>::zeros(5, 2);
+        let p = whole_matrix_plan(&a);
+        assert!(execute_sequential(&p, &a, &bad_b).is_err());
+        assert!(execute_parallel(&p, &a, &bad_b, 2).is_err());
+    }
+
+    #[test]
+    fn atomic_add_f32_accumulates() {
+        let cell = AtomicU32::new(0f32.to_bits());
+        atomic_add_f32(&cell, 1.5);
+        atomic_add_f32(&cell, 2.25);
+        assert_eq!(f32::from_bits(cell.into_inner()), 3.75);
+    }
+
+    #[test]
+    fn atomic_adds_race_free_across_threads() {
+        let cell = AtomicU32::new(0f32.to_bits());
+        crossbeam::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|_| {
+                    for _ in 0..1000 {
+                        atomic_add_f32(&cell, 1.0);
+                    }
+                });
+            }
+        })
+        .unwrap();
+        // 4000 < 2^24, so f32 addition is exact here.
+        assert_eq!(f32::from_bits(cell.into_inner()), 4000.0);
+    }
+
+    #[test]
+    fn more_workers_than_plans_is_fine() {
+        let (a, b) = small();
+        let p = whole_matrix_plan(&a);
+        let (out, _) = execute_parallel(&p, &a, &b, 16).unwrap();
+        assert!(out.approx_eq(&dense_reference(&a, &b), 1e-6).unwrap());
+    }
+
+    #[test]
+    fn zero_dimension_output_is_empty() {
+        let (a, _) = small();
+        let b = DenseMatrix::<f32>::zeros(3, 0);
+        let p = whole_matrix_plan(&a);
+        let (out, _) = execute_sequential(&p, &a, &b).unwrap();
+        assert_eq!(out.cols(), 0);
+        let (out, _) = execute_parallel(&p, &a, &b, 2).unwrap();
+        assert_eq!(out.cols(), 0);
+    }
+}

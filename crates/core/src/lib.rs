@@ -1,0 +1,62 @@
+//! MergePath-SpMM: load-balanced parallel sparse matrix–matrix
+//! multiplication for GNN acceleration (ISPASS 2023) — the paper's core
+//! contribution plus every software baseline it is evaluated against.
+//!
+//! # The problem
+//!
+//! GCN inference multiplies an ultra-sparse, power-law adjacency matrix
+//! `A` by a dense feature product `XW`. Splitting rows across threads
+//! balances nothing when a handful of *evil rows* hold most non-zeros;
+//! splitting non-zeros (GNNAdvisor) balances work but forces **every**
+//! output update through an atomic operation.
+//!
+//! # The algorithm
+//!
+//! [`Schedule`] partitions the merge path — rows *plus* non-zeros — into
+//! equal per-thread shares (Algorithm 1, a 2-D binary search per thread
+//! boundary, no preprocessing/reordering/format extension). The
+//! [`MergePathSpmm`] kernel (Algorithm 2) then tracks which assigned rows
+//! are *partial* (shared with neighbouring threads) and which are
+//! *complete*: partial rows accumulate thread-locally and flush with one
+//! atomic update; complete rows write directly. Synchronization is thereby
+//! confined to at most two updates per thread.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use mpspmm_core::{MergePathSpmm, SpmmKernel};
+//! use mpspmm_sparse::{CsrMatrix, DenseMatrix};
+//!
+//! let a = CsrMatrix::from_triplets(
+//!     4,
+//!     4,
+//!     &[(0, 1, 1.0f32), (1, 0, 0.5), (1, 3, 0.5), (3, 2, 2.0)],
+//! )?;
+//! let xw = DenseMatrix::from_fn(4, 16, |r, c| (r * 16 + c) as f32 * 0.01);
+//! let kernel = MergePathSpmm::new();
+//! let (c, stats) = kernel.spmm_with_stats(&a, &xw)?;
+//! assert_eq!(c.rows(), 4);
+//! assert_eq!(stats.total_nnz(), 4);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod executor;
+mod merge_path;
+mod plan;
+pub mod spmm;
+pub mod spmv;
+mod stats;
+pub mod tuning;
+
+pub use merge_path::{merge_path_search, MergeCoord, Schedule, ThreadAssignment};
+pub use plan::{Flush, KernelPlan, PlanError, Segment, ThreadPlan};
+pub use spmm::{
+    default_workers, plan_from_schedule, CostPolicy, MergePathSerialFixup, MergePathSpmm,
+    NeighborPartitionIndex, NnzSplitSpmm, RowSplitSpmm, SerialSpmm, SpmmKernel,
+};
+pub use stats::WriteStats;
+pub use tuning::{default_cost_for_dim, thread_count, SimdMapping, GPU_SIMD_LANES, MIN_THREADS};

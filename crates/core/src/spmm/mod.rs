@@ -1,0 +1,170 @@
+//! SpMM kernels: the proposed MergePath-SpMM algorithm and every software
+//! baseline the paper evaluates against.
+//!
+//! | Kernel | Paper role | Decomposition | Output updates |
+//! |---|---|---|---|
+//! | [`MergePathSpmm`] | **the contribution** (§III, Algorithm 2) | merge-path, cost-tunable | atomic for partial rows only |
+//! | [`RowSplitSpmm`] | accelerator-style baseline (§II) | equal contiguous row chunks | never atomic (but imbalanced) |
+//! | [`NnzSplitSpmm`] | GNNAdvisor baseline (§II) | fixed-size neighbor groups | always atomic |
+//! | [`MergePathSerialFixup`] | merge-path SpMV baseline generalized to SpMM (Figure 2) | merge-path | complete rows regular, spanning rows via serial fix-up |
+//! | [`SerialSpmm`] | correctness oracle | single thread | regular |
+//!
+//! All kernels implement [`SpmmKernel`], produce a [`KernelPlan`]
+//! (consumed by the CPU executors and by the machine-model simulators),
+//! and compute identical results up to floating-point association.
+
+mod mergepath;
+mod nnz_split;
+mod row_split;
+mod serial;
+mod serial_fixup;
+
+pub use mergepath::{plan_from_schedule, CostPolicy, MergePathSpmm};
+pub use nnz_split::{NeighborPartitionIndex, NnzSplitSpmm};
+pub use row_split::RowSplitSpmm;
+pub use serial::SerialSpmm;
+pub use serial_fixup::MergePathSerialFixup;
+
+use mpspmm_sparse::{CsrMatrix, DenseMatrix, SparseFormatError};
+
+use crate::executor;
+use crate::plan::KernelPlan;
+use crate::stats::WriteStats;
+
+/// Number of worker OS threads the parallel executor uses by default.
+pub fn default_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// A sparse-matrix × dense-matrix multiplication strategy.
+///
+/// `C = A × B` with `A` sparse CSR (`n×n` adjacency) and `B` dense
+/// (`n×d`, the `XW` product in a GCN layer).
+pub trait SpmmKernel: Send + Sync {
+    /// Strategy name as used in the paper's figures.
+    fn name(&self) -> &'static str;
+
+    /// Decomposes the kernel into logical-thread work for a dense
+    /// dimension of `dim` columns.
+    fn plan(&self, a: &CsrMatrix<f32>, dim: usize) -> KernelPlan;
+
+    /// Computes `A × B` on the default worker pool.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseFormatError::ShapeMismatch`] if
+    /// `a.cols() != b.rows()`.
+    fn spmm(
+        &self,
+        a: &CsrMatrix<f32>,
+        b: &DenseMatrix<f32>,
+    ) -> Result<DenseMatrix<f32>, SparseFormatError> {
+        self.spmm_with_stats(a, b).map(|(out, _)| out)
+    }
+
+    /// Computes `A × B` and reports the realized write statistics
+    /// (Figure 5 accounting).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseFormatError::ShapeMismatch`] if
+    /// `a.cols() != b.rows()`.
+    fn spmm_with_stats(
+        &self,
+        a: &CsrMatrix<f32>,
+        b: &DenseMatrix<f32>,
+    ) -> Result<(DenseMatrix<f32>, WriteStats), SparseFormatError> {
+        executor::check_shapes(a, b)?;
+        let plan = self.plan(a, b.cols());
+        executor::execute_parallel(&plan, a, b, default_workers())
+    }
+
+    /// Computes `A × B` deterministically on the calling thread, replaying
+    /// the same logical-thread decomposition.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseFormatError::ShapeMismatch`] if
+    /// `a.cols() != b.rows()`.
+    fn spmm_sequential(
+        &self,
+        a: &CsrMatrix<f32>,
+        b: &DenseMatrix<f32>,
+    ) -> Result<(DenseMatrix<f32>, WriteStats), SparseFormatError> {
+        executor::check_shapes(a, b)?;
+        let plan = self.plan(a, b.cols());
+        executor::execute_sequential(&plan, a, b)
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Dense reference multiply (the oracle all kernels are checked
+    /// against).
+    pub fn dense_reference(a: &CsrMatrix<f32>, b: &DenseMatrix<f32>) -> DenseMatrix<f32> {
+        let mut out = DenseMatrix::zeros(a.rows(), b.cols());
+        for r in 0..a.rows() {
+            let row = a.row(r);
+            for (&c, &v) in row.cols.iter().zip(row.vals) {
+                for d in 0..b.cols() {
+                    out.set(r, d, out.get(r, d) + v * b.get(c, d));
+                }
+            }
+        }
+        out
+    }
+
+    /// A random sparse matrix with a deliberately evil first row.
+    pub fn random_matrix(rows: usize, cols: usize, nnz: usize, seed: u64) -> CsrMatrix<f32> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut coords = std::collections::BTreeSet::new();
+        // Evil row: pack a third of the budget into row 0.
+        let evil = (nnz / 3).min(cols);
+        for c in 0..evil {
+            coords.insert((0usize, c));
+        }
+        while coords.len() < nnz.min(rows * cols) {
+            coords.insert((rng.gen_range(0..rows), rng.gen_range(0..cols)));
+        }
+        let triplets: Vec<(usize, usize, f32)> = coords
+            .into_iter()
+            .map(|(r, c)| (r, c, rng.gen_range(-2.0..2.0)))
+            .collect();
+        CsrMatrix::from_triplets(rows, cols, &triplets).unwrap()
+    }
+
+    /// A random dense matrix.
+    pub fn random_dense(rows: usize, cols: usize, seed: u64) -> DenseMatrix<f32> {
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0xABCD);
+        DenseMatrix::from_fn(rows, cols, |_, _| rng.gen_range(-1.0..1.0))
+    }
+
+    /// Exercises one kernel against the dense oracle: plan validity,
+    /// sequential and parallel agreement.
+    pub fn check_kernel(kernel: &dyn SpmmKernel, a: &CsrMatrix<f32>, dim: usize) {
+        let b = random_dense(a.cols(), dim, 99);
+        let plan = kernel.plan(a, dim);
+        plan.validate(a)
+            .unwrap_or_else(|e| panic!("{}: invalid plan: {e}", kernel.name()));
+        let reference = dense_reference(a, &b);
+        let (seq, _) = kernel.spmm_sequential(a, &b).unwrap();
+        let scale = reference.frobenius_norm().max(1.0);
+        assert!(
+            seq.max_abs_diff(&reference).unwrap() <= 1e-4 * scale,
+            "{}: sequential result diverges",
+            kernel.name()
+        );
+        let (par, _) = kernel.spmm_with_stats(a, &b).unwrap();
+        assert!(
+            par.max_abs_diff(&reference).unwrap() <= 1e-4 * scale,
+            "{}: parallel result diverges",
+            kernel.name()
+        );
+    }
+}

@@ -1,0 +1,180 @@
+//! Merge-path sparse matrix–vector multiplication (the §III-A setting).
+//!
+//! This is the original Merrill–Garland algorithm the paper builds on:
+//! each thread walks its merge-path share, accumulating scalar dot-product
+//! partials; complete rows are written directly and the running total for
+//! the row spanning into the next thread is saved as a carry. A serial
+//! fix-up pass then adds the carries. For SpMV the fix-up cost is one
+//! scalar add per spanning thread — "tolerable", as the paper puts it —
+//! which is exactly why the same idea needs rethinking for SpMM.
+
+use mpspmm_sparse::{CsrMatrix, SparseFormatError};
+
+use crate::merge_path::Schedule;
+
+/// Computes `y = A·x` with the merge-path decomposition over
+/// `num_threads` logical threads (executed deterministically).
+///
+/// # Errors
+///
+/// Returns [`SparseFormatError::ShapeMismatch`] if `x.len() != a.cols()`.
+///
+/// # Panics
+///
+/// Panics if `num_threads == 0`.
+///
+/// # Example
+///
+/// ```
+/// use mpspmm_core::spmv::merge_path_spmv;
+/// use mpspmm_sparse::CsrMatrix;
+///
+/// let a = CsrMatrix::from_triplets(2, 2, &[(0, 0, 2.0f32), (1, 0, 1.0)])?;
+/// let y = merge_path_spmv(&a, &[3.0, 5.0], 4)?;
+/// assert_eq!(y, vec![6.0, 3.0]);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn merge_path_spmv(
+    a: &CsrMatrix<f32>,
+    x: &[f32],
+    num_threads: usize,
+) -> Result<Vec<f32>, SparseFormatError> {
+    if x.len() != a.cols() {
+        return Err(SparseFormatError::ShapeMismatch {
+            left: (a.rows(), a.cols()),
+            right: (x.len(), 1),
+        });
+    }
+    let schedule = Schedule::build(a, num_threads);
+    Ok(spmv_with_schedule(&schedule, a, x))
+}
+
+/// Executes merge-path SpMV with a prebuilt schedule (offline setting).
+///
+/// # Panics
+///
+/// Panics if the schedule does not match the matrix shape or
+/// `x.len() != a.cols()`.
+pub fn spmv_with_schedule(schedule: &Schedule, a: &CsrMatrix<f32>, x: &[f32]) -> Vec<f32> {
+    assert!(schedule.matches(a), "schedule/matrix shape mismatch");
+    assert_eq!(x.len(), a.cols(), "vector length mismatch");
+    let rp = a.row_ptr();
+    let cols = a.col_indices();
+    let vals = a.values();
+    let mut y = vec![0.0f32; a.rows()];
+    // (row, partial) carries saved by each thread for the serial fix-up.
+    let mut carries: Vec<(usize, f32)> = Vec::new();
+
+    for asg in schedule.assignments() {
+        if asg.is_empty() {
+            continue;
+        }
+        let (mut row, mut k) = (asg.start.row, asg.start.nnz);
+        let (end_row, end_nnz) = (asg.end.row, asg.end.nnz);
+        let mut acc = 0.0f32;
+        // Complete rows first: every row whose terminator this thread
+        // consumes.
+        while row < end_row {
+            while k < rp[row + 1] {
+                acc += vals[k] * x[cols[k]];
+                k += 1;
+            }
+            if asg.start.nnz > rp[row] && row == asg.start.row {
+                // First row started mid-way: its total belongs to the
+                // carry chain, not a direct write.
+                carries.push((row, acc));
+            } else {
+                y[row] = acc;
+            }
+            acc = 0.0;
+            row += 1;
+        }
+        // Trailing partial row shared with the next thread.
+        while k < end_nnz {
+            acc += vals[k] * x[cols[k]];
+            k += 1;
+        }
+        if end_nnz > rp[end_row] {
+            carries.push((end_row, acc));
+        }
+    }
+
+    // Serial fix-up: one scalar addition per carry.
+    for (row, partial) in carries {
+        y[row] += partial;
+    }
+    y
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spmm::test_support::random_matrix;
+
+    fn reference(a: &CsrMatrix<f32>, x: &[f32]) -> Vec<f32> {
+        (0..a.rows())
+            .map(|r| {
+                let row = a.row(r);
+                row.cols
+                    .iter()
+                    .zip(row.vals)
+                    .map(|(&c, &v)| v * x[c])
+                    .sum()
+            })
+            .collect()
+    }
+
+    fn assert_close(a: &[f32], b: &[f32]) {
+        assert_eq!(a.len(), b.len());
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            assert!((x - y).abs() <= 1e-4 * y.abs().max(1.0), "index {i}: {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn matches_reference_across_thread_counts() {
+        for seed in 0..4 {
+            let a = random_matrix(50, 50, 300, seed);
+            let x: Vec<f32> = (0..50).map(|i| (i as f32 * 0.37).sin()).collect();
+            let want = reference(&a, &x);
+            for threads in [1, 2, 3, 5, 8, 17, 64, 500] {
+                let got = merge_path_spmv(&a, &x, threads).unwrap();
+                assert_close(&got, &want);
+            }
+        }
+    }
+
+    #[test]
+    fn evil_row_spanning_all_threads() {
+        let triplets: Vec<(usize, usize, f32)> =
+            (0..64).map(|c| (0, c, 1.0)).collect();
+        let a = CsrMatrix::from_triplets(1, 64, &triplets).unwrap();
+        let x = vec![1.0f32; 64];
+        let y = merge_path_spmv(&a, &x, 16).unwrap();
+        assert_eq!(y[0], 64.0);
+    }
+
+    #[test]
+    fn rejects_wrong_vector_length() {
+        let a = random_matrix(10, 10, 30, 1);
+        assert!(merge_path_spmv(&a, &[0.0; 9], 4).is_err());
+    }
+
+    #[test]
+    fn empty_rows_stay_zero() {
+        let a = CsrMatrix::from_triplets(5, 5, &[(2, 2, 4.0f32)]).unwrap();
+        let y = merge_path_spmv(&a, &[1.0; 5], 3).unwrap();
+        assert_eq!(y, vec![0.0, 0.0, 4.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn offline_schedule_reuse() {
+        let a = random_matrix(40, 40, 200, 2);
+        let x: Vec<f32> = (0..40).map(|i| i as f32).collect();
+        let schedule = Schedule::build(&a, 8);
+        let once = spmv_with_schedule(&schedule, &a, &x);
+        let twice = spmv_with_schedule(&schedule, &a, &x);
+        assert_eq!(once, twice);
+        assert_close(&once, &reference(&a, &x));
+    }
+}

@@ -1,0 +1,197 @@
+//! Thread-count and SIMD-mapping heuristics (§III-C of the paper).
+//!
+//! The SpMM kernel's dense dimension `d` must be mapped onto the SIMD width
+//! of the machine (32 lanes per warp on the evaluated GPU). §III-C
+//! distinguishes three regimes — `d == lanes`, `d > lanes` (replicate each
+//! logical thread across several warps), and `d < lanes` (pack several
+//! logical threads into one warp) — and ties the *merge-path cost* (work
+//! per thread) to the regime via an empirical table (Figure 6).
+
+use serde::{Deserialize, Serialize};
+
+/// Minimum logical-thread floor for small graphs (§III-C1: "When the
+/// computed threads are below a threshold (e.g., 1024), the total thread
+/// count is set to the threshold value").
+pub const MIN_THREADS: usize = 1024;
+
+/// SIMD lanes per warp on the evaluated GPU (NVidia, 32-lane warps).
+pub const GPU_SIMD_LANES: usize = 32;
+
+/// How logical threads map onto SIMD units for a given dense dimension.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SimdMapping {
+    /// SIMD lanes per hardware unit (warp).
+    pub lanes: usize,
+    /// Dense dimension size being processed.
+    pub dim: usize,
+    /// Number of warps each logical thread is replicated across
+    /// (`> 1` when `dim > lanes`; §III-C2).
+    pub warps_per_thread: usize,
+    /// Number of logical threads packed into each warp
+    /// (`> 1` when `dim < lanes`; §III-C3).
+    pub threads_per_warp: usize,
+}
+
+impl SimdMapping {
+    /// Computes the mapping for dense dimension `dim` on `lanes`-wide SIMD
+    /// units.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim == 0` or `lanes == 0`.
+    pub fn for_dim(dim: usize, lanes: usize) -> Self {
+        assert!(dim > 0, "dimension size must be positive");
+        assert!(lanes > 0, "SIMD width must be positive");
+        if dim >= lanes {
+            Self {
+                lanes,
+                dim,
+                warps_per_thread: dim.div_ceil(lanes),
+                threads_per_warp: 1,
+            }
+        } else {
+            Self {
+                lanes,
+                dim,
+                warps_per_thread: 1,
+                threads_per_warp: (lanes / dim).max(1),
+            }
+        }
+    }
+
+    /// Number of warps needed to run `logical_threads` threads under this
+    /// mapping.
+    pub fn warps_for_threads(&self, logical_threads: usize) -> usize {
+        if self.warps_per_thread > 1 {
+            logical_threads * self.warps_per_thread
+        } else {
+            logical_threads.div_ceil(self.threads_per_warp)
+        }
+    }
+
+    /// Fraction of SIMD lanes doing useful work in each warp, in `(0, 1]`.
+    pub fn lane_utilization(&self) -> f64 {
+        if self.dim >= self.lanes {
+            // Last replica warp may be partially filled.
+            let used = self.dim as f64;
+            let provisioned = (self.warps_per_thread * self.lanes) as f64;
+            used / provisioned
+        } else {
+            (self.threads_per_warp * self.dim) as f64 / self.lanes as f64
+        }
+    }
+}
+
+/// The empirically best merge-path cost per dimension size (Figure 6 of
+/// the paper, sweeping costs 2–50 at each dimension).
+///
+/// * dim 128 → 50 (threads already replicated 4× across warps; favour
+///   fewer atomics),
+/// * dim 64 → 35, dim 32 → 30, dim 16 → 20, dims 8 and 4 → 15 (buy
+///   parallelism with some extra atomics),
+/// * dim 2 → 50 (extreme thread divergence favours fewer warps).
+///
+/// Dimensions between table entries use the nearest entry (ties toward the
+/// larger dimension).
+pub fn default_cost_for_dim(dim: usize) -> usize {
+    const TABLE: [(usize, usize); 7] = [
+        (2, 50),
+        (4, 15),
+        (8, 15),
+        (16, 20),
+        (32, 30),
+        (64, 35),
+        (128, 50),
+    ];
+    assert!(dim > 0, "dimension size must be positive");
+    let mut best = TABLE[0];
+    let mut best_dist = usize::MAX;
+    for &(d, cost) in &TABLE {
+        let dist = d.abs_diff(dim);
+        if dist < best_dist || (dist == best_dist && d > best.0) {
+            best = (d, cost);
+            best_dist = dist;
+        }
+    }
+    best.1
+}
+
+/// Number of logical threads for a given merge-path length and cost,
+/// applying the small-graph floor (§III-C1).
+pub fn thread_count(merge_items: usize, cost: usize, min_threads: usize) -> usize {
+    assert!(cost > 0, "merge-path cost must be positive");
+    let computed = merge_items.div_ceil(cost).max(1);
+    if computed < min_threads {
+        min_threads.min(merge_items).max(1)
+    } else {
+        computed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mapping_matches_lanes() {
+        let m = SimdMapping::for_dim(32, 32);
+        assert_eq!(m.warps_per_thread, 1);
+        assert_eq!(m.threads_per_warp, 1);
+        assert_eq!(m.warps_for_threads(100), 100);
+        assert_eq!(m.lane_utilization(), 1.0);
+    }
+
+    #[test]
+    fn mapping_dim_greater_than_lanes() {
+        // §III-C2: "If the dimension size is 64, each thread is executed
+        // using two warps."
+        let m = SimdMapping::for_dim(64, 32);
+        assert_eq!(m.warps_per_thread, 2);
+        assert_eq!(m.warps_for_threads(10), 20);
+        let m = SimdMapping::for_dim(128, 32);
+        assert_eq!(m.warps_per_thread, 4);
+        // Non-multiple: 48 dims → 2 warps, 75% utilization.
+        let m = SimdMapping::for_dim(48, 32);
+        assert_eq!(m.warps_per_thread, 2);
+        assert!((m.lane_utilization() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mapping_dim_smaller_than_lanes() {
+        // §III-C3: "If the dimension size is 16, two threads execute on a
+        // single warp."
+        let m = SimdMapping::for_dim(16, 32);
+        assert_eq!(m.threads_per_warp, 2);
+        assert_eq!(m.warps_for_threads(10), 5);
+        // §V: "At the dimension size of 2, each SIMD unit is mapped with 16
+        // threads."
+        let m = SimdMapping::for_dim(2, 32);
+        assert_eq!(m.threads_per_warp, 16);
+        assert_eq!(m.lane_utilization(), 1.0);
+    }
+
+    #[test]
+    fn default_costs_match_figure6() {
+        assert_eq!(default_cost_for_dim(128), 50);
+        assert_eq!(default_cost_for_dim(64), 35);
+        assert_eq!(default_cost_for_dim(32), 30);
+        assert_eq!(default_cost_for_dim(16), 20);
+        assert_eq!(default_cost_for_dim(8), 15);
+        assert_eq!(default_cost_for_dim(4), 15);
+        assert_eq!(default_cost_for_dim(2), 50);
+        // Off-table dimension snaps to the nearest entry.
+        assert_eq!(default_cost_for_dim(24), 30);
+        assert_eq!(default_cost_for_dim(256), 50);
+    }
+
+    #[test]
+    fn thread_count_applies_floor() {
+        // Plenty of work: cost division wins.
+        assert_eq!(thread_count(100_000, 20, MIN_THREADS), 5_000);
+        // Small graph: floor of MIN_THREADS.
+        assert_eq!(thread_count(10_000, 20, MIN_THREADS), MIN_THREADS);
+        // Tiny graph: floor clamped to merge items.
+        assert_eq!(thread_count(100, 20, MIN_THREADS), 100);
+        assert_eq!(thread_count(0, 20, MIN_THREADS), 1);
+    }
+}

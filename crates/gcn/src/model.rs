@@ -1,0 +1,313 @@
+//! GCN layers and models over pluggable SpMM kernels.
+
+use mpspmm_core::{Schedule, SpmmKernel};
+use mpspmm_sparse::{CsrMatrix, DenseMatrix, SparseFormatError};
+
+use crate::ops::{gemm, Activation};
+
+/// One graph-convolution layer: `H' = σ(Â · H · W)`.
+///
+/// The forward pass computes the dense combination `H × W` first, then the
+/// sparse aggregation `Â × (HW)` through the supplied [`SpmmKernel`] —
+/// the `A × (X × W)` multiplication order all the paper's accelerators
+/// implement (§II).
+#[derive(Debug, Clone, PartialEq)]
+pub struct GcnLayer {
+    weight: DenseMatrix<f32>,
+    activation: Activation,
+}
+
+impl GcnLayer {
+    /// Creates a layer from a trained/initialized weight matrix.
+    pub fn new(weight: DenseMatrix<f32>, activation: Activation) -> Self {
+        Self { weight, activation }
+    }
+
+    /// The layer's input feature width.
+    pub fn in_features(&self) -> usize {
+        self.weight.rows()
+    }
+
+    /// The layer's output feature width (the SpMM dense dimension).
+    pub fn out_features(&self) -> usize {
+        self.weight.cols()
+    }
+
+    /// Forward pass: `σ(Â × (H × W))`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseFormatError::ShapeMismatch`] when the feature or
+    /// adjacency shapes are inconsistent.
+    pub fn forward(
+        &self,
+        a_hat: &CsrMatrix<f32>,
+        h: &DenseMatrix<f32>,
+        kernel: &dyn SpmmKernel,
+    ) -> Result<DenseMatrix<f32>, SparseFormatError> {
+        let hw = gemm(h, &self.weight)?;
+        let mut out = kernel.spmm(a_hat, &hw)?;
+        self.activation.apply(&mut out);
+        Ok(out)
+    }
+
+    /// Unified-engine forward pass with a *sparse* input feature matrix:
+    /// both the combination `X × W` and the aggregation `Â × (XW)` run on
+    /// the same SpMM kernel (§II: "a workload-efficient computation
+    /// paradigm that uses a unified SpMM engine").
+    ///
+    /// The input features `X` are moderately sparse (nodes lack most
+    /// features), so the first multiplication is also a CSR×dense SpMM —
+    /// a rectangular one, which the merge-path decomposition handles
+    /// unchanged.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseFormatError::ShapeMismatch`] when shapes are
+    /// inconsistent.
+    pub fn forward_sparse_input(
+        &self,
+        a_hat: &CsrMatrix<f32>,
+        x: &CsrMatrix<f32>,
+        kernel: &dyn SpmmKernel,
+    ) -> Result<DenseMatrix<f32>, SparseFormatError> {
+        let xw = kernel.spmm(x, &self.weight)?;
+        let mut out = kernel.spmm(a_hat, &xw)?;
+        self.activation.apply(&mut out);
+        Ok(out)
+    }
+}
+
+/// A multi-layer GCN model.
+///
+/// # Example
+///
+/// ```
+/// use mpspmm_core::MergePathSpmm;
+/// use mpspmm_gcn::{GcnModel, ops};
+/// use mpspmm_sparse::CsrMatrix;
+///
+/// let a = CsrMatrix::from_triplets(4, 4, &[(0, 1, 0.5f32), (1, 0, 0.5)])?;
+/// let model = GcnModel::two_layer(8, 16, 3, 42);
+/// let x = ops::random_features(4, 8, 0.5, 1);
+/// let out = model.forward(&a, &x, &MergePathSpmm::with_threads(4))?;
+/// assert_eq!(out.cols(), 3);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct GcnModel {
+    layers: Vec<GcnLayer>,
+}
+
+impl GcnModel {
+    /// Builds a model from explicit layers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layers` is empty or consecutive widths are inconsistent.
+    pub fn new(layers: Vec<GcnLayer>) -> Self {
+        assert!(!layers.is_empty(), "model needs at least one layer");
+        for w in layers.windows(2) {
+            assert_eq!(
+                w[0].out_features(),
+                w[1].in_features(),
+                "layer widths must chain"
+            );
+        }
+        Self { layers }
+    }
+
+    /// The standard 2-layer GCN of the paper's evaluation:
+    /// `features → hidden → classes` with ReLU in between
+    /// (hidden = the "dimension size" swept in Figures 6–7).
+    pub fn two_layer(features: usize, hidden: usize, classes: usize, seed: u64) -> Self {
+        Self::new(vec![
+            GcnLayer::new(crate::ops::xavier_init(features, hidden, seed), Activation::Relu),
+            GcnLayer::new(
+                crate::ops::xavier_init(hidden, classes, seed ^ 1),
+                Activation::Identity,
+            ),
+        ])
+    }
+
+    /// The model's layers.
+    pub fn layers(&self) -> &[GcnLayer] {
+        &self.layers
+    }
+
+    /// Full forward pass through all layers with one SpMM kernel.
+    ///
+    /// Each layer invokes the kernel once — a 2-layer model is the
+    /// "2 kernel invocations" scenario of the paper's Figure 8 online
+    /// overhead study.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseFormatError::ShapeMismatch`] when shapes are
+    /// inconsistent.
+    pub fn forward(
+        &self,
+        a_hat: &CsrMatrix<f32>,
+        x: &DenseMatrix<f32>,
+        kernel: &dyn SpmmKernel,
+    ) -> Result<DenseMatrix<f32>, SparseFormatError> {
+        let mut h = self.layers[0].forward(a_hat, x, kernel)?;
+        for layer in &self.layers[1..] {
+            h = layer.forward(a_hat, &h, kernel)?;
+        }
+        Ok(h)
+    }
+}
+
+/// Online-vs-offline inference driver (Figure 8, §III-D and §V-C).
+///
+/// * **Online**: the MergePath-SpMM schedule is recomputed before the
+///   inference (the graph may have changed) — the scheduling cost is paid
+///   on every invocation.
+/// * **Offline**: a prebuilt [`Schedule`] is reused across inferences.
+///
+/// [`InferenceTiming`] reports the split so the harness can compute the
+/// scheduling-overhead percentage the paper reports (~2% geomean).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InferenceTiming {
+    /// Time spent computing the merge-path schedule.
+    pub scheduling: std::time::Duration,
+    /// Time spent in the dense GEMMs and SpMM kernels.
+    pub execution: std::time::Duration,
+}
+
+impl InferenceTiming {
+    /// Scheduling overhead as a fraction of total time, in `[0, 1]`.
+    pub fn overhead_fraction(&self) -> f64 {
+        let total = self.scheduling + self.execution;
+        if total.is_zero() {
+            0.0
+        } else {
+            self.scheduling.as_secs_f64() / total.as_secs_f64()
+        }
+    }
+}
+
+/// Runs a 2-layer-style online inference: rebuilds the merge-path schedule,
+/// then runs the model, timing both phases.
+///
+/// # Errors
+///
+/// Returns [`SparseFormatError::ShapeMismatch`] when shapes are
+/// inconsistent.
+pub fn online_inference(
+    model: &GcnModel,
+    a_hat: &CsrMatrix<f32>,
+    x: &DenseMatrix<f32>,
+    kernel: &mpspmm_core::MergePathSpmm,
+) -> Result<(DenseMatrix<f32>, InferenceTiming), SparseFormatError> {
+    // The online setting computes the schedule before the kernel
+    // invocations (§V-C: "the MergePath-SpMM schedule is computed and
+    // stored in global memory before two kernel invocations").
+    let dim = model.layers[0].out_features();
+    let t0 = std::time::Instant::now();
+    let schedule: Schedule = kernel.schedule(a_hat, dim);
+    let scheduling = t0.elapsed();
+    // Keep the schedule alive as the kernels would reuse it; the kernel
+    // trait rebuilds internally, so we charge only the measured
+    // scheduling time separately.
+    let _ = &schedule;
+    let t1 = std::time::Instant::now();
+    let out = model.forward(a_hat, x, kernel)?;
+    let execution = t1.elapsed();
+    Ok((
+        out,
+        InferenceTiming {
+            scheduling,
+            execution,
+        },
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::{random_features, xavier_init};
+    use mpspmm_core::{MergePathSpmm, NnzSplitSpmm, SerialSpmm};
+    use mpspmm_graphs::{gcn_normalize, DatasetSpec, GraphClass};
+
+    fn small_graph() -> CsrMatrix<f32> {
+        let spec = DatasetSpec::custom("t", GraphClass::PowerLaw, 100, 400, 30);
+        gcn_normalize(&spec.synthesize(3))
+    }
+
+    #[test]
+    fn two_layer_forward_has_expected_shape() {
+        let a = small_graph();
+        let model = GcnModel::two_layer(32, 16, 7, 11);
+        let x = random_features(100, 32, 0.4, 2);
+        let out = model.forward(&a, &x, &SerialSpmm).unwrap();
+        assert_eq!(out.rows(), 100);
+        assert_eq!(out.cols(), 7);
+    }
+
+    #[test]
+    fn kernels_produce_matching_inference_results() {
+        let a = small_graph();
+        let model = GcnModel::two_layer(16, 8, 4, 5);
+        let x = random_features(100, 16, 0.4, 9);
+        let serial = model.forward(&a, &x, &SerialSpmm).unwrap();
+        let mp = model
+            .forward(&a, &x, &MergePathSpmm::with_threads(8))
+            .unwrap();
+        let gnn = model.forward(&a, &x, &NnzSplitSpmm::new()).unwrap();
+        assert!(mp.approx_eq(&serial, 1e-3).unwrap());
+        assert!(gnn.approx_eq(&serial, 1e-3).unwrap());
+    }
+
+    #[test]
+    fn relu_between_layers_bounds_hidden_values() {
+        let a = small_graph();
+        let model = GcnModel::two_layer(8, 4, 2, 1);
+        let x = random_features(100, 8, 0.5, 1);
+        let h1 = model.layers()[0].forward(&a, &x, &SerialSpmm).unwrap();
+        assert!(h1.as_slice().iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    fn unified_engine_matches_dense_gemm_path() {
+        // Running X×W on the SpMM engine must compute the same layer
+        // output as the dense GEMM path.
+        let a = small_graph();
+        let layer = GcnLayer::new(xavier_init(12, 8, 4), Activation::Relu);
+        let x_dense = random_features(100, 12, 0.4, 6);
+        let x_sparse = crate::ops::random_sparse_features(100, 12, 0.4, 6);
+        let kernel = MergePathSpmm::with_threads(8);
+        let via_gemm = layer.forward(&a, &x_dense, &kernel).unwrap();
+        let via_spmm = layer.forward_sparse_input(&a, &x_sparse, &kernel).unwrap();
+        assert!(via_spmm.approx_eq(&via_gemm, 1e-3).unwrap());
+    }
+
+    #[test]
+    fn online_inference_reports_timing() {
+        let a = small_graph();
+        let model = GcnModel::two_layer(16, 16, 4, 2);
+        let x = random_features(100, 16, 0.4, 3);
+        let kernel = MergePathSpmm::new();
+        let (out, timing) = online_inference(&model, &a, &x, &kernel).unwrap();
+        assert_eq!(out.rows(), 100);
+        assert!(timing.overhead_fraction() >= 0.0 && timing.overhead_fraction() <= 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "layer widths must chain")]
+    fn mismatched_layer_widths_panic() {
+        GcnModel::new(vec![
+            GcnLayer::new(xavier_init(8, 4, 0), Activation::Relu),
+            GcnLayer::new(xavier_init(5, 2, 0), Activation::Identity),
+        ]);
+    }
+
+    #[test]
+    fn layer_shape_mismatch_is_an_error() {
+        let a = small_graph();
+        let model = GcnModel::two_layer(16, 8, 4, 5);
+        let bad_x = random_features(100, 10, 0.4, 9);
+        assert!(model.forward(&a, &bad_x, &SerialSpmm).is_err());
+    }
+}

@@ -1,0 +1,210 @@
+//! Dense linear-algebra operations for the GCN combination phase.
+
+use mpspmm_sparse::{DenseMatrix, SparseFormatError};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Dense matrix multiplication `A × B` (row-major, ikj loop order).
+///
+/// This is the `X × W` step of a GCN layer — the paper's accelerators
+/// execute it on the same unified SpMM engine, but for the reproduction a
+/// straightforward dense GEMM suffices (the dense product feeds the sparse
+/// `A × XW` kernel under study).
+///
+/// # Errors
+///
+/// Returns [`SparseFormatError::ShapeMismatch`] if `a.cols() != b.rows()`.
+pub fn gemm(a: &DenseMatrix<f32>, b: &DenseMatrix<f32>) -> Result<DenseMatrix<f32>, SparseFormatError> {
+    if a.cols() != b.rows() {
+        return Err(SparseFormatError::ShapeMismatch {
+            left: (a.rows(), a.cols()),
+            right: (b.rows(), b.cols()),
+        });
+    }
+    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    let mut out = DenseMatrix::<f32>::zeros(m, n);
+    for i in 0..m {
+        let arow = a.row(i);
+        let orow = out.row_mut(i);
+        for (p, &av) in arow.iter().enumerate().take(k) {
+            if av == 0.0 {
+                continue;
+            }
+            let brow = b.row(p);
+            for (dst, &bv) in orow.iter_mut().zip(brow) {
+                *dst += av * bv;
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Nonlinear activation functions used between GCN layers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Activation {
+    /// Rectified linear unit, `max(0, x)`.
+    Relu,
+    /// Logistic sigmoid, `1 / (1 + e^-x)`.
+    Sigmoid,
+    /// No activation (final layer before softmax/loss).
+    Identity,
+}
+
+impl Activation {
+    /// Applies the activation element-wise in place.
+    pub fn apply(&self, m: &mut DenseMatrix<f32>) {
+        match self {
+            Activation::Relu => {
+                for v in m.as_mut_slice() {
+                    if *v < 0.0 {
+                        *v = 0.0;
+                    }
+                }
+            }
+            Activation::Sigmoid => {
+                for v in m.as_mut_slice() {
+                    *v = 1.0 / (1.0 + (-*v).exp());
+                }
+            }
+            Activation::Identity => {}
+        }
+    }
+}
+
+/// Row-wise softmax (numerically stabilized), producing per-node class
+/// probabilities from the final layer's logits.
+pub fn softmax_rows(m: &mut DenseMatrix<f32>) {
+    for r in 0..m.rows() {
+        let row = m.row_mut(r);
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        if !max.is_finite() {
+            continue;
+        }
+        let mut sum = 0.0;
+        for v in row.iter_mut() {
+            *v = (*v - max).exp();
+            sum += *v;
+        }
+        if sum > 0.0 {
+            for v in row.iter_mut() {
+                *v /= sum;
+            }
+        }
+    }
+}
+
+/// Glorot/Xavier-style uniform weight initialization, seeded and
+/// deterministic: entries drawn from `U(-s, s)` with
+/// `s = sqrt(6 / (fan_in + fan_out))`.
+pub fn xavier_init(fan_in: usize, fan_out: usize, seed: u64) -> DenseMatrix<f32> {
+    let s = (6.0 / (fan_in + fan_out) as f32).sqrt();
+    let mut rng = SmallRng::seed_from_u64(seed);
+    DenseMatrix::from_fn(fan_in, fan_out, |_, _| rng.gen_range(-s..s))
+}
+
+/// Deterministic synthetic node-feature matrix: moderately sparse
+/// (about `density` of entries non-zero), matching the paper's description
+/// of `X` as "moderately sparse since the nodes do not have valid values
+/// for all possible features".
+pub fn random_features(nodes: usize, features: usize, density: f64, seed: u64) -> DenseMatrix<f32> {
+    assert!((0.0..=1.0).contains(&density), "density must be in [0, 1]");
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0xFEED);
+    DenseMatrix::from_fn(nodes, features, |_, _| {
+        if rng.gen::<f64>() < density {
+            rng.gen_range(0.0..1.0)
+        } else {
+            0.0
+        }
+    })
+}
+
+/// The same feature matrix as [`random_features`], stored as CSR.
+///
+/// The paper's unified-engine accelerators (§II) run the `X × W` phase on
+/// the *same* SpMM hardware as `A × XW`, exploiting X's moderate sparsity;
+/// this constructor feeds that path (see
+/// [`GcnLayer::forward_sparse_input`](crate::GcnLayer::forward_sparse_input)).
+pub fn random_sparse_features(
+    nodes: usize,
+    features: usize,
+    density: f64,
+    seed: u64,
+) -> mpspmm_sparse::CsrMatrix<f32> {
+    let dense = random_features(nodes, features, density, seed);
+    mpspmm_sparse::CsrMatrix::from_dense(&dense)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gemm_matches_hand_computation() {
+        let a = DenseMatrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let b = DenseMatrix::from_vec(2, 2, vec![5.0, 6.0, 7.0, 8.0]).unwrap();
+        let c = gemm(&a, &b).unwrap();
+        assert_eq!(c.as_slice(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn gemm_rejects_shape_mismatch() {
+        let a = DenseMatrix::<f32>::zeros(2, 3);
+        let b = DenseMatrix::<f32>::zeros(2, 3);
+        assert!(gemm(&a, &b).is_err());
+    }
+
+    #[test]
+    fn gemm_identity() {
+        let i = DenseMatrix::from_fn(3, 3, |r, c| if r == c { 1.0 } else { 0.0 });
+        let b = DenseMatrix::from_fn(3, 4, |r, c| (r * 4 + c) as f32);
+        let c = gemm(&i, &b).unwrap();
+        assert_eq!(c, b);
+    }
+
+    #[test]
+    fn relu_clamps_negatives() {
+        let mut m = DenseMatrix::from_vec(1, 3, vec![-1.0, 0.0, 2.0]).unwrap();
+        Activation::Relu.apply(&mut m);
+        assert_eq!(m.as_slice(), &[0.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    fn sigmoid_is_bounded_and_monotone() {
+        let mut m = DenseMatrix::from_vec(1, 3, vec![-10.0, 0.0, 10.0]).unwrap();
+        Activation::Sigmoid.apply(&mut m);
+        let v = m.as_slice();
+        assert!(v[0] < 0.01 && (v[1] - 0.5).abs() < 1e-6 && v[2] > 0.99);
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let mut m = DenseMatrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0]).unwrap();
+        softmax_rows(&mut m);
+        for r in 0..2 {
+            let s: f32 = m.row(r).iter().sum();
+            assert!((s - 1.0).abs() < 1e-6);
+            assert!(m.row(r).iter().all(|&v| v > 0.0));
+        }
+        // Largest logit keeps the largest probability.
+        assert!(m.get(0, 2) > m.get(0, 1));
+    }
+
+    #[test]
+    fn xavier_init_is_seeded_and_bounded() {
+        let w1 = xavier_init(64, 16, 7);
+        let w2 = xavier_init(64, 16, 7);
+        assert_eq!(w1, w2);
+        let s = (6.0f32 / 80.0).sqrt();
+        assert!(w1.as_slice().iter().all(|v| v.abs() <= s));
+        assert!(w1.as_slice().iter().any(|v| v.abs() > 1e-4));
+    }
+
+    #[test]
+    fn random_features_match_density() {
+        let x = random_features(200, 50, 0.3, 5);
+        let nnz = x.as_slice().iter().filter(|&&v| v != 0.0).count();
+        let frac = nnz as f64 / (200.0 * 50.0);
+        assert!((frac - 0.3).abs() < 0.05, "density {frac}");
+    }
+}

@@ -1,0 +1,116 @@
+//! Property-based tests for the GCN substrate.
+
+use mpspmm_core::{MergePathSpmm, SerialSpmm};
+use mpspmm_gcn::ops::{gemm, random_features, softmax_rows, xavier_init, Activation};
+use mpspmm_gcn::{GcnModel, GinLayer, SageMeanLayer};
+use mpspmm_graphs::{gcn_normalize, mean_normalize, sum_with_self_loops, DatasetSpec, GraphClass};
+use mpspmm_sparse::DenseMatrix;
+use proptest::prelude::*;
+
+fn arb_dense(max_dim: usize) -> impl Strategy<Value = DenseMatrix<f32>> {
+    (1..=max_dim, 1..=max_dim, any::<u64>()).prop_map(|(r, c, seed)| {
+        let mut v = seed;
+        DenseMatrix::from_fn(r, c, |_, _| {
+            v = v.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((v >> 33) as i32 % 7) as f32 * 0.25
+        })
+    })
+}
+
+proptest! {
+    #[test]
+    fn gemm_is_linear_in_the_left_operand(
+        a in arb_dense(8),
+        seed in any::<u64>(),
+    ) {
+        let b = {
+            let mut v = seed | 1;
+            DenseMatrix::from_fn(a.cols(), 5, |_, _| {
+                v = v.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+                ((v >> 40) as i32 % 5) as f32
+            })
+        };
+        // (2A)B == 2(AB)
+        let scaled_a = DenseMatrix::from_fn(a.rows(), a.cols(), |r, c| 2.0 * a.get(r, c));
+        let lhs = gemm(&scaled_a, &b).unwrap();
+        let rhs = gemm(&a, &b).unwrap();
+        for r in 0..lhs.rows() {
+            for c in 0..lhs.cols() {
+                prop_assert!((lhs.get(r, c) - 2.0 * rhs.get(r, c)).abs() < 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    fn gemm_matches_identity_and_zero(a in arb_dense(8)) {
+        let id = DenseMatrix::from_fn(a.cols(), a.cols(), |r, c| f32::from(r == c));
+        prop_assert_eq!(gemm(&a, &id).unwrap(), a.clone());
+        let z = DenseMatrix::<f32>::zeros(a.cols(), 3);
+        let out = gemm(&a, &z).unwrap();
+        prop_assert!(out.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn activations_preserve_shape_and_bounds(a in arb_dense(10)) {
+        let mut relu = a.clone();
+        Activation::Relu.apply(&mut relu);
+        prop_assert!(relu.as_slice().iter().all(|&v| v >= 0.0));
+        let mut sig = a.clone();
+        Activation::Sigmoid.apply(&mut sig);
+        prop_assert!(sig.as_slice().iter().all(|&v| (0.0..=1.0).contains(&v)));
+        let mut id = a.clone();
+        Activation::Identity.apply(&mut id);
+        prop_assert_eq!(id, a);
+    }
+
+    #[test]
+    fn softmax_rows_are_distributions(a in arb_dense(10)) {
+        let mut m = a;
+        softmax_rows(&mut m);
+        for r in 0..m.rows() {
+            let s: f32 = m.row(r).iter().sum();
+            prop_assert!((s - 1.0).abs() < 1e-4, "row {r} sums to {s}");
+            prop_assert!(m.row(r).iter().all(|&v| v >= 0.0));
+        }
+    }
+
+    #[test]
+    fn gnn_layers_agree_across_kernels(
+        seed in any::<u64>(),
+        nodes in 30usize..120,
+    ) {
+        let nnz = (nodes * 3).min(nodes * (nodes - 1) / 2);
+        let max_deg = (nodes / 3).max(2);
+        let spec = DatasetSpec::custom("p", GraphClass::PowerLaw, nodes, nnz, max_deg);
+        let a = spec.synthesize(seed);
+        let x = random_features(nodes, 8, 0.5, seed ^ 1);
+        let serial = SerialSpmm;
+        let parallel = MergePathSpmm::with_threads(9);
+
+        let gcn = GcnModel::two_layer(8, 8, 3, seed ^ 2);
+        let a_hat = gcn_normalize(&a);
+        let s = gcn.forward(&a_hat, &x, &serial).unwrap();
+        let p = gcn.forward(&a_hat, &x, &parallel).unwrap();
+        prop_assert!(p.approx_eq(&s, 1e-3).unwrap());
+
+        let gin = GinLayer::new(
+            xavier_init(8, 8, seed ^ 3),
+            xavier_init(8, 3, seed ^ 4),
+            Activation::Relu,
+        );
+        let op = sum_with_self_loops(&a, 0.2);
+        let s = gin.forward(&op, &x, &serial).unwrap();
+        let p = gin.forward(&op, &x, &parallel).unwrap();
+        prop_assert!(p.approx_eq(&s, 1e-2).unwrap());
+
+        let sage = SageMeanLayer::new(
+            xavier_init(8, 3, seed ^ 5),
+            xavier_init(8, 3, seed ^ 6),
+            Activation::Sigmoid,
+        );
+        let op = mean_normalize(&a);
+        let s = sage.forward(&op, &x, &serial).unwrap();
+        let p = sage.forward(&op, &x, &parallel).unwrap();
+        prop_assert!(p.approx_eq(&s, 1e-3).unwrap());
+    }
+}

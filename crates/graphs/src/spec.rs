@@ -1,0 +1,230 @@
+use mpspmm_sparse::CsrMatrix;
+use serde::{Deserialize, Serialize};
+
+/// Structural class of an evaluation graph (the "Type" column of Table II).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum GraphClass {
+    /// Type I — power-law (heavy-tail) degree distribution with evil rows.
+    PowerLaw,
+    /// Type II — structured graphs with near-uniform row lengths
+    /// (molecular datasets, Twitter-partial).
+    Structured,
+}
+
+impl std::fmt::Display for GraphClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GraphClass::PowerLaw => f.write_str("I (power-law)"),
+            GraphClass::Structured => f.write_str("II (structured)"),
+        }
+    }
+}
+
+/// One row of the paper's Table II: an evaluation dataset described by its
+/// structural parameters.
+///
+/// [`synthesize`](Self::synthesize) materializes a deterministic synthetic
+/// graph matching these parameters (see the crate docs for the substitution
+/// rationale).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DatasetSpec {
+    /// Dataset name as printed in the paper.
+    pub name: &'static str,
+    /// Type I (power law) or Type II (structured).
+    pub class: GraphClass,
+    /// Number of graph nodes (rows of the adjacency matrix).
+    pub nodes: usize,
+    /// Number of adjacency non-zeros (directed edge slots).
+    pub nnz: usize,
+    /// Maximum out-degree — the length of the worst evil row.
+    pub max_degree: usize,
+}
+
+impl DatasetSpec {
+    /// Creates a custom (non-Table II) spec, e.g. for tests or scaled-down
+    /// experiments.
+    pub const fn custom(
+        name: &'static str,
+        class: GraphClass,
+        nodes: usize,
+        nnz: usize,
+        max_degree: usize,
+    ) -> Self {
+        Self {
+            name,
+            class,
+            nodes,
+            nnz,
+            max_degree,
+        }
+    }
+
+    /// Average degree implied by the spec (the "Avg. Deg." Table II column).
+    pub fn avg_degree(&self) -> f64 {
+        self.nnz as f64 / self.nodes as f64
+    }
+
+    /// Synthesizes the adjacency matrix for this spec.
+    ///
+    /// Deterministic for a given `(spec, seed)`. All entry values are `1.0`
+    /// (apply [`gcn_normalize`](crate::gcn_normalize) for GCN-weighted
+    /// edges); node and nnz counts match the spec exactly, the maximum
+    /// out-degree matches exactly (one pinned evil row for power-law
+    /// graphs), and the degree-distribution shape follows the class.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec is infeasible (e.g. `nnz > nodes * (nodes - 1)`
+    /// or `max_degree >= nodes`).
+    pub fn synthesize(&self, seed: u64) -> CsrMatrix<f32> {
+        assert!(self.nodes >= 2, "need at least two nodes");
+        assert!(
+            self.max_degree < self.nodes,
+            "max_degree must be < nodes (no duplicate targets, no self loops)"
+        );
+        assert!(
+            self.nnz <= self.nodes * (self.nodes - 1),
+            "nnz exceeds the number of off-diagonal slots"
+        );
+        assert!(
+            self.nnz <= self.nodes * self.max_degree,
+            "nnz exceeds nodes * max_degree"
+        );
+        match self.class {
+            GraphClass::PowerLaw => crate::generate_powerlaw(self, seed),
+            GraphClass::Structured => crate::generate_structured(self, seed),
+        }
+    }
+
+    /// A proportionally scaled-down version of this spec with about
+    /// `factor`× fewer nodes and non-zeros (degree profile preserved).
+    ///
+    /// Used by the figure harnesses to keep the multicore-simulator inputs
+    /// tractable while preserving each graph's imbalance character.
+    pub fn scaled_down(&self, factor: usize) -> DatasetSpec {
+        assert!(factor >= 1, "factor must be >= 1");
+        let nodes = (self.nodes / factor).max(16);
+        let nnz = (self.nnz / factor).max(nodes);
+        let max_degree = self
+            .max_degree
+            .min(nodes - 1)
+            .max(nnz.div_ceil(nodes));
+        DatasetSpec {
+            name: self.name,
+            class: self.class,
+            nodes,
+            nnz: nnz.min(nodes * max_degree),
+            max_degree,
+        }
+    }
+}
+
+/// The paper's Table II: all 23 evaluation graphs.
+///
+/// Order matches the paper (Type I by increasing non-zeros, then Type II).
+pub const TABLE_II: [DatasetSpec; 23] = [
+    DatasetSpec::custom("Cora", GraphClass::PowerLaw, 2_708, 10_556, 168),
+    DatasetSpec::custom("Citeseer", GraphClass::PowerLaw, 3_327, 9_228, 99),
+    DatasetSpec::custom("Pubmed", GraphClass::PowerLaw, 19_717, 99_203, 171),
+    DatasetSpec::custom("Oregon-1", GraphClass::PowerLaw, 11_492, 46_818, 2_389),
+    DatasetSpec::custom("As-caida", GraphClass::PowerLaw, 31_379, 106_762, 2_628),
+    DatasetSpec::custom("Wiki-Vote", GraphClass::PowerLaw, 8_297, 103_689, 893),
+    DatasetSpec::custom("email-Enron", GraphClass::PowerLaw, 36_692, 367_662, 1_383),
+    DatasetSpec::custom("email-Euall", GraphClass::PowerLaw, 265_214, 420_045, 930),
+    DatasetSpec::custom("Nell", GraphClass::PowerLaw, 65_755, 251_550, 4_549),
+    DatasetSpec::custom("PPI", GraphClass::PowerLaw, 56_944, 818_716, 429),
+    DatasetSpec::custom("soc-SlashDot811", GraphClass::PowerLaw, 77_357, 905_468, 2_508),
+    DatasetSpec::custom("artist", GraphClass::PowerLaw, 50_515, 1_638_396, 1_469),
+    DatasetSpec::custom("com-Amazon", GraphClass::PowerLaw, 334_863, 1_851_744, 549),
+    DatasetSpec::custom("coAuthorsDBLP", GraphClass::PowerLaw, 299_067, 1_955_352, 336),
+    DatasetSpec::custom("soc-BlogCatalog", GraphClass::PowerLaw, 88_784, 2_093_195, 2_538),
+    DatasetSpec::custom("amazon0601", GraphClass::PowerLaw, 410_236, 4_878_874, 2_760),
+    DatasetSpec::custom("amazon0505", GraphClass::PowerLaw, 403_394, 5_478_357, 2_760),
+    DatasetSpec::custom("PROTEINS_full", GraphClass::Structured, 43_466, 162_088, 25),
+    DatasetSpec::custom("Twitter-partial", GraphClass::Structured, 580_768, 1_435_116, 12),
+    DatasetSpec::custom("DD", GraphClass::Structured, 334_925, 1_686_092, 19),
+    DatasetSpec::custom("Yeast", GraphClass::Structured, 1_710_902, 3_636_546, 6),
+    DatasetSpec::custom("OVCAR-8H", GraphClass::Structured, 1_889_542, 3_946_402, 5),
+    DatasetSpec::custom("SW-620H", GraphClass::Structured, 1_888_584, 3_944_206, 5),
+];
+
+/// Returns the full Table II registry as a slice.
+pub fn table_ii() -> &'static [DatasetSpec] {
+    &TABLE_II
+}
+
+/// Looks up a Table II dataset by (case-insensitive) name.
+pub fn find_dataset(name: &str) -> Option<&'static DatasetSpec> {
+    TABLE_II
+        .iter()
+        .find(|s| s.name.eq_ignore_ascii_case(name))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_ii_matches_paper_counts() {
+        assert_eq!(TABLE_II.len(), 23);
+        let type1 = TABLE_II
+            .iter()
+            .filter(|s| s.class == GraphClass::PowerLaw)
+            .count();
+        assert_eq!(type1, 17);
+        let nell = find_dataset("nell").unwrap();
+        assert_eq!(nell.nodes, 65_755);
+        assert_eq!(nell.nnz, 251_550);
+        assert_eq!(nell.max_degree, 4_549);
+        // Paper: "Nell graph has 4549 non-zeros in an evil row, whereas the
+        // average degree of this graph is 3.9" (3.8 in Table II).
+        assert!((nell.avg_degree() - 3.8).abs() < 0.1);
+    }
+
+    #[test]
+    fn avg_degrees_match_table() {
+        // Spot-check the printed Avg. Deg. column within rounding.
+        for (name, avg) in [
+            ("Cora", 3.9),
+            ("Citeseer", 2.8),
+            ("Pubmed", 5.1),
+            ("Wiki-Vote", 12.5),
+            ("artist", 32.4),
+            ("Yeast", 2.1),
+            ("Twitter-partial", 2.5),
+        ] {
+            let s = find_dataset(name).unwrap();
+            assert!(
+                (s.avg_degree() - avg).abs() < 0.15,
+                "{name}: computed {} vs table {avg}",
+                s.avg_degree()
+            );
+        }
+    }
+
+    #[test]
+    fn find_is_case_insensitive_and_total() {
+        assert!(find_dataset("CORA").is_some());
+        assert!(find_dataset("nope").is_none());
+        for s in table_ii() {
+            assert_eq!(find_dataset(s.name).unwrap(), s);
+        }
+    }
+
+    #[test]
+    fn scaled_down_preserves_feasibility() {
+        for s in table_ii() {
+            let small = s.scaled_down(64);
+            assert!(small.nodes >= 16);
+            assert!(small.max_degree < small.nodes);
+            assert!(small.nnz <= small.nodes * small.max_degree);
+            assert!(small.nnz <= small.nodes * (small.nodes - 1));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "max_degree must be < nodes")]
+    fn infeasible_spec_panics() {
+        DatasetSpec::custom("bad", GraphClass::PowerLaw, 10, 20, 10).synthesize(1);
+    }
+}

@@ -1,0 +1,69 @@
+//! Verifies that the synthetic Table II datasets honour their specs.
+
+use mpspmm_graphs::{table_ii, DatasetSpec, GraphClass};
+use mpspmm_sparse::stats::DegreeStats;
+
+fn verify(spec: &DatasetSpec, seed: u64) {
+    let a = spec.synthesize(seed);
+    let st = DegreeStats::compute(&a);
+    assert_eq!(st.rows, spec.nodes, "{}: node count", spec.name);
+    assert_eq!(st.nnz, spec.nnz, "{}: nnz", spec.name);
+    assert_eq!(st.max, spec.max_degree, "{}: max degree", spec.name);
+    assert!(
+        (st.avg - spec.avg_degree()).abs() < 1e-9,
+        "{}: avg degree",
+        spec.name
+    );
+    match spec.class {
+        GraphClass::PowerLaw => {
+            // Power-law graphs must be visibly skewed whenever the spec
+            // allows it (max ≫ avg).
+            if spec.max_degree as f64 > 20.0 * spec.avg_degree() {
+                assert!(
+                    st.gini > 0.25,
+                    "{}: gini {} too even for power law",
+                    spec.name,
+                    st.gini
+                );
+            }
+        }
+        GraphClass::Structured => {
+            assert!(
+                st.gini < 0.25,
+                "{}: gini {} too skewed for structured",
+                spec.name,
+                st.gini
+            );
+        }
+    }
+}
+
+/// Scaled-down versions of every Table II dataset synthesize correctly.
+/// (Full-size synthesis is exercised by the release-mode harnesses and the
+/// `full_size_table_ii` ignored test below.)
+#[test]
+fn scaled_table_ii_specs_are_honoured() {
+    for spec in table_ii() {
+        let small = spec.scaled_down(32);
+        verify(&small, 0xC0FFEE);
+    }
+}
+
+/// The four Figure 2 graphs at full size (small enough for debug builds).
+#[test]
+fn figure2_graphs_full_size() {
+    for name in ["Cora", "Citeseer", "Pubmed", "Nell"] {
+        let spec = mpspmm_graphs::find_dataset(name).unwrap();
+        verify(spec, 7);
+    }
+}
+
+/// Full-size synthesis of all 23 datasets. Run with
+/// `cargo test -p mpspmm-graphs --release -- --ignored`.
+#[test]
+#[ignore = "full-size synthesis of 23 graphs is release-mode work"]
+fn full_size_table_ii() {
+    for spec in table_ii() {
+        verify(spec, 7);
+    }
+}

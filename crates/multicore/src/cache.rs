@@ -1,0 +1,159 @@
+//! Set-associative cache model with LRU replacement.
+
+/// A set-associative cache tracking line *presence* only (tags, no data),
+/// with true-LRU replacement inside each set.
+///
+/// Used for both the private L1s and the shared L2 slices. Addresses are
+/// pre-divided into line numbers by the caller.
+#[derive(Debug, Clone)]
+pub struct SetAssocCache {
+    sets: usize,
+    ways: usize,
+    /// `lines[set * ways + way]` = line number or `EMPTY`.
+    lines: Vec<u64>,
+    /// LRU stamps parallel to `lines`.
+    stamps: Vec<u64>,
+    tick: u64,
+}
+
+const EMPTY: u64 = u64::MAX;
+
+impl SetAssocCache {
+    /// Creates a cache of `capacity_bytes` with `ways` associativity and
+    /// `line_bytes` lines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry does not produce at least one set.
+    pub fn new(capacity_bytes: usize, ways: usize, line_bytes: usize) -> Self {
+        let total_lines = capacity_bytes / line_bytes;
+        assert!(ways > 0 && total_lines >= ways, "cache too small");
+        let sets = (total_lines / ways).max(1);
+        Self {
+            sets,
+            ways,
+            lines: vec![EMPTY; sets * ways],
+            stamps: vec![0; sets * ways],
+            tick: 0,
+        }
+    }
+
+    fn set_of(&self, line: u64) -> usize {
+        (line % self.sets as u64) as usize
+    }
+
+    /// Looks up `line`; on hit, refreshes LRU and returns `true`.
+    pub fn probe(&mut self, line: u64) -> bool {
+        let set = self.set_of(line);
+        self.tick += 1;
+        for way in 0..self.ways {
+            let idx = set * self.ways + way;
+            if self.lines[idx] == line {
+                self.stamps[idx] = self.tick;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Inserts `line`, evicting the LRU way if needed. Returns the evicted
+    /// line, if any.
+    pub fn insert(&mut self, line: u64) -> Option<u64> {
+        let set = self.set_of(line);
+        self.tick += 1;
+        let mut victim = set * self.ways;
+        for way in 0..self.ways {
+            let idx = set * self.ways + way;
+            if self.lines[idx] == line {
+                self.stamps[idx] = self.tick;
+                return None;
+            }
+            if self.lines[idx] == EMPTY {
+                self.lines[idx] = line;
+                self.stamps[idx] = self.tick;
+                return None;
+            }
+            if self.stamps[idx] < self.stamps[victim] {
+                victim = idx;
+            }
+        }
+        let evicted = self.lines[victim];
+        self.lines[victim] = line;
+        self.stamps[victim] = self.tick;
+        Some(evicted)
+    }
+
+    /// Removes `line` if present (directory-initiated invalidation).
+    /// Returns whether it was present.
+    pub fn invalidate(&mut self, line: u64) -> bool {
+        let set = self.set_of(line);
+        for way in 0..self.ways {
+            let idx = set * self.ways + way;
+            if self.lines[idx] == line {
+                self.lines[idx] = EMPTY;
+                self.stamps[idx] = 0;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Number of sets (for tests).
+    pub fn sets(&self) -> usize {
+        self.sets
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometry() {
+        // 4 KB, 4-way, 64 B lines → 64 lines, 16 sets (the paper's L1).
+        let c = SetAssocCache::new(4096, 4, 64);
+        assert_eq!(c.sets(), 16);
+    }
+
+    #[test]
+    fn hit_after_insert() {
+        let mut c = SetAssocCache::new(4096, 4, 64);
+        assert!(!c.probe(42));
+        c.insert(42);
+        assert!(c.probe(42));
+    }
+
+    #[test]
+    fn lru_eviction_within_set() {
+        let mut c = SetAssocCache::new(4096, 4, 64);
+        // Four lines mapping to set 0 (multiples of 16 sets).
+        let lines: Vec<u64> = (0..4).map(|i| i * 16).collect();
+        for &l in &lines {
+            c.insert(l);
+        }
+        // Touch all but the first to make line 0 the LRU victim.
+        for &l in &lines[1..] {
+            assert!(c.probe(l));
+        }
+        let evicted = c.insert(4 * 16);
+        assert_eq!(evicted, Some(0));
+        assert!(!c.probe(0));
+        assert!(c.probe(64));
+    }
+
+    #[test]
+    fn invalidate_removes_line() {
+        let mut c = SetAssocCache::new(4096, 4, 64);
+        c.insert(7);
+        assert!(c.invalidate(7));
+        assert!(!c.probe(7));
+        assert!(!c.invalidate(7));
+    }
+
+    #[test]
+    fn reinsert_is_not_eviction() {
+        let mut c = SetAssocCache::new(4096, 4, 64);
+        c.insert(5);
+        assert_eq!(c.insert(5), None);
+    }
+}

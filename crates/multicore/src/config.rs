@@ -1,0 +1,191 @@
+//! Multicore machine description (Table I of the paper).
+
+use serde::{Deserialize, Serialize};
+
+/// Cache line size in bytes (fixed across the hierarchy).
+pub const LINE_BYTES: usize = 64;
+
+/// Parameters of the simulated large-core-count multicore (the paper's
+/// Graphite-based RISC-V setup, Table I).
+///
+/// The reference configuration is 1024 single-threaded in-order cores at
+/// 1 GHz with 4 KB private L1s, a shared distributed L2 of 8 KB per-core
+/// slices (8 MB total), an invalidation-based MESI directory with
+/// limited-4 sharer tracking, a 2-D mesh with X-Y routing (2-cycle hops,
+/// link contention only), 32 memory controllers, and 320 GB/s DRAM at
+/// 100 ns latency. Each core has a 4-lane 16-bit SIMD unit.
+///
+/// Per §V-D, when scaling the core count *down* the total cache capacity
+/// stays constant (per-core caches grow) and the total DRAM bandwidth
+/// stays constant (fewer controllers): use [`with_cores`](Self::with_cores).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct McConfig {
+    /// Number of cores (one kernel thread per core in the evaluation).
+    pub cores: usize,
+    /// Core clock in GHz (converts cycles to seconds for reporting).
+    pub clock_ghz: f64,
+    /// Private L1 data cache capacity per core, in bytes.
+    pub l1_bytes: usize,
+    /// L1 associativity.
+    pub l1_ways: usize,
+    /// L1 hit latency in cycles.
+    pub l1_latency: u64,
+    /// Shared L2 capacity per core slice, in bytes.
+    pub l2_slice_bytes: usize,
+    /// L2 associativity.
+    pub l2_ways: usize,
+    /// L2 slice access latency in cycles (excluding the mesh).
+    pub l2_latency: u64,
+    /// Maximum sharers tracked exactly by the directory (Limited-4);
+    /// additional readers evict an existing sharer.
+    pub directory_limit: usize,
+    /// Mesh hop latency in cycles (1 router + 1 link in the paper).
+    pub hop_latency: u64,
+    /// Number of memory controllers at the chip boundary.
+    pub memory_controllers: usize,
+    /// DRAM access latency in cycles (100 ns at 1 GHz).
+    pub dram_latency: u64,
+    /// Aggregate DRAM bandwidth in bytes per cycle (320 GB/s at 1 GHz).
+    pub dram_bytes_per_cycle: f64,
+    /// SIMD lanes per core (4 lanes of 16-bit operations in Table I).
+    pub simd_lanes: usize,
+    /// Non-SIMD bookkeeping cycles per processed non-zero (index loads,
+    /// address arithmetic, loop overhead) on the in-order core.
+    pub scalar_cycles_per_nnz: u64,
+    /// Extra cycles per atomic read-modify-write beyond the coherence
+    /// traffic itself (reservation/retry of the CAS loop).
+    pub atomic_overhead: u64,
+}
+
+impl McConfig {
+    /// The paper's Table I configuration at 1024 cores.
+    pub fn table_i() -> Self {
+        Self {
+            cores: 1024,
+            clock_ghz: 1.0,
+            l1_bytes: 4 * 1024,
+            l1_ways: 4,
+            l1_latency: 1,
+            l2_slice_bytes: 8 * 1024,
+            l2_ways: 8,
+            l2_latency: 8,
+            directory_limit: 4,
+            hop_latency: 2,
+            memory_controllers: 32,
+            dram_latency: 100,
+            dram_bytes_per_cycle: 320.0,
+            simd_lanes: 4,
+            scalar_cycles_per_nnz: 6,
+            atomic_overhead: 10,
+        }
+    }
+
+    /// Scales the Table I machine to `cores`, holding total cache capacity
+    /// and total DRAM bandwidth constant (§V-D): per-core L1/L2 grow as the
+    /// core count shrinks, and controllers shrink proportionally.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `cores` is a power of two between 2 and 1024.
+    pub fn with_cores(cores: usize) -> Self {
+        assert!(
+            cores.is_power_of_two() && (2..=1024).contains(&cores),
+            "core count must be a power of two in [2, 1024]"
+        );
+        let scale = 1024 / cores;
+        let base = Self::table_i();
+        Self {
+            cores,
+            l1_bytes: base.l1_bytes * scale,
+            l2_slice_bytes: base.l2_slice_bytes * scale,
+            memory_controllers: (base.memory_controllers / scale).max(1),
+            ..base
+        }
+    }
+
+    /// Mesh side length (smallest square covering the cores).
+    pub fn mesh_side(&self) -> usize {
+        (self.cores as f64).sqrt().ceil() as usize
+    }
+
+    /// Average one-way hop count for uniformly distributed traffic on the
+    /// X-Y routed mesh: `(Nx + Ny) / 3`.
+    pub fn avg_hops(&self) -> f64 {
+        2.0 * self.mesh_side() as f64 / 3.0
+    }
+
+    /// One-way network latency for an average-distance message, in cycles.
+    pub fn avg_network_latency(&self) -> u64 {
+        (self.avg_hops() * self.hop_latency as f64).round() as u64
+    }
+
+    /// Total shared L2 capacity in bytes.
+    pub fn l2_total_bytes(&self) -> usize {
+        self.l2_slice_bytes * self.cores
+    }
+
+    /// SIMD cycles to process one non-zero's multiply-accumulate across a
+    /// `dim`-wide dense row.
+    pub fn simd_cycles_per_nnz(&self, dim: usize) -> u64 {
+        dim.div_ceil(self.simd_lanes) as u64
+    }
+}
+
+impl Default for McConfig {
+    fn default() -> Self {
+        Self::table_i()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_i_matches_paper() {
+        let c = McConfig::table_i();
+        assert_eq!(c.cores, 1024);
+        assert_eq!(c.l1_bytes, 4 * 1024);
+        assert_eq!(c.l2_slice_bytes, 8 * 1024);
+        assert_eq!(c.l2_total_bytes(), 8 * 1024 * 1024); // 8 MB total
+        assert_eq!(c.directory_limit, 4);
+        assert_eq!(c.memory_controllers, 32);
+        assert_eq!(c.dram_latency, 100);
+        assert!((c.dram_bytes_per_cycle - 320.0).abs() < 1e-9);
+        assert_eq!(c.hop_latency, 2);
+        assert_eq!(c.mesh_side(), 32);
+    }
+
+    #[test]
+    fn scaling_preserves_totals() {
+        for cores in [64, 128, 256, 512, 1024] {
+            let c = McConfig::with_cores(cores);
+            assert_eq!(c.cores, cores);
+            assert_eq!(c.l1_bytes * cores, 4 * 1024 * 1024); // 4 MB total L1
+            assert_eq!(c.l2_total_bytes(), 8 * 1024 * 1024);
+            assert!((c.dram_bytes_per_cycle - 320.0).abs() < 1e-9);
+        }
+        assert_eq!(McConfig::with_cores(64).memory_controllers, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_odd_core_counts() {
+        McConfig::with_cores(100);
+    }
+
+    #[test]
+    fn simd_cycles_follow_dimension() {
+        let c = McConfig::table_i();
+        assert_eq!(c.simd_cycles_per_nnz(16), 4);
+        assert_eq!(c.simd_cycles_per_nnz(2), 1);
+        assert_eq!(c.simd_cycles_per_nnz(128), 32);
+    }
+
+    #[test]
+    fn network_latency_grows_with_mesh() {
+        let big = McConfig::with_cores(1024);
+        let small = McConfig::with_cores(64);
+        assert!(big.avg_network_latency() > small.avg_network_latency());
+    }
+}

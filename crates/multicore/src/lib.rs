@@ -1,0 +1,41 @@
+//! Graphite-like trace-driven multicore simulator for the MergePath-SpMM
+//! reproduction (§IV-B / §V-D, Table I of the paper).
+//!
+//! The paper evaluates performance scaling on an MIT-Graphite-based model
+//! of a 1024-core RISC-V multicore. This crate substitutes a deterministic
+//! discrete-event model of the same machine organization: in-order cores
+//! with 4-lane SIMD, private L1s, a shared distributed L2 with a
+//! limited-4 MESI directory, a 2-D mesh with X-Y routing and
+//! link-contention-only timing, and boundary memory controllers
+//! (see DESIGN.md §1).
+//!
+//! SpMM kernels enter as [`mpspmm_core::KernelPlan`]s — the same
+//! decompositions the CPU executors run — with one logical thread pinned
+//! per core, and leave as [`McReport`]s with completion time and a
+//! compute/memory breakdown (Figure 9).
+//!
+//! # Example
+//!
+//! ```
+//! use mpspmm_core::{MergePathSpmm, SpmmKernel};
+//! use mpspmm_graphs::{DatasetSpec, GraphClass};
+//! use mpspmm_multicore::{simulate, McConfig};
+//!
+//! let a = DatasetSpec::custom("demo", GraphClass::PowerLaw, 1_000, 4_000, 80)
+//!     .synthesize(3);
+//! let cfg = McConfig::with_cores(64);
+//! let plan = MergePathSpmm::with_threads(cfg.cores).plan(&a, 16);
+//! let report = simulate(&plan, &a, 16, &cfg);
+//! assert!(report.cycles > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cache;
+mod config;
+mod system;
+
+pub use cache::SetAssocCache;
+pub use config::{McConfig, LINE_BYTES};
+pub use system::{simulate, McReport};

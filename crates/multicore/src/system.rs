@@ -1,0 +1,576 @@
+//! Trace-driven multicore simulation of SpMM kernel plans.
+//!
+//! Each logical thread of a [`KernelPlan`] is pinned to a core (threads
+//! are dealt round-robin when the plan has more threads than cores — the
+//! evaluation uses one thread per core). Cores are advanced with a
+//! conservative discrete-event loop at *segment* granularity: the core
+//! with the earliest clock executes its next segment, issuing its memory
+//! accesses through a private L1, the shared distributed L2 with a
+//! limited-4 MESI directory, the 2-D mesh (X-Y routing, link contention
+//! only), and the memory controllers.
+//!
+//! The model captures the §V-D mechanisms:
+//!
+//! * **atomic ping-pong** — an atomic update needs the line in M state,
+//!   invalidating all sharers; conflicting atomics to the same output row
+//!   serialize on the line's release time (GNNAdvisor's evil-row
+//!   scaling collapse);
+//! * **limited-4 directory** — popular `XW` rows read by more than four
+//!   cores evict earlier sharers, re-exposing misses;
+//! * **mesh growth** — network round trips lengthen as the core count
+//!   (mesh side) grows, which is why memory stalls scale worse than
+//!   compute (Figure 9's breakdown).
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+use mpspmm_core::{Flush, KernelPlan, Segment};
+use mpspmm_sparse::CsrMatrix;
+use serde::{Deserialize, Serialize};
+
+use crate::cache::SetAssocCache;
+use crate::config::{McConfig, LINE_BYTES};
+
+/// Simulation result for one kernel on one machine configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct McReport {
+    /// Parallel completion time in cycles (the slowest core's clock, plus
+    /// any serial carry phase).
+    pub cycles: u64,
+    /// Compute cycles of the critical (slowest) core.
+    pub critical_compute: u64,
+    /// Memory-stall cycles of the critical core.
+    pub critical_memory: u64,
+    /// Mean per-core compute cycles.
+    pub avg_compute: f64,
+    /// Mean per-core memory-stall cycles.
+    pub avg_memory: f64,
+    /// L1 data hit rate across all cores.
+    pub l1_hit_rate: f64,
+    /// Total sharer evictions forced by the limited-4 directory.
+    pub directory_evictions: u64,
+    /// Total cycles cores spent waiting on contended atomic lines.
+    pub atomic_wait_cycles: u64,
+    /// Total DRAM traffic in bytes.
+    pub dram_bytes: u64,
+    /// Aggregate network round-trip cycles across all cores.
+    pub net_cycles: u64,
+    /// Aggregate DRAM-latency cycles across all cores.
+    pub dram_cycles: u64,
+    /// Aggregate memory-controller queueing cycles across all cores.
+    pub queue_cycles: u64,
+    /// Number of cores that executed work.
+    pub active_cores: usize,
+}
+
+impl McReport {
+    /// Fraction of the critical core's time spent in memory stalls.
+    pub fn memory_fraction(&self) -> f64 {
+        let total = self.critical_compute + self.critical_memory;
+        if total == 0 {
+            0.0
+        } else {
+            self.critical_memory as f64 / total as f64
+        }
+    }
+}
+
+/// Directory entry for one cache line.
+#[derive(Debug, Default)]
+struct DirEntry {
+    /// Cores holding the line in shared state (bounded by the directory
+    /// limit).
+    sharers: Vec<u16>,
+    /// Core holding the line in modified state, if any.
+    owner: Option<u16>,
+    /// Cycle at which the last exclusive (atomic) holder releases the
+    /// line; later atomics to the same line queue behind it.
+    release: u64,
+}
+
+/// Logical address spaces, separated so the line numbers never collide.
+#[derive(Clone, Copy)]
+struct AddressMap {
+    a_base: u64,
+    xw_base: u64,
+    out_base: u64,
+    xw_row_bytes: u64,
+}
+
+impl AddressMap {
+    fn new(a: &CsrMatrix<f32>, dim: usize) -> Self {
+        let a_bytes = (a.nnz() * 8 + (a.rows() + 1) * 8) as u64;
+        let xw_row_bytes = (dim * 4) as u64;
+        let xw_bytes = a.cols() as u64 * xw_row_bytes;
+        Self {
+            a_base: 0,
+            xw_base: a_bytes.next_multiple_of(LINE_BYTES as u64),
+            out_base: (a_bytes + xw_bytes).next_multiple_of(LINE_BYTES as u64) * 2,
+            xw_row_bytes,
+        }
+    }
+
+    fn a_line(&self, nz: usize) -> u64 {
+        (self.a_base + nz as u64 * 8) / LINE_BYTES as u64
+    }
+
+    fn xw_lines(&self, col: usize) -> std::ops::Range<u64> {
+        let start = self.xw_base + col as u64 * self.xw_row_bytes;
+        let first = start / LINE_BYTES as u64;
+        let last = (start + self.xw_row_bytes - 1) / LINE_BYTES as u64;
+        first..last + 1
+    }
+
+    fn out_lines(&self, row: usize) -> std::ops::Range<u64> {
+        let start = self.out_base + row as u64 * self.xw_row_bytes;
+        let first = start / LINE_BYTES as u64;
+        let last = (start + self.xw_row_bytes - 1) / LINE_BYTES as u64;
+        first..last + 1
+    }
+}
+
+struct CoreState {
+    clock: u64,
+    compute: u64,
+    memory: u64,
+    l1: SetAssocCache,
+    segments: Vec<Segment>,
+    next_segment: usize,
+    l1_hits: u64,
+    l1_accesses: u64,
+}
+
+/// Shared-fabric state.
+struct Fabric {
+    l2: SetAssocCache,
+    directory: HashMap<u64, DirEntry>,
+    flit_hops: f64,
+    dram_bytes: u64,
+    net_cycles: u64,
+    dram_cycles: u64,
+    queue_cycles: u64,
+    dir_evictions: u64,
+    atomic_waits: u64,
+}
+
+/// Simulates `plan` computing `A × XW` (dense width `dim`) on `cfg`.
+///
+/// Deterministic: identical inputs produce identical reports.
+///
+/// # Panics
+///
+/// Panics if the plan references rows/non-zeros outside `a` (validate the
+/// plan first in tests).
+pub fn simulate(plan: &KernelPlan, a: &CsrMatrix<f32>, dim: usize, cfg: &McConfig) -> McReport {
+    let addr = AddressMap::new(a, dim);
+    let cols = a.col_indices();
+    let side = cfg.mesh_side();
+    let links = (4 * side * side) as f64; // 2 directions × 2 axes per node
+
+    // Assign logical threads to cores in contiguous chunks.
+    let mut cores: Vec<CoreState> = (0..cfg.cores)
+        .map(|_| CoreState {
+            clock: 0,
+            compute: 0,
+            memory: 0,
+            l1: SetAssocCache::new(cfg.l1_bytes, cfg.l1_ways, LINE_BYTES),
+            segments: Vec::new(),
+            next_segment: 0,
+            l1_hits: 0,
+            l1_accesses: 0,
+        })
+        .collect();
+    // Logical threads are dealt to cores round-robin, matching the
+    // fine-grain dynamic scheduling of nnz-splitting kernels (for plans
+    // with exactly one thread per core — the evaluation's MergePath
+    // configuration — this is the identity assignment). Interleaving is
+    // what exposes GNNAdvisor's sharing misses: consecutive neighbor
+    // groups of the same row land on different cores and ping-pong the
+    // output line.
+    let mut carries: Vec<Segment> = Vec::new();
+    for (t, tp) in plan.threads.iter().enumerate() {
+        let core = t % cfg.cores;
+        for seg in &tp.segments {
+            if seg.is_empty() {
+                continue;
+            }
+            if seg.flush == Flush::Carry {
+                carries.push(*seg);
+            }
+            cores[core].segments.push(*seg);
+        }
+    }
+
+    let mut fabric = Fabric {
+        l2: SetAssocCache::new(cfg.l2_total_bytes(), cfg.l2_ways, LINE_BYTES),
+        directory: HashMap::new(),
+        flit_hops: 0.0,
+        dram_bytes: 0,
+        net_cycles: 0,
+        dram_cycles: 0,
+        queue_cycles: 0,
+        dir_evictions: 0,
+        atomic_waits: 0,
+    };
+
+    // Conservative event loop: always advance the earliest core.
+    let mut heap: BinaryHeap<Reverse<(u64, usize)>> = cores
+        .iter()
+        .enumerate()
+        .filter(|(_, c)| !c.segments.is_empty())
+        .map(|(i, _)| Reverse((0u64, i)))
+        .collect();
+    let active_cores = heap.len();
+
+    while let Some(Reverse((clock, c))) = heap.pop() {
+        let seg = {
+            let core = &cores[c];
+            if core.next_segment >= core.segments.len() {
+                continue;
+            }
+            core.segments[core.next_segment]
+        };
+        cores[c].next_segment += 1;
+        debug_assert_eq!(clock, cores[c].clock);
+        execute_segment(c, &seg, cols, &addr, cfg, &mut cores, &mut fabric, side, links);
+        if cores[c].next_segment < cores[c].segments.len() {
+            heap.push(Reverse((cores[c].clock, c)));
+        }
+    }
+
+    // Serial carry phase (merge-path serial-fixup baseline only): one core
+    // walks the carries after the barrier.
+    let barrier = cores.iter().map(|c| c.clock).max().unwrap_or(0);
+    let mut completion = barrier;
+    if !carries.is_empty() {
+        let per_carry = cfg.l2_latency
+            + 2 * cfg.avg_network_latency()
+            + cfg.simd_cycles_per_nnz(dim);
+        completion += carries.len() as u64 * per_carry;
+    }
+
+    let critical = cores
+        .iter()
+        .max_by_key(|c| c.compute + c.memory)
+        .expect("at least one core exists");
+    let l1_total: u64 = cores.iter().map(|c| c.l1_accesses).sum();
+    let l1_hits: u64 = cores.iter().map(|c| c.l1_hits).sum();
+    McReport {
+        cycles: completion,
+        critical_compute: critical.compute,
+        critical_memory: critical.memory,
+        avg_compute: cores.iter().map(|c| c.compute as f64).sum::<f64>() / cfg.cores as f64,
+        avg_memory: cores.iter().map(|c| c.memory as f64).sum::<f64>() / cfg.cores as f64,
+        l1_hit_rate: if l1_total == 0 {
+            0.0
+        } else {
+            l1_hits as f64 / l1_total as f64
+        },
+        directory_evictions: fabric.dir_evictions,
+        atomic_wait_cycles: fabric.atomic_waits,
+        dram_bytes: fabric.dram_bytes,
+        net_cycles: fabric.net_cycles,
+        dram_cycles: fabric.dram_cycles,
+        queue_cycles: fabric.queue_cycles,
+        active_cores,
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn execute_segment(
+    c: usize,
+    seg: &Segment,
+    cols: &[usize],
+    addr: &AddressMap,
+    cfg: &McConfig,
+    cores: &mut [CoreState],
+    fabric: &mut Fabric,
+    side: usize,
+    links: f64,
+) {
+    let simd = cfg.simd_cycles_per_nnz(addr.xw_row_bytes as usize / 4);
+    for (nz, &col) in cols
+        .iter()
+        .enumerate()
+        .take(seg.nz_end)
+        .skip(seg.nz_start)
+    {
+        // A-stream access (values + indices, sequential).
+        let mem = read_line(c, addr.a_line(nz), cfg, cores, fabric, side, links);
+        cores[c].memory += mem;
+        cores[c].clock += mem;
+        // Scattered XW row read.
+        for line in addr.xw_lines(col) {
+            let mem = read_line(c, line, cfg, cores, fabric, side, links);
+            cores[c].memory += mem;
+            cores[c].clock += mem;
+        }
+        // Multiply-accumulate into the thread-local accumulator.
+        let compute = simd + cfg.scalar_cycles_per_nnz;
+        cores[c].compute += compute;
+        cores[c].clock += compute;
+    }
+    // Output flush.
+    match seg.flush {
+        Flush::Regular | Flush::Atomic => {
+            let atomic = seg.flush == Flush::Atomic;
+            for line in addr.out_lines(seg.row) {
+                let mem = write_line(c, line, cfg, cores, fabric, side, links, atomic);
+                cores[c].memory += mem;
+                cores[c].clock += mem;
+            }
+        }
+        // Carries flush in the post-barrier serial phase.
+        Flush::Carry => {}
+    }
+}
+
+fn manhattan(a: usize, b: usize, side: usize) -> u64 {
+    let (ax, ay) = (a % side, a / side);
+    let (bx, by) = (b % side, b / side);
+    (ax.abs_diff(bx) + ay.abs_diff(by)) as u64
+}
+
+/// Current mesh-contention multiplier from running link utilization.
+///
+/// The denominator includes a warm-up constant so the very first burst of
+/// accesses (all cores at clock ≈ 0) does not divide cumulative flits by
+/// a near-zero elapsed time.
+fn contention(fabric: &Fabric, clock: u64, links: f64) -> f64 {
+    let rho = (fabric.flit_hops / (links * (clock + 2_000) as f64)).min(0.9);
+    1.0 / (1.0 - rho)
+}
+
+/// Round-trip network cycles between `c` and a line's home tile.
+fn network_round_trip(
+    c: usize,
+    line: u64,
+    cfg: &McConfig,
+    fabric: &mut Fabric,
+    side: usize,
+    links: f64,
+    clock: u64,
+) -> u64 {
+    let home = (line % (side * side) as u64) as usize;
+    let hops = manhattan(c, home, side);
+    // Request + response, roughly 2 flits each (address + one line).
+    fabric.flit_hops += 4.0 * hops as f64;
+    let raw = 2 * hops * cfg.hop_latency;
+    (raw as f64 * contention(fabric, clock, links)).round() as u64
+}
+
+#[allow(clippy::too_many_arguments)]
+fn read_line(
+    c: usize,
+    line: u64,
+    cfg: &McConfig,
+    cores: &mut [CoreState],
+    fabric: &mut Fabric,
+    side: usize,
+    links: f64,
+) -> u64 {
+    cores[c].l1_accesses += 1;
+    if cores[c].l1.probe(line) {
+        cores[c].l1_hits += 1;
+        return cfg.l1_latency;
+    }
+    let clock = cores[c].clock;
+    let net = network_round_trip(c, line, cfg, fabric, side, links, clock);
+    fabric.net_cycles += net;
+    let mut latency = net + cfg.l2_latency;
+    if !fabric.l2.probe(line) {
+        // DRAM fill: latency plus utilization-based controller queueing
+        // (on the running DRAM traffic rate). A time-ordered queue per
+        // controller would leak fast cores' clocks into laggards through
+        // the shared structure, so — like the mesh — the controllers are
+        // modeled analytically. Fewer controllers serve the same aggregate
+        // bandwidth through wider ports (§V-D), so only utilization
+        // matters.
+        let service = LINE_BYTES as f64 / cfg.dram_bytes_per_cycle
+            * cfg.memory_controllers as f64;
+        let rho = (fabric.dram_bytes as f64
+            / clock.max(1) as f64
+            / cfg.dram_bytes_per_cycle)
+            .min(0.95);
+        let queue_wait = (service * rho / (1.0 - rho)).round() as u64;
+        fabric.dram_bytes += LINE_BYTES as u64;
+        fabric.queue_cycles += queue_wait;
+        fabric.dram_cycles += cfg.dram_latency;
+        latency += queue_wait + cfg.dram_latency;
+        if let Some(evicted) = fabric.l2.insert(line) {
+            fabric.directory.remove(&evicted);
+        }
+    }
+    // Directory: register as sharer under the limited-4 policy.
+    let limit = cfg.directory_limit;
+    let entry = fabric.directory.entry(line).or_default();
+    if entry.owner.is_some() && entry.owner != Some(c as u16) {
+        // Downgrade the modified owner (write-back + transition).
+        entry.owner = None;
+        latency += cfg.l2_latency;
+    }
+    let mut evicted_sharer = None;
+    if !entry.sharers.contains(&(c as u16)) {
+        if entry.sharers.len() >= limit {
+            // Limited-4 overflow: evict the oldest sharer, invalidating
+            // its private copy — the victim's next access to this line
+            // will miss again (the §V-D sharing-miss mechanism).
+            let victim = entry.sharers.remove(0);
+            fabric.dir_evictions += 1;
+            evicted_sharer = Some(victim as usize);
+        }
+        entry.sharers.push(c as u16);
+    }
+    if let Some(victim) = evicted_sharer {
+        cores[victim].l1.invalidate(line);
+    }
+    cores[c].l1.insert(line);
+    latency
+}
+
+#[allow(clippy::too_many_arguments)]
+fn write_line(
+    c: usize,
+    line: u64,
+    cfg: &McConfig,
+    cores: &mut [CoreState],
+    fabric: &mut Fabric,
+    side: usize,
+    links: f64,
+    atomic: bool,
+) -> u64 {
+    cores[c].l1_accesses += 1;
+    let entry = fabric.directory.entry(line).or_default();
+    let already_owner = entry.owner == Some(c as u16) && entry.sharers.is_empty();
+    if already_owner && cores[c].l1.probe(line) {
+        cores[c].l1_hits += 1;
+        return cfg.l1_latency + if atomic { cfg.atomic_overhead } else { 0 };
+    }
+    // Acquire exclusive ownership: wait for the current holder to release
+    // (atomic serialization), invalidate sharers, transfer the line.
+    let mut start = cores[c].clock;
+    if atomic && entry.release > start {
+        let wait = entry.release - start;
+        fabric.atomic_waits += wait;
+        start = entry.release;
+    }
+    let sharers: Vec<u16> = std::mem::take(&mut entry.sharers);
+    let previous_owner = entry.owner.replace(c as u16);
+    let sharer_cost = sharers.len() as u64 * cfg.hop_latency;
+    // Invalidate every sharer's (and the previous owner's) private copy.
+    for s in sharers {
+        if s as usize != c {
+            cores[s as usize].l1.invalidate(line);
+        }
+    }
+    if let Some(prev) = previous_owner {
+        if prev as usize != c {
+            cores[prev as usize].l1.invalidate(line);
+        }
+    }
+    let net = network_round_trip(c, line, cfg, fabric, side, links, start);
+    let latency = (start - cores[c].clock) + net + cfg.l2_latency + sharer_cost
+        + if atomic { cfg.atomic_overhead } else { 0 };
+    if atomic {
+        let entry = fabric.directory.entry(line).or_default();
+        entry.release = start + net + cfg.l2_latency + cfg.atomic_overhead;
+    }
+    fabric.l2.insert(line);
+    cores[c].l1.insert(line);
+    latency
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpspmm_core::{MergePathSpmm, NnzSplitSpmm, SpmmKernel};
+    use mpspmm_graphs::{DatasetSpec, GraphClass};
+
+    fn graph(nodes: usize, nnz: usize, max_deg: usize) -> CsrMatrix<f32> {
+        DatasetSpec::custom("t", GraphClass::PowerLaw, nodes, nnz, max_deg).synthesize(5)
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = graph(500, 2_000, 100);
+        let cfg = McConfig::with_cores(64);
+        let plan = MergePathSpmm::with_threads(64).plan(&a, 16);
+        let r1 = simulate(&plan, &a, 16, &cfg);
+        let r2 = simulate(&plan, &a, 16, &cfg);
+        assert_eq!(r1, r2);
+        assert!(r1.cycles > 0);
+    }
+
+    #[test]
+    fn more_cores_speed_up_balanced_kernels() {
+        let a = graph(4_000, 16_000, 200);
+        let small = simulate(
+            &MergePathSpmm::with_threads(64).plan(&a, 16),
+            &a,
+            16,
+            &McConfig::with_cores(64),
+        );
+        let big = simulate(
+            &MergePathSpmm::with_threads(512).plan(&a, 16),
+            &a,
+            16,
+            &McConfig::with_cores(512),
+        );
+        assert!(
+            big.cycles < small.cycles,
+            "512 cores ({}) should beat 64 cores ({})",
+            big.cycles,
+            small.cycles
+        );
+    }
+
+    #[test]
+    fn atomic_contention_appears_for_gnnadvisor_on_evil_rows() {
+        // One evil row: GNNAdvisor's many NGs hammer the same output line.
+        let a = graph(2_000, 10_000, 1_500);
+        let cfg = McConfig::with_cores(256);
+        let gnn = simulate(&NnzSplitSpmm::new().plan(&a, 16), &a, 16, &cfg);
+        let mp = simulate(&MergePathSpmm::with_threads(256).plan(&a, 16), &a, 16, &cfg);
+        assert!(
+            gnn.atomic_wait_cycles > mp.atomic_wait_cycles,
+            "GNNAdvisor waits {} vs MergePath {}",
+            gnn.atomic_wait_cycles,
+            mp.atomic_wait_cycles
+        );
+    }
+
+    #[test]
+    fn limited_directory_evicts_sharers_of_hub_rows() {
+        // Power-law columns: hub XW rows are read by many cores.
+        let a = graph(2_000, 12_000, 300);
+        let cfg = McConfig::with_cores(256);
+        let report = simulate(&MergePathSpmm::with_threads(256).plan(&a, 16), &a, 16, &cfg);
+        assert!(
+            report.directory_evictions > 0,
+            "hub rows must overflow the limited-4 directory"
+        );
+    }
+
+    #[test]
+    fn report_breakdown_is_consistent() {
+        let a = graph(1_000, 5_000, 100);
+        let cfg = McConfig::with_cores(64);
+        let r = simulate(&MergePathSpmm::with_threads(64).plan(&a, 16), &a, 16, &cfg);
+        assert!(r.critical_compute > 0);
+        assert!(r.critical_memory > 0);
+        assert!((0.0..=1.0).contains(&r.memory_fraction()));
+        assert!((0.0..=1.0).contains(&r.l1_hit_rate));
+        assert!(r.l1_hit_rate > 0.1, "A-stream should produce L1 hits");
+        assert!(r.cycles >= r.critical_compute);
+        assert_eq!(r.active_cores, 64);
+    }
+
+    #[test]
+    fn empty_plan_finishes_immediately() {
+        let a = CsrMatrix::<f32>::zeros(8, 8);
+        let cfg = McConfig::with_cores(64);
+        let plan = MergePathSpmm::with_threads(4).plan(&a, 16);
+        let r = simulate(&plan, &a, 16, &cfg);
+        assert_eq!(r.cycles, 0);
+    }
+}

@@ -1,0 +1,97 @@
+//! Property-based tests for the multicore simulator.
+
+use mpspmm_core::{MergePathSpmm, NnzSplitSpmm, RowSplitSpmm, SpmmKernel};
+use mpspmm_multicore::{simulate, McConfig, SetAssocCache};
+use mpspmm_sparse::CsrMatrix;
+use proptest::collection::btree_set;
+use proptest::prelude::*;
+
+fn arb_graph(max_n: usize, max_nnz: usize) -> impl Strategy<Value = CsrMatrix<f32>> {
+    (4..=max_n).prop_flat_map(move |n| {
+        btree_set((0..n, 0..n), 1..=max_nnz.min(n * n)).prop_map(move |coords| {
+            let triplets: Vec<(usize, usize, f32)> =
+                coords.into_iter().map(|(r, c)| (r, c, 1.0)).collect();
+            CsrMatrix::from_triplets(n, n, &triplets).unwrap()
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn simulation_is_deterministic(a in arb_graph(40, 160), cores_pow in 2u32..6) {
+        let cores = 1usize << cores_pow;
+        let cfg = McConfig::with_cores(cores.max(2));
+        for plan in [
+            MergePathSpmm::with_threads(cfg.cores).plan(&a, 16),
+            NnzSplitSpmm::with_ng_size(3).plan(&a, 16),
+            RowSplitSpmm::with_threads(cfg.cores).plan(&a, 16),
+        ] {
+            let r1 = simulate(&plan, &a, 16, &cfg);
+            let r2 = simulate(&plan, &a, 16, &cfg);
+            prop_assert_eq!(r1, r2);
+        }
+    }
+
+    #[test]
+    fn report_invariants(a in arb_graph(40, 160)) {
+        let cfg = McConfig::with_cores(16);
+        let plan = MergePathSpmm::with_threads(16).plan(&a, 16);
+        let r = simulate(&plan, &a, 16, &cfg);
+        prop_assert!(r.cycles >= r.critical_compute);
+        prop_assert!(r.cycles >= r.critical_memory.min(r.cycles));
+        prop_assert!((0.0..=1.0).contains(&r.l1_hit_rate));
+        prop_assert!((0.0..=1.0).contains(&r.memory_fraction()));
+        // The critical core maximizes compute+memory; its memory half must
+        // therefore be at least the average memory when memory dominates.
+        prop_assert!(r.avg_memory <= (r.critical_compute + r.critical_memory) as f64 + 1e-9);
+        prop_assert!(r.dram_bytes.is_multiple_of(64), "traffic is line-granular");
+        prop_assert!(r.active_cores <= cfg.cores);
+    }
+
+    #[test]
+    fn completion_covers_critical_core(a in arb_graph(30, 120), dim in prop_oneof![Just(4usize), Just(16), Just(32)]) {
+        let cfg = McConfig::with_cores(8);
+        let plan = MergePathSpmm::with_threads(8).plan(&a, dim);
+        let r = simulate(&plan, &a, dim, &cfg);
+        prop_assert!(
+            r.cycles >= r.critical_compute + r.critical_memory,
+            "completion {} must cover the critical core {} + {}",
+            r.cycles,
+            r.critical_compute,
+            r.critical_memory
+        );
+    }
+
+    #[test]
+    fn cache_probe_insert_consistency(lines in proptest::collection::vec(0u64..256, 1..200)) {
+        let mut cache = SetAssocCache::new(4096, 4, 64);
+        let mut inserted = std::collections::HashSet::new();
+        for &l in &lines {
+            cache.insert(l);
+            inserted.insert(l);
+            // A line just inserted always probes as present.
+            prop_assert!(cache.probe(l));
+        }
+        // Anything never inserted never probes as present.
+        for probe in 256..300u64 {
+            prop_assert!(!cache.probe(probe));
+        }
+        let _ = inserted;
+    }
+
+    #[test]
+    fn cache_invalidate_removes(lines in btree_set(0u64..64, 1..32)) {
+        // 0..64 lines all fit in a 4 KB / 4-way / 64 B cache (64 lines).
+        let mut cache = SetAssocCache::new(4096, 4, 64);
+        for &l in &lines {
+            cache.insert(l);
+        }
+        for &l in &lines {
+            prop_assert!(cache.probe(l), "line {l} fits and must be present");
+            prop_assert!(cache.invalidate(l));
+            prop_assert!(!cache.probe(l));
+        }
+    }
+}

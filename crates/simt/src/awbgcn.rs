@@ -1,0 +1,162 @@
+//! Analytic model of the AWB-GCN hardware accelerator (Figure 2 reference
+//! point).
+//!
+//! AWB-GCN [Geng et al., MICRO'20] implements 4096 multiply-accumulate
+//! processing elements at 330 MHz on an FPGA, with a hardware auto-tuner
+//! that detects evil rows at runtime and dedicates extra PEs to them. The
+//! MergePath-SpMM paper does not re-simulate AWB-GCN; it quotes the
+//! `A×(XW)` execution times published in AWB-GCN's own Figure 15 (4.3 µs
+//! for Cora, 6.3 µs for Citeseer) and reasons about the rest. We mirror
+//! that: a small published-value table for the quoted graphs plus an
+//! analytic fallback that captures the two mechanisms the paper leans on —
+//! a fixed fill/drain overhead that dominates small graphs (where AWB-GCN
+//! wins) and an auto-tuner imbalance penalty that grows with the evil-row
+//! ratio but saturates (why AWB-GCN loses ~6× on Nell).
+
+use mpspmm_sparse::stats::DegreeStats;
+use serde::{Deserialize, Serialize};
+
+/// AWB-GCN accelerator parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AwbGcnConfig {
+    /// Multiply-accumulate processing elements (4096 in the paper).
+    pub pes: f64,
+    /// Accelerator clock in GHz (0.33 in the paper).
+    pub clock_ghz: f64,
+    /// Fixed pipeline fill/drain + auto-tuner bring-up cycles.
+    pub overhead_cycles: f64,
+    /// Per-row handling cycles (row dispatch and accumulator turnaround),
+    /// scaled by `rows × dim / PEs`.
+    pub row_factor: f64,
+    /// Evil-row ratio (`max_degree / avg_degree`) divisor feeding the
+    /// imbalance penalty.
+    pub imbalance_scale: f64,
+    /// Cap on the imbalance penalty (the auto-tuner has "very limited
+    /// success" on extreme power laws, but never *loses* work).
+    pub imbalance_cap: f64,
+}
+
+impl AwbGcnConfig {
+    /// The configuration evaluated in the paper (4096 PEs @ 330 MHz).
+    pub fn paper() -> Self {
+        Self {
+            pes: 4096.0,
+            clock_ghz: 0.33,
+            overhead_cycles: 1300.0,
+            row_factor: 75.0,
+            imbalance_scale: 25.0,
+            imbalance_cap: 30.0,
+        }
+    }
+}
+
+impl Default for AwbGcnConfig {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+/// Published `A×(XW)` execution times (µs) quoted by the MergePath-SpMM
+/// paper from AWB-GCN's Figure 15.
+const PUBLISHED_MICROS: [(&str, f64); 2] = [("Cora", 4.3), ("Citeseer", 6.3)];
+
+/// Simulated AWB-GCN `A×(XW)` time in microseconds.
+///
+/// If `dataset_name` matches a published Figure 15 entry (and `dim`
+/// matches the 16-wide hidden dimension those numbers use), the published
+/// value is returned; otherwise the analytic model prices the kernel.
+pub fn awbgcn_micros(
+    dataset_name: &str,
+    stats: &DegreeStats,
+    dim: usize,
+    cfg: &AwbGcnConfig,
+) -> f64 {
+    if dim == 16 {
+        if let Some(&(_, micros)) = PUBLISHED_MICROS
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(dataset_name))
+        {
+            return micros;
+        }
+    }
+    analytic_micros(stats, dim, cfg)
+}
+
+/// The analytic fallback: balanced MAC work inflated by the auto-tuner's
+/// residual imbalance, plus fixed overhead.
+pub fn analytic_micros(stats: &DegreeStats, dim: usize, cfg: &AwbGcnConfig) -> f64 {
+    let macs = stats.nnz as f64 * dim as f64;
+    let row_slots = stats.rows as f64 * dim as f64;
+    let imbalance = 1.0 + (stats.evil_row_ratio() / cfg.imbalance_scale).min(cfg.imbalance_cap);
+    let cycles = cfg.overhead_cycles
+        + row_slots / cfg.pes * cfg.row_factor
+        + macs / cfg.pes * imbalance;
+    cycles / (cfg.clock_ghz * 1000.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(rows: usize, nnz: usize, max: usize) -> DegreeStats {
+        DegreeStats {
+            rows,
+            nnz,
+            avg: nnz as f64 / rows as f64,
+            max,
+            min: 0,
+            empty_rows: 0,
+            gini: 0.5,
+            p99: max,
+        }
+    }
+
+    #[test]
+    fn published_values_are_quoted() {
+        let cora = stats(2_708, 10_556, 168);
+        assert_eq!(awbgcn_micros("Cora", &cora, 16, &AwbGcnConfig::paper()), 4.3);
+        assert_eq!(
+            awbgcn_micros("citeseer", &stats(3_327, 9_228, 99), 16, &AwbGcnConfig::paper()),
+            6.3
+        );
+    }
+
+    #[test]
+    fn published_values_only_apply_at_dim16() {
+        let cora = stats(2_708, 10_556, 168);
+        let cfg = AwbGcnConfig::paper();
+        let at64 = awbgcn_micros("Cora", &cora, 64, &cfg);
+        assert_ne!(at64, 4.3);
+        assert!((at64 - analytic_micros(&cora, 64, &cfg)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn imbalance_penalty_grows_then_saturates() {
+        let cfg = AwbGcnConfig::paper();
+        let even = analytic_micros(&stats(10_000, 40_000, 8), 16, &cfg);
+        let skewed = analytic_micros(&stats(10_000, 40_000, 2_000), 16, &cfg);
+        let extreme = analytic_micros(&stats(10_000, 40_000, 9_999), 16, &cfg);
+        assert!(skewed > even);
+        assert!(extreme >= skewed);
+        // Cap: the penalty cannot exceed (1 + cap)×.
+        assert!(extreme / even < 1.0 + cfg.imbalance_cap + 0.5);
+    }
+
+    #[test]
+    fn fixed_overhead_dominates_tiny_graphs() {
+        let cfg = AwbGcnConfig::paper();
+        let tiny = analytic_micros(&stats(100, 300, 10), 16, &cfg);
+        // 1300 cycles at 330 MHz ≈ 3.9 µs floor.
+        assert!(tiny > 3.9);
+    }
+
+    #[test]
+    fn work_term_scales_with_nnz_and_dim() {
+        let cfg = AwbGcnConfig::paper();
+        let base = analytic_micros(&stats(10_000, 100_000, 50), 16, &cfg);
+        let more_nnz = analytic_micros(&stats(10_000, 200_000, 50), 16, &cfg);
+        let more_dim = analytic_micros(&stats(10_000, 100_000, 50), 64, &cfg);
+        assert!(more_nnz > base);
+        assert!(more_dim > base);
+    }
+}

@@ -1,0 +1,194 @@
+//! High-level GPU kernel simulation: couples the core crate's work
+//! decompositions to the SIMT lowering and timing engine.
+
+use mpspmm_core::{
+    default_cost_for_dim, thread_count, MergePathSerialFixup, MergePathSpmm, NnzSplitSpmm,
+    RowSplitSpmm, SpmmKernel, MIN_THREADS,
+};
+use mpspmm_sparse::CsrMatrix;
+use serde::{Deserialize, Serialize};
+
+use crate::config::GpuConfig;
+use crate::engine::{simulate, SimReport};
+use crate::lower::{lower_with_policy, LoweringPolicy};
+
+/// A GPU SpMM kernel configuration to simulate (one bar of Figures 2/4/7).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum GpuKernel {
+    /// The proposed MergePath-SpMM (Algorithm 2).
+    MergePath {
+        /// Merge-path cost; `None` uses the per-dimension Figure 6 table.
+        cost: Option<usize>,
+    },
+    /// GNNAdvisor nnz-splitting.
+    GnnAdvisor {
+        /// `true` = GNNAdvisor-opt: pack several neighbor groups per warp
+        /// when the dimension is below the SIMD width (§IV-A).
+        opt: bool,
+        /// Neighbor-group size; `None` uses the average degree (paper
+        /// default).
+        ng_size: Option<usize>,
+    },
+    /// Row-splitting over contiguous row chunks (one row per thread).
+    RowSplit,
+    /// Merge-path with the serial fix-up phase (the Figure 2 "merge-path"
+    /// baseline).
+    SerialFixup {
+        /// Logical threads; `None` uses the "few hundred warps" heuristic
+        /// the original implementation favours.
+        threads: Option<usize>,
+    },
+}
+
+impl GpuKernel {
+    /// The figure label of this kernel.
+    pub fn name(&self) -> &'static str {
+        match self {
+            GpuKernel::MergePath { .. } => "MergePath-SpMM",
+            GpuKernel::GnnAdvisor { opt: false, .. } => "GNNAdvisor",
+            GpuKernel::GnnAdvisor { opt: true, .. } => "GNNAdvisor-opt",
+            GpuKernel::RowSplit => "row-splitting",
+            GpuKernel::SerialFixup { .. } => "merge-path (serial fixup)",
+        }
+    }
+
+    /// Simulates this kernel computing `A × XW` at dense dimension `dim`.
+    pub fn simulate(&self, a: &CsrMatrix<f32>, dim: usize, cfg: &GpuConfig) -> SimReport {
+        let (plan, policy) = match *self {
+            GpuKernel::MergePath { cost } => {
+                let cost = cost.unwrap_or_else(|| default_cost_for_dim(dim));
+                let kernel = MergePathSpmm::with_cost(cost);
+                (kernel.plan(a, dim), LoweringPolicy::merge_path())
+            }
+            GpuKernel::GnnAdvisor { opt, ng_size } => {
+                let kernel = match ng_size {
+                    Some(s) => NnzSplitSpmm::with_ng_size(s),
+                    None => NnzSplitSpmm::new(),
+                };
+                let policy = if opt {
+                    LoweringPolicy::gnnadvisor_opt()
+                } else {
+                    LoweringPolicy::gnnadvisor()
+                };
+                (kernel.plan(a, dim), policy)
+            }
+            GpuKernel::RowSplit => {
+                let kernel = RowSplitSpmm::with_threads(a.rows().max(1));
+                (kernel.plan(a, dim), LoweringPolicy::merge_path())
+            }
+            GpuKernel::SerialFixup { threads } => {
+                let threads = threads.unwrap_or_else(|| serial_fixup_threads(a.merge_items()));
+                let kernel = MergePathSerialFixup::with_threads(threads);
+                (kernel.plan(a, dim), LoweringPolicy::merge_path())
+            }
+        };
+        let run = lower_with_policy(&plan, dim, cfg.lanes, policy, a.cols());
+        simulate(&run, cfg)
+    }
+
+    /// Number of logical threads MergePath-SpMM spawns for this matrix at
+    /// `dim` (for reporting).
+    pub fn merge_path_threads(a: &CsrMatrix<f32>, dim: usize, cost: Option<usize>) -> usize {
+        let cost = cost.unwrap_or_else(|| default_cost_for_dim(dim));
+        thread_count(a.merge_items(), cost, MIN_THREADS)
+    }
+}
+
+/// The original merge-path implementation tops out at "a few hundred
+/// warps" (§II): its thread count grows slowly with the input and is
+/// capped, because more threads mean more spanning rows in the serial
+/// phase.
+fn serial_fixup_threads(merge_items: usize) -> usize {
+    (merge_items / 256).clamp(128, 1024)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpspmm_graphs::{DatasetSpec, GraphClass};
+
+    fn powerlaw(nodes: usize, nnz: usize, max_deg: usize) -> CsrMatrix<f32> {
+        DatasetSpec::custom("t", GraphClass::PowerLaw, nodes, nnz, max_deg).synthesize(11)
+    }
+
+    #[test]
+    fn all_kernels_simulate_deterministically() {
+        let a = powerlaw(2_000, 8_000, 200);
+        let cfg = GpuConfig::rtx6000();
+        for k in [
+            GpuKernel::MergePath { cost: None },
+            GpuKernel::GnnAdvisor {
+                opt: false,
+                ng_size: None,
+            },
+            GpuKernel::GnnAdvisor {
+                opt: true,
+                ng_size: None,
+            },
+            GpuKernel::RowSplit,
+            GpuKernel::SerialFixup { threads: None },
+        ] {
+            let r1 = k.simulate(&a, 16, &cfg);
+            let r2 = k.simulate(&a, 16, &cfg);
+            assert_eq!(r1, r2, "{} must be deterministic", k.name());
+            assert!(r1.micros > 0.0);
+        }
+    }
+
+    #[test]
+    fn opt_beats_baseline_at_small_dims() {
+        // §V: GNNAdvisor-opt outperforms GNNAdvisor by packing two NGs per
+        // warp at dimension 16.
+        let a = powerlaw(5_000, 25_000, 400);
+        let cfg = GpuConfig::rtx6000();
+        let base = GpuKernel::GnnAdvisor {
+            opt: false,
+            ng_size: None,
+        }
+        .simulate(&a, 16, &cfg);
+        let opt = GpuKernel::GnnAdvisor {
+            opt: true,
+            ng_size: None,
+        }
+        .simulate(&a, 16, &cfg);
+        assert!(
+            opt.cycles < base.cycles,
+            "opt {} vs base {}",
+            opt.cycles,
+            base.cycles
+        );
+    }
+
+    #[test]
+    fn serial_fixup_has_serial_phase_on_power_law() {
+        let a = powerlaw(2_000, 8_000, 400);
+        let cfg = GpuConfig::rtx6000();
+        let report = GpuKernel::SerialFixup { threads: None }.simulate(&a, 16, &cfg);
+        assert!(report.serial_cycles > 0.0);
+        let mp = GpuKernel::MergePath { cost: None }.simulate(&a, 16, &cfg);
+        assert_eq!(mp.serial_cycles, 0.0);
+    }
+
+    #[test]
+    fn row_split_suffers_on_evil_rows() {
+        // A graph with one huge row: row-splitting's longest warp chain
+        // dwarfs MergePath's balanced chains.
+        let a = powerlaw(4_000, 16_000, 2_000);
+        let cfg = GpuConfig::rtx6000();
+        let rs = GpuKernel::RowSplit.simulate(&a, 16, &cfg);
+        let mp = GpuKernel::MergePath { cost: None }.simulate(&a, 16, &cfg);
+        assert!(
+            rs.cycles > mp.cycles,
+            "row-split {} should lose to merge-path {}",
+            rs.cycles,
+            mp.cycles
+        );
+    }
+
+    #[test]
+    fn serial_fixup_thread_heuristic_is_clamped() {
+        assert_eq!(serial_fixup_threads(1_000), 128);
+        assert_eq!(serial_fixup_threads(256 * 512), 512);
+        assert_eq!(serial_fixup_threads(100_000_000), 1024);
+    }
+}

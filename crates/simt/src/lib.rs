@@ -1,0 +1,41 @@
+//! Deterministic GPU (SIMT) machine model for the MergePath-SpMM
+//! reproduction, plus analytic models of the AWB-GCN accelerator and the
+//! cuSPARSE vendor library.
+//!
+//! The paper's GPU evaluation (NVidia Quadro RTX 6000, §IV-A) is
+//! substituted by this model — see DESIGN.md §1. Kernels are lowered from
+//! the *same* [`mpspmm_core::KernelPlan`] decompositions that drive the
+//! real CPU executors, mapped onto warps per §III-C ([`lower`]), and timed
+//! by a bounded-resource engine ([`engine::simulate`]) capturing latency
+//! hiding, atomic contention, bandwidth, and serial fix-up phases.
+//!
+//! # Example
+//!
+//! ```
+//! use mpspmm_graphs::{DatasetSpec, GraphClass};
+//! use mpspmm_simt::{GpuConfig, GpuKernel};
+//!
+//! let a = DatasetSpec::custom("demo", GraphClass::PowerLaw, 2_000, 8_000, 300)
+//!     .synthesize(7);
+//! let cfg = GpuConfig::rtx6000();
+//! let mp = GpuKernel::MergePath { cost: None }.simulate(&a, 16, &cfg);
+//! let gnn = GpuKernel::GnnAdvisor { opt: false, ng_size: None }.simulate(&a, 16, &cfg);
+//! assert!(mp.micros > 0.0 && gnn.micros > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod awbgcn;
+mod config;
+pub mod engine;
+mod kernels;
+mod lower;
+pub mod vendor;
+mod warp;
+
+pub use config::GpuConfig;
+pub use engine::{Bound, SimReport};
+pub use kernels::GpuKernel;
+pub use lower::{lower, lower_with_policy, LoweringPolicy};
+pub use warp::{KernelRun, WarpWork};

@@ -1,0 +1,276 @@
+//! Lowering [`KernelPlan`]s to warp-level work (§III-C thread→SIMD
+//! mapping).
+//!
+//! Dimension-to-lane mapping regimes:
+//!
+//! * `dim == lanes`: one logical thread per warp.
+//! * `dim > lanes`: either **replicate** each logical thread across
+//!   `ceil(dim/lanes)` warps, one per 32-wide dimension slice (§III-C2,
+//!   MergePath-SpMM), or **serialize** the extra slices inside a single
+//!   warp (GNNAdvisor's behaviour, §IV-A).
+//! * `dim < lanes`: either **pack** `lanes/dim` logical threads into one
+//!   warp, advancing in lockstep at the pace of the longest (§III-C3,
+//!   MergePath-SpMM and GNNAdvisor-opt), or give each thread a whole warp
+//!   and waste the remaining lanes (plain GNNAdvisor).
+
+use mpspmm_core::{Flush, KernelPlan, SimdMapping};
+
+use crate::warp::{KernelRun, WarpWork};
+
+/// How a kernel maps logical threads onto warps outside the
+/// `dim == lanes` sweet spot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LoweringPolicy {
+    /// Pack several logical threads per warp when `dim < lanes`.
+    pub pack_small_dims: bool,
+    /// Replicate threads across slice warps when `dim > lanes`
+    /// (otherwise slices serialize inside one warp).
+    pub replicate_large_dims: bool,
+}
+
+impl LoweringPolicy {
+    /// MergePath-SpMM (and row-splitting): pack small dims, replicate
+    /// large dims (§III-C).
+    pub fn merge_path() -> Self {
+        Self {
+            pack_small_dims: true,
+            replicate_large_dims: true,
+        }
+    }
+
+    /// Plain GNNAdvisor: no packing (idle lanes below 32 dims), slices
+    /// serialized within the warp above 32 dims (§IV-A).
+    pub fn gnnadvisor() -> Self {
+        Self {
+            pack_small_dims: false,
+            replicate_large_dims: false,
+        }
+    }
+
+    /// GNNAdvisor-opt: packs neighbor groups per warp at small dims, still
+    /// serializes large dims in-warp.
+    pub fn gnnadvisor_opt() -> Self {
+        Self {
+            pack_small_dims: true,
+            replicate_large_dims: false,
+        }
+    }
+}
+
+/// Lowers a kernel plan with the MergePath-SpMM policy.
+pub fn lower(plan: &KernelPlan, dim: usize, lanes: usize, xw_rows: usize) -> KernelRun {
+    lower_with_policy(plan, dim, lanes, LoweringPolicy::merge_path(), xw_rows)
+}
+
+/// Lowers a kernel plan for dense dimension `dim` on `lanes`-wide warps
+/// under the given policy. `xw_rows` sizes the scattered-access working
+/// set (the dense operand's row count).
+pub fn lower_with_policy(
+    plan: &KernelPlan,
+    dim: usize,
+    lanes: usize,
+    policy: LoweringPolicy,
+    xw_rows: usize,
+) -> KernelRun {
+    assert!(dim > 0, "dimension must be positive");
+    let mapping = SimdMapping::for_dim(dim, lanes);
+    let slices = mapping.warps_per_thread as u64;
+    let mut warps = Vec::new();
+    let mut total_carries = 0u64;
+
+    // Per-logical-thread raw work.
+    let thread_work: Vec<WarpWork> = plan
+        .threads
+        .iter()
+        .map(|tp| {
+            let mut w = WarpWork {
+                packed: 1,
+                ..WarpWork::default()
+            };
+            for seg in &tp.segments {
+                if seg.is_empty() {
+                    continue;
+                }
+                let len = seg.len() as u64;
+                w.steps += len;
+                w.mem_ops += len;
+                match seg.flush {
+                    Flush::Regular => w.regular_flushes += 1,
+                    Flush::Atomic => w.atomic_rows.push(seg.row),
+                    Flush::Carry => w.carry_flushes += 1,
+                }
+            }
+            w
+        })
+        .collect();
+
+    if slices > 1 {
+        if policy.replicate_large_dims {
+            // One warp per 32-dim slice; each slice re-walks the
+            // non-zeros for its own dimensions and flushes its share.
+            for tw in &thread_work {
+                total_carries += tw.carry_flushes * slices;
+                for _ in 0..slices {
+                    warps.push(tw.clone());
+                }
+            }
+        } else {
+            // Slices serialized inside one warp: the warp issues `slices`
+            // passes worth of steps, loads, and flushes.
+            for tw in &thread_work {
+                total_carries += tw.carry_flushes * slices;
+                let mut w = WarpWork {
+                    steps: tw.steps * slices,
+                    mem_ops: tw.mem_ops * slices,
+                    regular_flushes: tw.regular_flushes * slices,
+                    carry_flushes: tw.carry_flushes * slices,
+                    atomic_rows: Vec::with_capacity(tw.atomic_rows.len() * slices as usize),
+                    packed: 1,
+                };
+                for _ in 0..slices {
+                    w.atomic_rows.extend_from_slice(&tw.atomic_rows);
+                }
+                warps.push(w);
+            }
+        }
+    } else if mapping.threads_per_warp > 1 && policy.pack_small_dims {
+        // dim < lanes, packed: groups advance at the slowest member's
+        // pace; memory operations and flushes are issued by every member.
+        for group in thread_work.chunks(mapping.threads_per_warp) {
+            let mut w = WarpWork {
+                steps: group.iter().map(|t| t.steps).max().unwrap_or(0),
+                packed: group.len() as u32,
+                ..WarpWork::default()
+            };
+            for t in group {
+                w.mem_ops += t.mem_ops;
+                w.regular_flushes += t.regular_flushes;
+                w.atomic_rows.extend_from_slice(&t.atomic_rows);
+                w.carry_flushes += t.carry_flushes;
+                total_carries += t.carry_flushes;
+            }
+            warps.push(w);
+        }
+    } else {
+        // One logical thread per warp (dim == lanes, or unpacked
+        // baseline wasting idle lanes).
+        for tw in &thread_work {
+            total_carries += tw.carry_flushes;
+        }
+        warps = thread_work;
+    }
+
+    KernelRun {
+        warps,
+        dim,
+        xw_rows,
+        // The SpMM operand is a square adjacency matrix, so the output has
+        // as many rows as XW.
+        out_rows: xw_rows,
+        total_carries,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpspmm_core::{Segment, ThreadPlan};
+
+    fn seg(row: usize, nz_start: usize, nz_end: usize, flush: Flush) -> Segment {
+        Segment {
+            row,
+            nz_start,
+            nz_end,
+            flush,
+        }
+    }
+
+    fn plan_with_nnz(per_thread: &[u64]) -> KernelPlan {
+        let mut nz = 0usize;
+        KernelPlan {
+            threads: per_thread
+                .iter()
+                .map(|&n| {
+                    let s = seg(0, nz, nz + n as usize, Flush::Atomic);
+                    nz += n as usize;
+                    ThreadPlan { segments: vec![s] }
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn dim_equals_lanes_is_one_to_one() {
+        let plan = plan_with_nnz(&[3, 5]);
+        let run = lower(&plan, 32, 32, 100);
+        assert_eq!(run.warps.len(), 2);
+        assert_eq!(run.warps[0].steps, 3);
+        assert_eq!(run.warps[1].steps, 5);
+    }
+
+    #[test]
+    fn dim_above_lanes_replicates_threads() {
+        // §III-C2: "If the dimension size is 64, each thread is executed
+        // using two warps."
+        let plan = plan_with_nnz(&[4]);
+        let run = lower(&plan, 64, 32, 100);
+        assert_eq!(run.warps.len(), 2);
+        assert!(run.warps.iter().all(|w| w.steps == 4));
+        let run = lower(&plan, 128, 32, 100);
+        assert_eq!(run.warps.len(), 4);
+    }
+
+    #[test]
+    fn dim_above_lanes_serializes_for_gnnadvisor() {
+        let plan = plan_with_nnz(&[4]);
+        let run = lower_with_policy(&plan, 64, 32, LoweringPolicy::gnnadvisor(), 100);
+        assert_eq!(run.warps.len(), 1);
+        assert_eq!(run.warps[0].steps, 8, "two slices serialized in-warp");
+        assert_eq!(run.warps[0].atomic_rows.len(), 2);
+    }
+
+    #[test]
+    fn dim_below_lanes_packed_takes_max_steps() {
+        // §III-C3: dim 16 → two threads per warp; divergence means the
+        // warp advances at the slower thread's pace.
+        let plan = plan_with_nnz(&[3, 7, 2]);
+        let run = lower(&plan, 16, 32, 100);
+        assert_eq!(run.warps.len(), 2);
+        assert_eq!(run.warps[0].steps, 7);
+        assert_eq!(run.warps[0].mem_ops, 10);
+        assert_eq!(run.warps[0].atomic_rows.len(), 2);
+        assert_eq!(run.warps[1].steps, 2);
+    }
+
+    #[test]
+    fn unpacked_baseline_wastes_lanes() {
+        let plan = plan_with_nnz(&[3, 7, 2]);
+        let run = lower_with_policy(&plan, 16, 32, LoweringPolicy::gnnadvisor(), 100);
+        assert_eq!(run.warps.len(), 3, "GNNAdvisor baseline: one NG per warp");
+        assert_eq!(run.warps[1].steps, 7);
+    }
+
+    #[test]
+    fn dim_two_packs_sixteen_threads() {
+        let plan = plan_with_nnz(&[1; 32]);
+        let run = lower(&plan, 2, 32, 10);
+        assert_eq!(run.warps.len(), 2);
+        assert_eq!(run.warps[0].mem_ops, 16);
+    }
+
+    #[test]
+    fn carries_are_counted_and_scaled_by_slices() {
+        let plan = KernelPlan {
+            threads: vec![ThreadPlan {
+                segments: vec![seg(0, 0, 3, Flush::Carry), seg(1, 3, 5, Flush::Regular)],
+            }],
+        };
+        let run = lower(&plan, 32, 32, 10);
+        assert_eq!(run.total_carries, 1);
+        assert_eq!(run.warps[0].regular_flushes, 1);
+        assert_eq!(run.warps[0].carry_flushes, 1);
+        // dim 64: the carry must be flushed for both slices.
+        let run = lower(&plan, 64, 32, 10);
+        assert_eq!(run.total_carries, 2);
+    }
+}

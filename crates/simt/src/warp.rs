@@ -1,0 +1,129 @@
+//! Warp-level work descriptors produced by kernel lowering.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// The work one warp performs during the parallel phase.
+///
+/// Counts are in *lockstep steps*: when several logical threads are packed
+/// into one warp (dimension < lanes), the warp advances at the pace of its
+/// longest thread (SIMT divergence), so `steps` is the maximum — not the
+/// sum — of the packed threads' non-zero counts.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct WarpWork {
+    /// Lockstep non-zero processing steps (one FMA + one `XW`-row fetch
+    /// each).
+    pub steps: u64,
+    /// Scattered `XW`-row fetches issued (≈ sum of packed threads' nnz —
+    /// every lane group issues its own loads even while divergent).
+    pub mem_ops: u64,
+    /// Regular (non-atomic) output-row flushes.
+    pub regular_flushes: u64,
+    /// Atomic output-row flushes, by target row.
+    pub atomic_rows: Vec<usize>,
+    /// Carry flushes deferred to the serial fix-up phase.
+    pub carry_flushes: u64,
+    /// Logical threads packed into this warp (≥ 1). Sub-warp divergence
+    /// overhead grows with packing (§III-C3 / §V at dimension 2).
+    pub packed: u32,
+}
+
+impl WarpWork {
+    /// Whether this warp does any work at all.
+    pub fn is_empty(&self) -> bool {
+        self.steps == 0
+            && self.regular_flushes == 0
+            && self.atomic_rows.is_empty()
+            && self.carry_flushes == 0
+    }
+}
+
+/// A lowered kernel: the complete set of warps plus global contention
+/// metadata, ready for the [`engine`](crate::engine) to time.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KernelRun {
+    /// Per-warp work, in launch order.
+    pub warps: Vec<WarpWork>,
+    /// Dense dimension of the SpMM.
+    pub dim: usize,
+    /// Distinct `XW` rows that may be touched (the matrix column count) —
+    /// sizes the scattered-access working set for the cache model.
+    pub xw_rows: usize,
+    /// Output matrix rows (sizes the write-back traffic).
+    pub out_rows: usize,
+    /// Total carry flushes across all warps (length of the serial phase).
+    pub total_carries: u64,
+}
+
+impl KernelRun {
+    /// Number of non-empty warps.
+    pub fn active_warps(&self) -> usize {
+        self.warps.iter().filter(|w| !w.is_empty()).count()
+    }
+
+    /// Atomic-update counts per output row (contention profile).
+    pub fn atomic_row_counts(&self) -> HashMap<usize, u64> {
+        let mut counts = HashMap::new();
+        for w in &self.warps {
+            for &row in &w.atomic_rows {
+                *counts.entry(row).or_insert(0) += 1;
+            }
+        }
+        counts
+    }
+
+    /// Total atomic flushes across all warps.
+    pub fn total_atomics(&self) -> u64 {
+        self.warps.iter().map(|w| w.atomic_rows.len() as u64).sum()
+    }
+
+    /// Total lockstep steps (a proxy for issue work).
+    pub fn total_steps(&self) -> u64 {
+        self.warps.iter().map(|w| w.steps).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_warp_detection() {
+        assert!(WarpWork::default().is_empty());
+        let w = WarpWork {
+            steps: 1,
+            ..WarpWork::default()
+        };
+        assert!(!w.is_empty());
+    }
+
+    #[test]
+    fn atomic_row_counts_aggregate() {
+        let run = KernelRun {
+            warps: vec![
+                WarpWork {
+                    steps: 2,
+                    mem_ops: 2,
+                    atomic_rows: vec![0, 3],
+                    ..WarpWork::default()
+                },
+                WarpWork {
+                    steps: 1,
+                    mem_ops: 1,
+                    atomic_rows: vec![0],
+                    ..WarpWork::default()
+                },
+            ],
+            dim: 16,
+            xw_rows: 8,
+            out_rows: 8,
+            total_carries: 0,
+        };
+        let counts = run.atomic_row_counts();
+        assert_eq!(counts[&0], 2);
+        assert_eq!(counts[&3], 1);
+        assert_eq!(run.total_atomics(), 3);
+        assert_eq!(run.total_steps(), 3);
+        assert_eq!(run.active_warps(), 2);
+    }
+}

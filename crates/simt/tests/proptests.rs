@@ -1,0 +1,135 @@
+//! Property-based tests for the SIMT lowering and timing engine.
+
+use mpspmm_core::{Flush, KernelPlan, MergePathSpmm, NnzSplitSpmm, Segment, SpmmKernel, ThreadPlan};
+use mpspmm_simt::{engine, lower_with_policy, GpuConfig, GpuKernel, LoweringPolicy};
+use mpspmm_sparse::CsrMatrix;
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// Arbitrary plan: a list of per-thread nnz counts over one long row.
+fn arb_plan(max_threads: usize, max_len: usize) -> impl Strategy<Value = (KernelPlan, usize)> {
+    vec((1..=max_len, 0..3u8), 1..=max_threads).prop_map(|threads| {
+        let mut nz = 0usize;
+        let mut plans = Vec::new();
+        for (len, flush) in threads {
+            let flush = match flush {
+                0 => Flush::Regular,
+                1 => Flush::Atomic,
+                _ => Flush::Carry,
+            };
+            plans.push(ThreadPlan {
+                segments: vec![Segment {
+                    row: 0,
+                    nz_start: nz,
+                    nz_end: nz + len,
+                    flush,
+                }],
+            });
+            nz += len;
+        }
+        (KernelPlan { threads: plans }, nz)
+    })
+}
+
+proptest! {
+    #[test]
+    fn lowering_conserves_memory_operations(
+        (plan, total_nnz) in arb_plan(40, 20),
+        dim in prop_oneof![Just(2usize), Just(8), Just(16), Just(32), Just(64), Just(128)],
+    ) {
+        let lanes = 32;
+        for policy in [
+            LoweringPolicy::merge_path(),
+            LoweringPolicy::gnnadvisor(),
+            LoweringPolicy::gnnadvisor_opt(),
+        ] {
+            let run = lower_with_policy(&plan, dim, lanes, policy, 100);
+            let slices = dim.div_ceil(lanes) as u64;
+            let mem_ops: u64 = run.warps.iter().map(|w| w.mem_ops).sum();
+            // Every non-zero's fetch appears exactly once per dimension
+            // slice, however the threads are packed.
+            prop_assert_eq!(mem_ops, total_nnz as u64 * slices);
+            // Atomic flushes are conserved too.
+            let atomics: u64 = run.warps.iter().map(|w| w.atomic_rows.len() as u64).sum();
+            let expected: u64 = plan
+                .threads
+                .iter()
+                .flat_map(|t| &t.segments)
+                .filter(|s| s.flush == Flush::Atomic)
+                .count() as u64
+                * slices;
+            prop_assert_eq!(atomics, expected);
+        }
+    }
+
+    #[test]
+    fn packing_never_increases_total_steps(
+        (plan, _) in arb_plan(40, 20),
+        dim in prop_oneof![Just(2usize), Just(4), Just(8), Just(16)],
+    ) {
+        let packed = lower_with_policy(&plan, dim, 32, LoweringPolicy::merge_path(), 100);
+        let unpacked = lower_with_policy(&plan, dim, 32, LoweringPolicy::gnnadvisor(), 100);
+        prop_assert!(packed.total_steps() <= unpacked.total_steps());
+        prop_assert!(packed.warps.len() <= unpacked.warps.len());
+    }
+
+    #[test]
+    fn engine_is_deterministic_and_monotone_in_launch(
+        (plan, _) in arb_plan(30, 16),
+    ) {
+        let run = lower_with_policy(&plan, 16, 32, LoweringPolicy::merge_path(), 100);
+        let cfg = GpuConfig::rtx6000();
+        let r1 = engine::simulate(&run, &cfg);
+        let r2 = engine::simulate(&run, &cfg);
+        prop_assert_eq!(&r1, &r2);
+        let mut slow = cfg.clone();
+        slow.launch_overhead += 1_000.0;
+        let r3 = engine::simulate(&run, &slow);
+        prop_assert!(r3.cycles > r1.cycles);
+        prop_assert!(r1.cycles >= r1.parallel_cycles + r1.launch_cycles);
+    }
+
+    #[test]
+    fn kernels_price_positive_times_on_arbitrary_graphs(
+        n in 4usize..40,
+        density in 1usize..5,
+        dim in prop_oneof![Just(2usize), Just(16), Just(64)],
+    ) {
+        let triplets: Vec<(usize, usize, f32)> = (0..n * density)
+            .map(|k| (((k * 7) % n, (k * 13) % n), 1.0f32))
+            .collect::<std::collections::BTreeMap<(usize, usize), f32>>()
+            .into_iter()
+            .map(|((r, c), v)| (r, c, v))
+            .collect();
+        prop_assume!(!triplets.is_empty());
+        let a = CsrMatrix::from_triplets(n, n, &triplets).unwrap();
+        let cfg = GpuConfig::rtx6000();
+        for k in [
+            GpuKernel::MergePath { cost: Some(5) },
+            GpuKernel::GnnAdvisor { opt: true, ng_size: Some(2) },
+            GpuKernel::RowSplit,
+            GpuKernel::SerialFixup { threads: Some(8) },
+        ] {
+            let report = k.simulate(&a, dim, &cfg);
+            prop_assert!(report.micros.is_finite() && report.micros > 0.0);
+        }
+    }
+
+    #[test]
+    fn serial_phase_only_for_carry_kernels(n in 8usize..60, threads in 2usize..16) {
+        let triplets: Vec<(usize, usize, f32)> =
+            (0..3 * n).map(|k| ((k % n, (k * 3 + 1) % n), 1.0f32))
+                .collect::<std::collections::BTreeMap<(usize, usize), f32>>()
+                .into_iter()
+                .map(|((r, c), v)| (r, c, v))
+                .collect();
+        let a = CsrMatrix::from_triplets(n, n, &triplets).unwrap();
+        let cfg = GpuConfig::rtx6000();
+        let mp_plan = MergePathSpmm::with_threads(threads).plan(&a, 16);
+        let mp_run = lower_with_policy(&mp_plan, 16, 32, LoweringPolicy::merge_path(), n);
+        prop_assert_eq!(engine::simulate(&mp_run, &cfg).serial_cycles, 0.0);
+        let gnn_plan = NnzSplitSpmm::with_ng_size(2).plan(&a, 16);
+        let gnn_run = lower_with_policy(&gnn_plan, 16, 32, LoweringPolicy::gnnadvisor(), n);
+        prop_assert_eq!(engine::simulate(&gnn_run, &cfg).serial_cycles, 0.0);
+    }
+}

@@ -1,0 +1,243 @@
+use serde::{Deserialize, Serialize};
+
+use crate::SparseFormatError;
+
+/// A dense matrix in row-major storage.
+///
+/// This is the format of the `XW` operand and the `C` output of the SpMM
+/// kernel `C = A × XW`. Rows are contiguous so a kernel thread touching
+/// `XW[j, :]` streams one cache-friendly slice — the same layout the paper's
+/// GPU kernels assume.
+///
+/// # Example
+///
+/// ```
+/// use mpspmm_sparse::DenseMatrix;
+///
+/// let mut m = DenseMatrix::zeros(2, 3);
+/// m.set(1, 2, 7.0);
+/// assert_eq!(m.row(1), &[0.0, 0.0, 7.0]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DenseMatrix<T> {
+    rows: usize,
+    cols: usize,
+    data: Vec<T>,
+}
+
+impl<T: Copy + Default> DenseMatrix<T> {
+    /// Creates a matrix filled with `T::default()` (zero for numbers).
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![T::default(); rows * cols],
+        }
+    }
+}
+
+impl<T: Copy> DenseMatrix<T> {
+    /// Creates a matrix from a row-major data vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseFormatError::IndexValueLength`] if
+    /// `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<T>) -> Result<Self, SparseFormatError> {
+        if data.len() != rows * cols {
+            return Err(SparseFormatError::IndexValueLength {
+                indices: rows * cols,
+                values: data.len(),
+            });
+        }
+        Ok(Self { rows, cols, data })
+    }
+
+    /// Creates a matrix by evaluating `f(row, col)` for every element.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> T) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Self { rows, cols, data }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns (the "dimension size" `d` of the paper).
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinate is out of bounds.
+    pub fn get(&self, row: usize, col: usize) -> T {
+        assert!(row < self.rows && col < self.cols, "index out of bounds");
+        self.data[row * self.cols + col]
+    }
+
+    /// Sets the element at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinate is out of bounds.
+    pub fn set(&mut self, row: usize, col: usize, value: T) {
+        assert!(row < self.rows && col < self.cols, "index out of bounds");
+        self.data[row * self.cols + col] = value;
+    }
+
+    /// Borrows row `row` as a slice of length `cols`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row >= self.rows()`.
+    pub fn row(&self, row: usize) -> &[T] {
+        assert!(row < self.rows, "row out of bounds");
+        &self.data[row * self.cols..(row + 1) * self.cols]
+    }
+
+    /// Mutably borrows row `row`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row >= self.rows()`.
+    pub fn row_mut(&mut self, row: usize) -> &mut [T] {
+        assert!(row < self.rows, "row out of bounds");
+        &mut self.data[row * self.cols..(row + 1) * self.cols]
+    }
+
+    /// The full row-major backing slice.
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Mutable access to the full row-major backing slice.
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
+    /// Consumes the matrix and returns the row-major data vector.
+    pub fn into_vec(self) -> Vec<T> {
+        self.data
+    }
+}
+
+impl DenseMatrix<f32> {
+    /// Maximum absolute element-wise difference to another matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseFormatError::ShapeMismatch`] if shapes differ.
+    pub fn max_abs_diff(&self, other: &Self) -> Result<f32, SparseFormatError> {
+        if self.rows != other.rows || self.cols != other.cols {
+            return Err(SparseFormatError::ShapeMismatch {
+                left: (self.rows, self.cols),
+                right: (other.rows, other.cols),
+            });
+        }
+        Ok(self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f32::max))
+    }
+
+    /// Whether every element differs from `other` by at most `tol`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseFormatError::ShapeMismatch`] if shapes differ.
+    pub fn approx_eq(&self, other: &Self, tol: f32) -> Result<bool, SparseFormatError> {
+        Ok(self.max_abs_diff(other)? <= tol)
+    }
+
+    /// Frobenius norm of the matrix.
+    pub fn frobenius_norm(&self) -> f32 {
+        self.data.iter().map(|v| v * v).sum::<f32>().sqrt()
+    }
+
+    /// Fills the matrix with zeros (reuses the allocation between kernel
+    /// invocations, as the GPU kernels reuse the output buffer).
+    pub fn fill_zero(&mut self) {
+        self.data.fill(0.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_set_get() {
+        let mut m = DenseMatrix::<f32>::zeros(2, 2);
+        assert_eq!(m.get(0, 0), 0.0);
+        m.set(0, 1, 4.0);
+        assert_eq!(m.get(0, 1), 4.0);
+    }
+
+    #[test]
+    fn from_vec_validates_length() {
+        assert!(DenseMatrix::from_vec(2, 2, vec![1.0f32; 3]).is_err());
+        let m = DenseMatrix::from_vec(2, 2, vec![1.0f32, 2.0, 3.0, 4.0]).unwrap();
+        assert_eq!(m.get(1, 0), 3.0);
+    }
+
+    #[test]
+    fn from_fn_layout_is_row_major() {
+        let m = DenseMatrix::from_fn(2, 3, |r, c| (r * 10 + c) as f32);
+        assert_eq!(m.row(1), &[10.0, 11.0, 12.0]);
+        assert_eq!(m.as_slice()[2], 2.0);
+    }
+
+    #[test]
+    fn row_mut_writes_through() {
+        let mut m = DenseMatrix::<f32>::zeros(2, 2);
+        m.row_mut(1)[0] = 9.0;
+        assert_eq!(m.get(1, 0), 9.0);
+    }
+
+    #[test]
+    fn max_abs_diff_and_approx_eq() {
+        let a = DenseMatrix::from_vec(1, 2, vec![1.0f32, 2.0]).unwrap();
+        let b = DenseMatrix::from_vec(1, 2, vec![1.0f32, 2.5]).unwrap();
+        assert_eq!(a.max_abs_diff(&b).unwrap(), 0.5);
+        assert!(a.approx_eq(&b, 0.5).unwrap());
+        assert!(!a.approx_eq(&b, 0.4).unwrap());
+    }
+
+    #[test]
+    fn shape_mismatch_is_reported() {
+        let a = DenseMatrix::<f32>::zeros(1, 2);
+        let b = DenseMatrix::<f32>::zeros(2, 1);
+        assert!(a.max_abs_diff(&b).is_err());
+    }
+
+    #[test]
+    fn fill_zero_resets() {
+        let mut m = DenseMatrix::from_vec(1, 2, vec![1.0f32, 2.0]).unwrap();
+        m.fill_zero();
+        assert_eq!(m.as_slice(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn frobenius_norm() {
+        let m = DenseMatrix::from_vec(1, 2, vec![3.0f32, 4.0]).unwrap();
+        assert!((m.frobenius_norm() - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "index out of bounds")]
+    fn get_out_of_bounds_panics() {
+        let m = DenseMatrix::<f32>::zeros(1, 1);
+        let _ = m.get(1, 0);
+    }
+}

@@ -1,0 +1,115 @@
+//! Property-based tests for the sparse matrix substrate.
+
+use mpspmm_sparse::{CooMatrix, CsrMatrix, DenseMatrix};
+use proptest::collection::btree_set;
+use proptest::prelude::*;
+
+/// Strategy producing an arbitrary valid CSR matrix (as unique triplets).
+fn arb_csr(max_dim: usize, max_nnz: usize) -> impl Strategy<Value = CsrMatrix<f32>> {
+    (1..=max_dim, 1..=max_dim).prop_flat_map(move |(rows, cols)| {
+        btree_set((0..rows, 0..cols), 0..=max_nnz.min(rows * cols)).prop_map(
+            move |coords| {
+                let triplets: Vec<(usize, usize, f32)> = coords
+                    .into_iter()
+                    .enumerate()
+                    .map(|(k, (r, c))| (r, c, (k % 7) as f32 + 1.0))
+                    .collect();
+                CsrMatrix::from_triplets(rows, cols, &triplets).expect("unique coords are valid")
+            },
+        )
+    })
+}
+
+proptest! {
+    #[test]
+    fn csr_invariants_hold(m in arb_csr(24, 96)) {
+        let rp = m.row_ptr();
+        prop_assert_eq!(rp.len(), m.rows() + 1);
+        prop_assert_eq!(rp[0], 0);
+        prop_assert_eq!(rp[m.rows()], m.nnz());
+        for w in rp.windows(2) {
+            prop_assert!(w[0] <= w[1]);
+        }
+        for r in 0..m.rows() {
+            let row = m.row(r);
+            for w in row.cols.windows(2) {
+                prop_assert!(w[0] < w[1]);
+            }
+        }
+    }
+
+    #[test]
+    fn dense_round_trip_preserves_matrix(m in arb_csr(16, 64)) {
+        let back = CsrMatrix::from_dense(&m.to_dense());
+        prop_assert_eq!(m, back);
+    }
+
+    #[test]
+    fn transpose_is_involution(m in arb_csr(16, 64)) {
+        prop_assert_eq!(m.clone(), m.transpose().transpose());
+    }
+
+    #[test]
+    fn transpose_matches_dense_transpose(m in arb_csr(12, 40)) {
+        let t = m.transpose();
+        let d = m.to_dense();
+        let td = t.to_dense();
+        for r in 0..m.rows() {
+            for c in 0..m.cols() {
+                prop_assert_eq!(d.get(r, c), td.get(c, r));
+            }
+        }
+    }
+
+    #[test]
+    fn coo_to_csr_preserves_entries(m in arb_csr(12, 40)) {
+        let mut coo = CooMatrix::new(m.rows(), m.cols());
+        for r in 0..m.rows() {
+            let row = m.row(r);
+            for (&c, &v) in row.cols.iter().zip(row.vals) {
+                coo.push(r, c, v).unwrap();
+            }
+        }
+        let back = CsrMatrix::from(coo);
+        prop_assert_eq!(m, back);
+    }
+
+    #[test]
+    fn row_lengths_sum_to_nnz(m in arb_csr(24, 96)) {
+        let total: usize = m.row_lengths().iter().sum();
+        prop_assert_eq!(total, m.nnz());
+    }
+
+    #[test]
+    fn degree_stats_are_consistent(m in arb_csr(24, 96)) {
+        let s = mpspmm_sparse::stats::DegreeStats::compute(&m);
+        prop_assert_eq!(s.rows, m.rows());
+        prop_assert_eq!(s.nnz, m.nnz());
+        prop_assert!(s.min <= s.max);
+        prop_assert!((0.0..=1.0).contains(&s.gini));
+        prop_assert!(s.p99 <= s.max);
+        let lengths = m.row_lengths();
+        prop_assert_eq!(s.max, lengths.iter().copied().max().unwrap_or(0));
+    }
+
+    #[test]
+    fn ccdf_is_monotone_nonincreasing(m in arb_csr(24, 96)) {
+        let ccdf = mpspmm_sparse::stats::degree_ccdf(&m);
+        for w in ccdf.windows(2) {
+            prop_assert!(w[1].1 <= w[0].1 + 1e-12);
+        }
+        if let Some(first) = ccdf.first() {
+            prop_assert!((first.1 - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn dense_from_fn_get_agree(rows in 1usize..16, cols in 1usize..16) {
+        let m = DenseMatrix::from_fn(rows, cols, |r, c| (r * 31 + c) as f32);
+        for r in 0..rows {
+            for c in 0..cols {
+                prop_assert_eq!(m.get(r, c), (r * 31 + c) as f32);
+            }
+        }
+    }
+}

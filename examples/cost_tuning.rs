@@ -1,0 +1,58 @@
+//! Exploring the merge-path cost trade-off on the GPU machine model.
+//!
+//! The merge-path cost (work items per thread) trades parallelism against
+//! synchronization (§III-C): low cost → many threads but more partial rows
+//! (atomics); high cost → few atomics but fewer warps to hide latency.
+//! This example sweeps the cost on a power-law graph and prints the
+//! resulting thread counts, atomic shares, and simulated kernel times with
+//! the binding resource.
+//!
+//! Run with: `cargo run --release --example cost_tuning`
+
+use merge_path_spmm::core::{MergePathSpmm, SpmmKernel};
+use merge_path_spmm::graphs::{DatasetSpec, GraphClass};
+use merge_path_spmm::simt::{GpuConfig, GpuKernel};
+
+fn main() {
+    let spec = DatasetSpec::custom("tune-me", GraphClass::PowerLaw, 30_000, 150_000, 2_000);
+    let a = spec.synthesize(7);
+    let dim = 16;
+    let cfg = GpuConfig::rtx6000();
+    println!(
+        "graph: {} nodes, {} nnz, max degree {} | dim {dim} on the simulated RTX 6000\n",
+        a.rows(),
+        a.nnz(),
+        2_000
+    );
+
+    println!(
+        "{:>5} {:>9} {:>7} {:>13} {:>11} {:>10}",
+        "cost", "threads", "warps", "atomic nnz %", "kernel µs", "bound"
+    );
+    let mut best = (0usize, f64::INFINITY);
+    for cost in [2usize, 5, 10, 15, 20, 25, 30, 40, 50, 75, 100] {
+        let kernel = MergePathSpmm::with_cost(cost);
+        let plan = kernel.plan(&a, dim);
+        let stats = plan.write_stats();
+        let report = GpuKernel::MergePath { cost: Some(cost) }.simulate(&a, dim, &cfg);
+        println!(
+            "{cost:>5} {:>9} {:>7} {:>12.1}% {:>11.2} {:>10}",
+            plan.num_threads(),
+            report.warps,
+            100.0 * stats.atomic_nnz_fraction(),
+            report.micros,
+            format!("{:?}", report.bound),
+        );
+        if report.micros < best.1 {
+            best = (cost, report.micros);
+        }
+    }
+    println!(
+        "\nbest cost for this graph at dim {dim}: {} ({:.2} µs)",
+        best.0, best.1
+    );
+    println!(
+        "note the two failure modes: tiny costs drown in atomic updates, \
+         huge costs starve the GPU of warps (latency-bound)."
+    );
+}

@@ -1,0 +1,54 @@
+//! Driving the Graphite-like 1000-core simulator directly.
+//!
+//! Runs MergePath-SpMM and GNNAdvisor on the Table I multicore across
+//! core counts for a custom evil-row graph, printing completion cycles,
+//! the compute/memory breakdown, and the coherence counters that explain
+//! the difference (atomic waiting, directory evictions).
+//!
+//! Run with: `cargo run --release --example multicore_sim`
+
+use merge_path_spmm::core::{MergePathSpmm, NnzSplitSpmm, SpmmKernel};
+use merge_path_spmm::graphs::{DatasetSpec, GraphClass};
+use merge_path_spmm::multicore::{simulate, McConfig};
+
+fn main() {
+    // An aggressively skewed graph: 8,000 nodes, 40,000 edges, one
+    // 3,000-edge evil row.
+    let spec = DatasetSpec::custom("evil", GraphClass::PowerLaw, 8_000, 40_000, 3_000);
+    let a = spec.synthesize(21);
+    println!(
+        "graph: {} nodes, {} nnz, evil row of {} non-zeros\n",
+        a.rows(),
+        a.nnz(),
+        3_000
+    );
+
+    println!(
+        "{:<16} {:>6} {:>10} {:>9} {:>9} {:>12} {:>11}",
+        "kernel", "cores", "cycles", "compute", "memory", "atomic wait", "dir evicts"
+    );
+    for cores in [64usize, 256, 1024] {
+        let cfg = McConfig::with_cores(cores);
+        for (name, plan) in [
+            (
+                "MergePath-SpMM",
+                MergePathSpmm::with_threads(cores).plan(&a, 16),
+            ),
+            ("GNNAdvisor", NnzSplitSpmm::new().plan(&a, 16)),
+        ] {
+            plan.validate(&a).expect("kernels produce valid plans");
+            let r = simulate(&plan, &a, 16, &cfg);
+            println!(
+                "{name:<16} {cores:>6} {:>10} {:>9} {:>9} {:>12} {:>11}",
+                r.cycles, r.critical_compute, r.critical_memory, r.atomic_wait_cycles,
+                r.directory_evictions,
+            );
+        }
+    }
+
+    println!(
+        "\nGNNAdvisor's fine-grain atomic updates to the evil row become \
+         coherence ping-pong as cores multiply; MergePath-SpMM's two \
+         atomics per thread keep the wait cycles bounded."
+    );
+}

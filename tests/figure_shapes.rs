@@ -1,0 +1,202 @@
+//! Integration tests asserting the qualitative figure shapes the
+//! reproduction must preserve (DESIGN.md §3 acceptance criteria).
+//!
+//! These run the machine models on the real (or lightly scaled) Table II
+//! inputs, so they double as regression tests for the calibrated model
+//! constants: if a future change flips an ordering the paper reports,
+//! these tests fail.
+
+use merge_path_spmm::core::{MergePathSpmm, NnzSplitSpmm, SpmmKernel};
+use merge_path_spmm::graphs::find_dataset;
+use merge_path_spmm::multicore::{simulate as mc_simulate, McConfig};
+use merge_path_spmm::simt::{awbgcn, vendor, GpuConfig, GpuKernel};
+use merge_path_spmm::sparse::stats::DegreeStats;
+use merge_path_spmm::sparse::CsrMatrix;
+
+const SEED: u64 = 7;
+
+fn graph(name: &str) -> CsrMatrix<f32> {
+    find_dataset(name)
+        .unwrap_or_else(|| panic!("{name} in Table II"))
+        .synthesize(SEED)
+}
+
+fn gnn(a: &CsrMatrix<f32>, dim: usize, cfg: &GpuConfig) -> f64 {
+    GpuKernel::GnnAdvisor {
+        opt: false,
+        ng_size: None,
+    }
+    .simulate(a, dim, cfg)
+    .micros
+}
+
+fn mp(a: &CsrMatrix<f32>, dim: usize, cfg: &GpuConfig) -> f64 {
+    GpuKernel::MergePath { cost: None }.simulate(a, dim, cfg).micros
+}
+
+#[test]
+fn figure2_orderings_hold() {
+    let cfg = GpuConfig::rtx6000();
+    let awb_cfg = awbgcn::AwbGcnConfig::paper();
+
+    // AWB-GCN is the fastest on the small Cora and Citeseer graphs.
+    for name in ["Cora", "Citeseer"] {
+        let a = graph(name);
+        let stats = DegreeStats::compute(&a);
+        let awb = awbgcn::awbgcn_micros(name, &stats, 16, &awb_cfg);
+        let g = gnn(&a, 16, &cfg);
+        let serial = GpuKernel::SerialFixup { threads: None }.simulate(&a, 16, &cfg).micros;
+        let rows = GpuKernel::RowSplit.simulate(&a, 16, &cfg).micros;
+        assert!(awb < g, "{name}: AWB {awb:.1} must beat GNNAdvisor {g:.1}");
+        assert!(awb < serial && awb < rows, "{name}: AWB must be fastest");
+        assert!(
+            serial > g,
+            "{name}: the serial fix-up baseline must lose to GNNAdvisor"
+        );
+    }
+
+    // Pubmed: GNNAdvisor overtakes AWB-GCN.
+    let pubmed = graph("Pubmed");
+    let stats = DegreeStats::compute(&pubmed);
+    let awb = awbgcn::awbgcn_micros("Pubmed", &stats, 16, &awb_cfg);
+    assert!(gnn(&pubmed, 16, &cfg) < awb, "Pubmed: GNNAdvisor must win");
+
+    // Nell (dim 64): GNNAdvisor wins big; merge-path and even row-split
+    // rank as the paper says (row-split worst, merge-path beats AWB).
+    let nell = graph("Nell");
+    let stats = DegreeStats::compute(&nell);
+    let awb = awbgcn::awbgcn_micros("Nell", &stats, 64, &awb_cfg);
+    let g = gnn(&nell, 64, &cfg);
+    let serial = GpuKernel::SerialFixup { threads: None }.simulate(&nell, 64, &cfg).micros;
+    let rows = GpuKernel::RowSplit.simulate(&nell, 64, &cfg).micros;
+    assert!(awb / g > 3.0, "Nell: GNNAdvisor must win by several x (got {:.1})", awb / g);
+    assert!(serial < awb, "Nell: merge-path must still beat AWB-GCN");
+    assert!(rows > awb, "Nell: row-splitting must be the worst");
+}
+
+#[test]
+fn figure4_relations_hold() {
+    let cfg = GpuConfig::rtx6000();
+    // MergePath-SpMM beats GNNAdvisor on every mid/large graph; geometric
+    // mean advantage is material.
+    let mut speedups = Vec::new();
+    for name in ["Pubmed", "Wiki-Vote", "email-Enron", "email-Euall", "Nell", "PPI"] {
+        let a = graph(name);
+        let s = gnn(&a, 16, &cfg)
+            / GpuKernel::MergePath { cost: Some(20) }.simulate(&a, 16, &cfg).micros;
+        assert!(s >= 1.0, "{name}: MergePath must not lose (got {s:.2})");
+        speedups.push(s.ln());
+    }
+    let geomean = (speedups.iter().sum::<f64>() / speedups.len() as f64).exp();
+    assert!(
+        geomean > 1.4,
+        "MergePath geomean speedup {geomean:.2} too small (paper: 1.85)"
+    );
+
+    // cuSPARSE loses on small power-law graphs and dominates
+    // Twitter-partial.
+    let cora = graph("Cora");
+    assert!(
+        vendor::simulate_vendor(&cora, 16, &cfg).report.micros > gnn(&cora, 16, &cfg),
+        "Cora: cuSPARSE must lose to GNNAdvisor"
+    );
+    let twitter = find_dataset("Twitter-partial").expect("in Table II").scaled_down(4).synthesize(SEED);
+    let cu = vendor::simulate_vendor(&twitter, 16, &cfg).report.micros;
+    assert!(
+        gnn(&twitter, 16, &cfg) / cu > 2.0,
+        "Twitter-partial: cuSPARSE must dominate"
+    );
+}
+
+#[test]
+fn figure5_relations_hold() {
+    // email-Euall needs a much smaller atomic share than email-Enron;
+    // Type II graphs flush mostly with regular writes.
+    let kernel = MergePathSpmm::with_cost(20);
+    let share = |name: &str| {
+        let a = graph(name);
+        kernel.plan(&a, 16).write_stats().atomic_nnz_fraction()
+    };
+    let euall = share("email-Euall");
+    let enron = share("email-Enron");
+    assert!(
+        euall < 0.8 * enron,
+        "email-Euall ({euall:.2}) must need far fewer atomics than email-Enron ({enron:.2})"
+    );
+    for name in ["Yeast", "PROTEINS_full"] {
+        let s = share(name);
+        assert!(s < 0.25, "{name}: structured graphs are mostly regular writes (got {s:.2})");
+    }
+}
+
+#[test]
+fn figure7_orderings_hold() {
+    let cfg = GpuConfig::rtx6000();
+    let a = graph("Pubmed");
+    // GNNAdvisor saturates below dim 32 (identical times at 16 and 8);
+    // opt and MergePath keep improving and order MP >= opt >= base.
+    let g32 = gnn(&a, 32, &cfg);
+    let g16 = gnn(&a, 16, &cfg);
+    let g8 = gnn(&a, 8, &cfg);
+    assert!((g16 - g8).abs() / g16 < 0.05, "GNNAdvisor must saturate below 32");
+    assert!(g32 > g8 * 0.999, "dimension shrink cannot hurt GNNAdvisor");
+    for dim in [16usize, 8, 4] {
+        let base = gnn(&a, dim, &cfg);
+        let opt = GpuKernel::GnnAdvisor { opt: true, ng_size: None }
+            .simulate(&a, dim, &cfg)
+            .micros;
+        let mpt = mp(&a, dim, &cfg);
+        assert!(opt <= base * 1.001, "dim {dim}: opt must not lose to base");
+        assert!(mpt <= opt * 1.001, "dim {dim}: MergePath must not lose to opt");
+    }
+}
+
+#[test]
+fn figure9_scaling_shapes_hold() {
+    // GNNAdvisor stops scaling from 512 to 1024 cores on evil-row graphs;
+    // MergePath keeps improving there and wins at 1024 cores.
+    let a = graph("Cora");
+    let run = |cores: usize, mergepath: bool| {
+        let cfg = McConfig::with_cores(cores);
+        let plan = if mergepath {
+            MergePathSpmm::with_threads(cores).plan(&a, 16)
+        } else {
+            NnzSplitSpmm::new().plan(&a, 16)
+        };
+        mc_simulate(&plan, &a, 16, &cfg)
+    };
+    let gnn512 = run(512, false);
+    let gnn1024 = run(1024, false);
+    assert!(
+        gnn1024.cycles as f64 > 0.9 * gnn512.cycles as f64,
+        "Cora: GNNAdvisor must stop scaling past 512 cores ({} -> {})",
+        gnn512.cycles,
+        gnn1024.cycles
+    );
+    let mp512 = run(512, true);
+    let mp1024 = run(1024, true);
+    assert!(
+        mp1024.cycles < mp512.cycles,
+        "Cora: MergePath must keep scaling to 1024 cores"
+    );
+    assert!(
+        gnn1024.cycles > mp1024.cycles,
+        "Cora @1024: MergePath must win ({} vs {})",
+        mp1024.cycles,
+        gnn1024.cycles
+    );
+    // Memory stalls dominate compute at high core counts (the Figure 9
+    // breakdown shape).
+    assert!(mp1024.memory_fraction() > 0.5);
+
+    // §V-D: at 1024 cores only Cora's merge-path cost drops below 25;
+    // the other evaluated graphs stay above 100.
+    assert!(a.merge_items().div_ceil(1024) < 25, "Cora cost must be small");
+    for name in ["Pubmed", "Nell"] {
+        let g = graph(name);
+        assert!(
+            g.merge_items().div_ceil(1024) > 100,
+            "{name}: cost must exceed 100 at 1024 cores"
+        );
+    }
+}

@@ -1,0 +1,94 @@
+//! End-to-end integration: synthetic graph → GCN normalization → every
+//! SpMM kernel → identical inference results.
+
+use merge_path_spmm::core::{
+    MergePathSerialFixup, MergePathSpmm, NnzSplitSpmm, RowSplitSpmm, SerialSpmm, SpmmKernel,
+};
+use merge_path_spmm::gcn::{online_inference, ops, GcnModel};
+use merge_path_spmm::graphs::{find_dataset, gcn_normalize, DatasetSpec, GraphClass};
+use merge_path_spmm::sparse::stats::DegreeStats;
+
+fn kernels() -> Vec<Box<dyn SpmmKernel>> {
+    vec![
+        Box::new(SerialSpmm),
+        Box::new(RowSplitSpmm::with_threads(64)),
+        Box::new(NnzSplitSpmm::new()),
+        Box::new(MergePathSerialFixup::with_threads(50)),
+        Box::new(MergePathSpmm::new()),
+    ]
+}
+
+#[test]
+fn full_gcn_pipeline_agrees_across_kernels() {
+    let spec = DatasetSpec::custom("pipe", GraphClass::PowerLaw, 800, 3_600, 120);
+    let a = gcn_normalize(&spec.synthesize(5));
+    let model = GcnModel::two_layer(24, 16, 5, 77);
+    let x = ops::random_features(a.rows(), 24, 0.4, 8);
+
+    let reference = model.forward(&a, &x, &SerialSpmm).expect("serial forward");
+    for kernel in kernels() {
+        let out = model
+            .forward(&a, &x, kernel.as_ref())
+            .unwrap_or_else(|e| panic!("{}: {e}", kernel.name()));
+        let scale = reference.frobenius_norm().max(1.0);
+        assert!(
+            out.max_abs_diff(&reference).expect("same shape") < 1e-3 * scale,
+            "{} diverges from the serial reference",
+            kernel.name()
+        );
+    }
+}
+
+#[test]
+fn structured_pipeline_agrees_too() {
+    let spec = DatasetSpec::custom("mol", GraphClass::Structured, 1_500, 3_200, 6);
+    let a = gcn_normalize(&spec.synthesize(9));
+    let model = GcnModel::two_layer(8, 8, 3, 3);
+    let x = ops::random_features(a.rows(), 8, 0.6, 4);
+    let reference = model.forward(&a, &x, &SerialSpmm).expect("serial forward");
+    for kernel in kernels() {
+        let out = model.forward(&a, &x, kernel.as_ref()).expect("forward");
+        assert!(out.approx_eq(&reference, 1e-3).expect("same shape"));
+    }
+}
+
+#[test]
+fn online_inference_overhead_is_sane_on_real_dataset() {
+    let spec = find_dataset("Cora").expect("Cora in Table II");
+    let a = gcn_normalize(&spec.synthesize(1));
+    let model = GcnModel::two_layer(16, 16, 4, 5);
+    let x = ops::random_features(a.rows(), 16, 0.3, 6);
+    let kernel = MergePathSpmm::new();
+    let (out, timing) = online_inference(&model, &a, &x, &kernel).expect("inference");
+    assert_eq!(out.rows(), spec.nodes);
+    assert!(timing.scheduling.as_nanos() > 0);
+    // Scheduling must not dominate even on the smallest graph.
+    assert!(
+        timing.overhead_fraction() < 0.5,
+        "scheduling overhead {:.1}% is implausible",
+        timing.overhead_fraction() * 100.0
+    );
+}
+
+#[test]
+fn every_kernel_plan_is_valid_on_every_graph_class() {
+    for (class, max_deg) in [(GraphClass::PowerLaw, 200), (GraphClass::Structured, 7)] {
+        let spec = DatasetSpec::custom("v", class, 600, 2_400, max_deg);
+        let a = spec.synthesize(11);
+        let stats = DegreeStats::compute(&a);
+        assert_eq!(stats.max, max_deg);
+        for kernel in kernels() {
+            for dim in [2usize, 16, 64] {
+                let plan = kernel.plan(&a, dim);
+                plan.validate(&a)
+                    .unwrap_or_else(|e| panic!("{} dim {dim}: {e}", kernel.name()));
+                assert_eq!(
+                    plan.write_stats().total_nnz(),
+                    a.nnz(),
+                    "{} dim {dim}: plan must cover all non-zeros",
+                    kernel.name()
+                );
+            }
+        }
+    }
+}
