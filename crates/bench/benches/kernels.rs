@@ -1,18 +1,20 @@
-//! Criterion microbenchmarks of the real CPU SpMM kernels.
+//! Microbenchmarks of the real CPU SpMM kernels (plain timing harness;
+//! the build environment has no criterion, so `harness = false` bench
+//! targets time with `std::time::Instant` directly).
 //!
 //! These measure this machine's actual execution of each strategy (not
 //! the machine models): plan construction + parallel execution of
 //! `A × XW` at dimension 16 on a mid-sized power-law graph and a
 //! structured graph.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mpspmm_bench::time_ns;
 use mpspmm_core::{
     MergePathSerialFixup, MergePathSpmm, NnzSplitSpmm, RowSplitSpmm, SerialSpmm, SpmmKernel,
 };
 use mpspmm_gcn::ops::random_features;
 use mpspmm_graphs::{DatasetSpec, GraphClass};
 
-fn bench_kernels(c: &mut Criterion) {
+fn main() {
     let inputs = [
         (
             "powerlaw-50k",
@@ -36,20 +38,16 @@ fn bench_kernels(c: &mut Criterion) {
                 Box::new(MergePathSerialFixup::new()),
             ),
         ];
-        let mut group = c.benchmark_group(format!("spmm/{label}"));
-        group.throughput(Throughput::Elements(a.nnz() as u64));
+        println!("spmm/{label} ({} nnz, dim 16)", a.nnz());
         for (name, kernel) in &kernels {
-            group.bench_with_input(BenchmarkId::from_parameter(name), &a, |bch, a| {
-                bch.iter(|| kernel.spmm(a, &b).expect("shapes match"));
+            let ns = time_ns(2, 10, || {
+                kernel.spmm(&a, &b).expect("shapes match");
             });
+            println!(
+                "  {name:<22} {:>12.0} ns/call  {:>8.3} ns/nnz",
+                ns,
+                ns / a.nnz() as f64
+            );
         }
-        group.finish();
     }
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_kernels
-}
-criterion_main!(benches);

@@ -1,31 +1,23 @@
-//! Criterion benchmark of merge-path schedule construction — the
-//! "scheduling overhead" of the online setting (Figure 8), measured on
-//! this CPU.
+//! Benchmark of merge-path schedule construction — the "scheduling
+//! overhead" of the online setting (Figure 8), measured on this CPU with
+//! a plain `Instant` timing loop (no criterion in the offline build).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mpspmm_bench::time_ns;
 use mpspmm_core::Schedule;
 use mpspmm_graphs::{DatasetSpec, GraphClass};
 
-fn bench_schedule(c: &mut Criterion) {
+fn main() {
     let spec = DatasetSpec::custom("pl", GraphClass::PowerLaw, 50_000, 250_000, 2_000);
     let a = spec.synthesize(7);
-    let mut group = c.benchmark_group("schedule/build");
-    group.throughput(Throughput::Elements(a.merge_items() as u64));
+    println!("schedule/build ({} merge items)", a.merge_items());
     for threads in [64usize, 1024, 16_384] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(threads),
-            &threads,
-            |bch, &threads| {
-                bch.iter(|| Schedule::build(&a, threads));
-            },
+        let ns = time_ns(3, 20, || {
+            Schedule::build(&a, threads);
+        });
+        println!(
+            "  threads {threads:>6} {:>12.0} ns/build  {:>8.3} ns/item",
+            ns,
+            ns / a.merge_items() as f64
         );
     }
-    group.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_schedule
-}
-criterion_main!(benches);

@@ -1,12 +1,12 @@
-//! Criterion benchmark of the constrained 2-D binary search — the inner
-//! primitive of Algorithm 1 (one call per thread boundary).
+//! Benchmark of the constrained 2-D binary search — the inner primitive
+//! of Algorithm 1 (one call per thread boundary). Plain `Instant` timing
+//! loop (no criterion in the offline build).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mpspmm_bench::time_ns;
 use mpspmm_core::merge_path_search;
 use mpspmm_graphs::{DatasetSpec, GraphClass};
 
-fn bench_search(c: &mut Criterion) {
-    let mut group = c.benchmark_group("merge_path_search");
+fn main() {
     for (label, nodes, nnz, max_deg) in [
         ("10k", 10_000usize, 50_000usize, 500usize),
         ("300k", 300_000, 1_500_000, 2_000),
@@ -14,25 +14,21 @@ fn bench_search(c: &mut Criterion) {
         let a = DatasetSpec::custom("pl", GraphClass::PowerLaw, nodes, nnz, max_deg).synthesize(7);
         let row_end = &a.row_ptr()[1..];
         let total = a.merge_items();
-        group.bench_with_input(BenchmarkId::from_parameter(label), &a, |bch, a| {
-            bch.iter(|| {
-                // Sweep 1024 evenly spaced diagonals (one schedule build's
-                // worth of searches at the paper's thread floor).
-                let mut acc = 0usize;
-                for t in 0..1024usize {
-                    let diag = t * total / 1024;
-                    acc += merge_path_search(diag, row_end, a.nnz()).row;
-                }
-                acc
-            });
+        let mut sink = 0usize;
+        let ns = time_ns(3, 20, || {
+            // Sweep 1024 evenly spaced diagonals (one schedule build's
+            // worth of searches at the paper's thread floor).
+            let mut acc = 0usize;
+            for t in 0..1024usize {
+                let diag = t * total / 1024;
+                acc += merge_path_search(diag, row_end, a.nnz()).row;
+            }
+            sink = sink.wrapping_add(acc);
         });
+        println!(
+            "merge_path_search/{label}: {:>12.0} ns per 1024-search sweep ({:.1} ns/search, checksum {sink})",
+            ns,
+            ns / 1024.0
+        );
     }
-    group.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_search
-}
-criterion_main!(benches);

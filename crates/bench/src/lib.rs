@@ -50,6 +50,28 @@ pub fn load(spec: &DatasetSpec, full: bool) -> (DatasetSpec, CsrMatrix<f32>) {
     (spec, a)
 }
 
+/// Times `f` and returns the best (minimum) wall-clock nanoseconds per
+/// call over `iters` timed calls, after `warmup` untimed calls.
+///
+/// The minimum is the standard noise-robust point estimate for a
+/// deterministic workload on a shared machine: every measurement is the
+/// true cost plus non-negative interference.
+pub fn time_ns<F: FnMut()>(warmup: usize, iters: usize, mut f: F) -> f64 {
+    for _ in 0..warmup {
+        f();
+    }
+    let mut best = f64::INFINITY;
+    for _ in 0..iters.max(1) {
+        let t0 = std::time::Instant::now();
+        f();
+        let dt = t0.elapsed().as_nanos() as f64;
+        if dt < best {
+            best = dt;
+        }
+    }
+    best
+}
+
 /// Prints the standard harness banner.
 pub fn banner(figure: &str, description: &str, full: bool) {
     println!("==================================================================");

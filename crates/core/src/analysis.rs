@@ -7,12 +7,11 @@
 //! thread. [`LoadBalance`] quantifies that for any [`KernelPlan`], making
 //! the contrast with row-splitting measurable.
 
-use serde::{Deserialize, Serialize};
 
 use crate::plan::KernelPlan;
 
 /// Distribution statistics of per-logical-thread work in a plan.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LoadBalance {
     /// Logical threads with at least one non-empty segment.
     pub active_threads: usize,

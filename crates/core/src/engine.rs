@@ -1,0 +1,831 @@
+//! Fast-path CPU execution engine for [`KernelPlan`]s.
+//!
+//! [`crate::executor::execute_parallel`] is kept as the straightforward
+//! baseline: it spawns scoped threads per call and routes *every* output
+//! element through an `AtomicU32` cell — including rows the plan proves
+//! are exclusively owned — then pays two extra O(rows·dim) passes to
+//! initialize and convert that atomic buffer. [`ExecEngine`] removes all
+//! of that overhead while preserving the executors' semantics:
+//!
+//! * **Persistent workers** ([`crate::pool`]): logical threads are
+//!   partitioned statically over long-lived pool workers, so repeated
+//!   SpMM calls (a GNN forward pass is many of them) stop paying thread
+//!   spawn/join.
+//! * **Non-atomic regular stores**: rows written by exactly one
+//!   `Flush::Regular` segment and touched by no `Flush::Atomic` segment
+//!   are classified `Direct` and handed to their owning worker as plain
+//!   disjoint `&mut [f32]` slices of the output buffer. Safety is a
+//!   borrow-checker fact, not an `unsafe` claim: each row slice is moved
+//!   into exactly one worker's closure. Only the (few, per the paper's
+//!   central argument) rows with shared updates go through a compact
+//!   atomic side buffer; `Flush::Carry` segments stay thread-local and
+//!   are added serially after the join, exactly like the baseline.
+//! * **Register-tiled inner kernel** ([`accumulate_segment_tiled`]):
+//!   the dense dimension is processed in unrolled blocks of 8 and 4 with
+//!   scalar accumulators held in registers (the CPU analogue of
+//!   GE-SpMM-style coalesced column tiling), instead of streaming a full
+//!   accumulator row through memory per non-zero.
+//! * **Plan caching** ([`ExecEngine::spmm_cached`]): planning — the
+//!   merge-path binary searches plus row classification — is keyed by
+//!   (kernel name, kernel configuration fingerprint, graph epoch, shape,
+//!   dense dimension) and reused across calls until the graph mutates.
+//!   Hit/miss counters are exposed via [`EngineStats`].
+//!
+//! # Correctness envelope
+//!
+//! With one worker the engine accumulates in exactly the order of
+//! [`crate::executor::execute_sequential`] (same per-element addition
+//! order; tiling only reorders across output columns, never across
+//! non-zeros), so results are bit-identical to the oracle. With several
+//! workers, rows updated atomically by multiple logical threads may
+//! accumulate in a different order and differ by rounding — the same
+//! tolerance contract `execute_parallel` has always had.
+//!
+//! # Staleness
+//!
+//! The cache trusts the caller's `epoch`: reusing an epoch after mutating
+//! the matrix hands back a plan for the old sparsity pattern. The key also
+//! includes `(rows, cols, nnz)` as a cheap tripwire, but callers must bump
+//! the epoch on every mutation ([`GraphStream::generation`] in
+//! `mpspmm-graphs` is the intended source).
+//!
+//! [`GraphStream::generation`]: https://docs.rs/mpspmm-graphs
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use mpspmm_sparse::{CsrMatrix, DenseMatrix, SparseFormatError};
+
+use crate::executor::{atomic_add_f32, check_shapes};
+use crate::plan::{Flush, KernelPlan, Segment};
+use crate::pool::{ScopedJob, WorkerPool};
+use crate::spmm::{default_workers, SpmmKernel};
+use crate::stats::WriteStats;
+
+/// Plans cached per engine before the whole cache is dropped and rebuilt.
+/// GNN inference touches a handful of (kernel, dim) combinations per
+/// graph epoch, so a small bound with wholesale eviction is plenty.
+const PLAN_CACHE_CAPACITY: usize = 64;
+
+/// How the engine writes a given output row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RowKind {
+    /// No regular or atomic segment targets the row (it may still receive
+    /// post-join carry adds, which need no synchronization).
+    Untouched,
+    /// Exactly one `Regular` segment and no `Atomic` segment: the logical
+    /// thread `owner` holds the row's `&mut` slice and stores directly.
+    Direct { owner: u32 },
+    /// Shared or atomic updates: the row lives in slot `side` of the
+    /// compact atomic side buffer for the parallel phase.
+    Shared { side: u32 },
+}
+
+/// A plan plus the row classification and precomputed write statistics
+/// the engine needs to execute it. Classification is independent of the
+/// dense dimension, so one `PreparedPlan` serves any `B` width.
+#[derive(Debug, Clone)]
+pub struct PreparedPlan {
+    plan: KernelPlan,
+    row_kind: Vec<RowKind>,
+    /// Row index of each side-buffer slot, in slot order.
+    shared_rows: Vec<u32>,
+    stats: WriteStats,
+}
+
+impl PreparedPlan {
+    /// Classifies every output row of `plan` for a matrix with `rows` rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a segment targets a row `>= rows`.
+    pub fn new(plan: KernelPlan, rows: usize) -> Self {
+        #[derive(Clone, Copy, Default)]
+        struct RowInfo {
+            regular: u32,
+            atomic: u32,
+            owner: u32,
+        }
+        let mut info = vec![RowInfo::default(); rows];
+        let mut stats = WriteStats::default();
+        for (t, seg) in plan.iter_segments() {
+            match seg.flush {
+                Flush::Regular => {
+                    info[seg.row].regular += 1;
+                    info[seg.row].owner = t as u32;
+                    stats.regular_row_writes += 1;
+                    stats.regular_nnz += seg.len();
+                }
+                Flush::Atomic => {
+                    info[seg.row].atomic += 1;
+                    stats.atomic_row_updates += 1;
+                    stats.atomic_nnz += seg.len();
+                }
+                Flush::Carry => {
+                    stats.serial_row_updates += 1;
+                    stats.serial_nnz += seg.len();
+                }
+            }
+        }
+        let mut shared_rows = Vec::new();
+        let row_kind = info
+            .iter()
+            .enumerate()
+            .map(|(row, ri)| {
+                if ri.regular == 1 && ri.atomic == 0 {
+                    RowKind::Direct { owner: ri.owner }
+                } else if ri.regular + ri.atomic > 0 {
+                    let side = shared_rows.len() as u32;
+                    shared_rows.push(row as u32);
+                    RowKind::Shared { side }
+                } else {
+                    RowKind::Untouched
+                }
+            })
+            .collect();
+        Self {
+            plan,
+            row_kind,
+            shared_rows,
+            stats,
+        }
+    }
+
+    /// The underlying plan.
+    pub fn plan(&self) -> &KernelPlan {
+        &self.plan
+    }
+
+    /// The write statistics any execution of this plan realizes (they are
+    /// a property of the plan, not of the operand values).
+    pub fn expected_stats(&self) -> WriteStats {
+        self.stats
+    }
+
+    /// Number of rows routed through the atomic side buffer.
+    pub fn shared_row_count(&self) -> usize {
+        self.shared_rows.len()
+    }
+
+    /// Number of rows written directly with non-atomic stores.
+    pub fn direct_row_count(&self) -> usize {
+        self.row_kind
+            .iter()
+            .filter(|k| matches!(k, RowKind::Direct { .. }))
+            .count()
+    }
+}
+
+/// Accumulates one segment into `dst` (length = dense dimension),
+/// overwriting it, with the dense dimension register-tiled in unrolled
+/// blocks of 8 and 4 plus a scalar tail.
+///
+/// Per output column this performs the same additions in the same
+/// non-zero order as the executors' scalar loop, so individual elements
+/// are bit-identical to [`crate::executor::execute_sequential`].
+#[inline]
+pub(crate) fn accumulate_segment_tiled(
+    seg: &Segment,
+    a: &CsrMatrix<f32>,
+    b: &DenseMatrix<f32>,
+    dst: &mut [f32],
+) {
+    let cols = a.col_indices();
+    let vals = a.values();
+    let dim = dst.len();
+    let mut d = 0;
+    while d + 8 <= dim {
+        let (mut s0, mut s1, mut s2, mut s3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+        let (mut s4, mut s5, mut s6, mut s7) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+        for k in seg.nz_start..seg.nz_end {
+            let v = vals[k];
+            let blk = &b.row(cols[k])[d..d + 8];
+            s0 += v * blk[0];
+            s1 += v * blk[1];
+            s2 += v * blk[2];
+            s3 += v * blk[3];
+            s4 += v * blk[4];
+            s5 += v * blk[5];
+            s6 += v * blk[6];
+            s7 += v * blk[7];
+        }
+        let out = &mut dst[d..d + 8];
+        out[0] = s0;
+        out[1] = s1;
+        out[2] = s2;
+        out[3] = s3;
+        out[4] = s4;
+        out[5] = s5;
+        out[6] = s6;
+        out[7] = s7;
+        d += 8;
+    }
+    if d + 4 <= dim {
+        let (mut s0, mut s1, mut s2, mut s3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+        for k in seg.nz_start..seg.nz_end {
+            let v = vals[k];
+            let blk = &b.row(cols[k])[d..d + 4];
+            s0 += v * blk[0];
+            s1 += v * blk[1];
+            s2 += v * blk[2];
+            s3 += v * blk[3];
+        }
+        let out = &mut dst[d..d + 4];
+        out[0] = s0;
+        out[1] = s1;
+        out[2] = s2;
+        out[3] = s3;
+        d += 4;
+    }
+    while d < dim {
+        let mut s = 0.0f32;
+        for k in seg.nz_start..seg.nz_end {
+            s += vals[k] * b.row(cols[k])[d];
+        }
+        dst[d] = s;
+        d += 1;
+    }
+}
+
+/// Snapshot of an engine's plan-cache counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// [`ExecEngine::spmm_cached`] calls served from the plan cache.
+    pub plan_cache_hits: u64,
+    /// [`ExecEngine::spmm_cached`] calls that had to plan from scratch.
+    pub plan_cache_misses: u64,
+    /// Plans currently resident in the cache.
+    pub cached_plans: usize,
+    /// Worker parallelism the engine executes with.
+    pub workers: usize,
+}
+
+impl EngineStats {
+    /// Fraction of cached-SpMM calls served from the cache, in `[0, 1]`
+    /// (0 before any call).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.plan_cache_hits + self.plan_cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.plan_cache_hits as f64 / total as f64
+        }
+    }
+}
+
+/// Plan-cache key: which kernel (by name *and* configuration), which
+/// graph snapshot, which operand shape.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct PlanKey {
+    kernel: &'static str,
+    config: u64,
+    epoch: u64,
+    rows: usize,
+    cols: usize,
+    nnz: usize,
+    dim: usize,
+}
+
+/// The fast-path SpMM execution engine. See the module docs for the four
+/// optimizations it layers over [`crate::executor::execute_parallel`].
+pub struct ExecEngine {
+    workers: usize,
+    cache: Mutex<HashMap<PlanKey, Arc<PreparedPlan>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ExecEngine {
+    /// An engine that executes with `workers`-way parallelism
+    /// (`workers == 1` runs entirely on the calling thread, atomics-free).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers == 0`.
+    pub fn new(workers: usize) -> Self {
+        assert!(workers > 0, "need at least one worker");
+        Self {
+            workers,
+            cache: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// The process-wide engine, sized by [`default_workers`] (which honors
+    /// the `MPSPMM_WORKERS` override).
+    pub fn global() -> &'static ExecEngine {
+        static ENGINE: OnceLock<ExecEngine> = OnceLock::new();
+        ENGINE.get_or_init(|| ExecEngine::new(default_workers()))
+    }
+
+    /// Worker parallelism this engine executes with.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Executes a plan without touching the plan cache (classification is
+    /// redone per call). This is what [`SpmmKernel::spmm_with_stats`]
+    /// routes through.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseFormatError::ShapeMismatch`] if
+    /// `a.cols() != b.rows()`.
+    pub fn execute(
+        &self,
+        plan: &KernelPlan,
+        a: &CsrMatrix<f32>,
+        b: &DenseMatrix<f32>,
+    ) -> Result<(DenseMatrix<f32>, WriteStats), SparseFormatError> {
+        check_shapes(a, b)?;
+        let prep = PreparedPlan::new(plan.clone(), a.rows());
+        Ok(self.run(&prep, a, b))
+    }
+
+    /// Executes a previously classified plan.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseFormatError::ShapeMismatch`] if
+    /// `a.cols() != b.rows()`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `prep` was classified for a different row count than
+    /// `a.rows()`.
+    pub fn execute_prepared(
+        &self,
+        prep: &PreparedPlan,
+        a: &CsrMatrix<f32>,
+        b: &DenseMatrix<f32>,
+    ) -> Result<(DenseMatrix<f32>, WriteStats), SparseFormatError> {
+        check_shapes(a, b)?;
+        Ok(self.run(prep, a, b))
+    }
+
+    /// Computes `kernel`'s SpMM through the plan cache: on a hit the
+    /// merge-path planning and row classification are skipped entirely.
+    ///
+    /// `epoch` identifies the sparsity snapshot of `a` — bump it on every
+    /// mutation (see the module docs on staleness).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseFormatError::ShapeMismatch`] if
+    /// `a.cols() != b.rows()`.
+    pub fn spmm_cached(
+        &self,
+        kernel: &dyn SpmmKernel,
+        a: &CsrMatrix<f32>,
+        b: &DenseMatrix<f32>,
+        epoch: u64,
+    ) -> Result<(DenseMatrix<f32>, WriteStats), SparseFormatError> {
+        check_shapes(a, b)?;
+        let key = PlanKey {
+            kernel: kernel.name(),
+            config: kernel.config_fingerprint(),
+            epoch,
+            rows: a.rows(),
+            cols: a.cols(),
+            nnz: a.nnz(),
+            dim: b.cols(),
+        };
+        let cached = self.cache.lock().unwrap().get(&key).cloned();
+        let prep = match cached {
+            Some(prep) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                prep
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                let prep = Arc::new(PreparedPlan::new(kernel.plan(a, b.cols()), a.rows()));
+                let mut cache = self.cache.lock().unwrap();
+                if cache.len() >= PLAN_CACHE_CAPACITY {
+                    cache.clear();
+                }
+                cache.insert(key, Arc::clone(&prep));
+                prep
+            }
+        };
+        Ok(self.run(&prep, a, b))
+    }
+
+    /// Current cache counters.
+    pub fn stats(&self) -> EngineStats {
+        EngineStats {
+            plan_cache_hits: self.hits.load(Ordering::Relaxed),
+            plan_cache_misses: self.misses.load(Ordering::Relaxed),
+            cached_plans: self.cache.lock().unwrap().len(),
+            workers: self.workers,
+        }
+    }
+
+    /// Drops every cached plan and zeroes the hit/miss counters.
+    pub fn clear_cache(&self) {
+        self.cache.lock().unwrap().clear();
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+    }
+
+    /// Dispatches to the inline or pooled path. Shapes are already checked.
+    fn run(
+        &self,
+        prep: &PreparedPlan,
+        a: &CsrMatrix<f32>,
+        b: &DenseMatrix<f32>,
+    ) -> (DenseMatrix<f32>, WriteStats) {
+        assert_eq!(
+            prep.row_kind.len(),
+            a.rows(),
+            "prepared plan classified for a different row count"
+        );
+        let rows = a.rows();
+        let dim = b.cols();
+        let logical = prep.plan.threads.len();
+        if dim == 0 || logical == 0 {
+            return (DenseMatrix::zeros(rows, dim), prep.stats);
+        }
+        let eff_workers = self.workers.min(logical);
+        let out = if eff_workers <= 1 {
+            run_inline(prep, a, b, dim)
+        } else {
+            run_pooled(prep, a, b, dim, eff_workers)
+        };
+        let out = DenseMatrix::from_vec(rows, dim, out)
+            .expect("output buffer has exactly rows*dim elements");
+        (out, prep.stats)
+    }
+}
+
+impl std::fmt::Debug for ExecEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ExecEngine")
+            .field("workers", &self.workers)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+/// Single-worker path: no pool, no atomics anywhere. Accumulation order
+/// equals [`crate::executor::execute_sequential`]'s, so the result is
+/// bit-identical to the oracle.
+fn run_inline(
+    prep: &PreparedPlan,
+    a: &CsrMatrix<f32>,
+    b: &DenseMatrix<f32>,
+    dim: usize,
+) -> Vec<f32> {
+    let mut out = vec![0.0f32; prep.row_kind.len() * dim];
+    let mut acc = vec![0.0f32; dim];
+    let mut carries: Vec<(usize, Vec<f32>)> = Vec::new();
+    for tp in &prep.plan.threads {
+        for seg in &tp.segments {
+            if seg.is_empty() {
+                continue;
+            }
+            match seg.flush {
+                Flush::Regular => {
+                    accumulate_segment_tiled(seg, a, b, &mut out[seg.row * dim..][..dim]);
+                }
+                Flush::Atomic => {
+                    if acc.len() != dim {
+                        acc.resize(dim, 0.0);
+                    }
+                    accumulate_segment_tiled(seg, a, b, &mut acc);
+                    for (dst, &v) in out[seg.row * dim..][..dim].iter_mut().zip(&acc) {
+                        *dst += v;
+                    }
+                }
+                Flush::Carry => {
+                    if acc.len() != dim {
+                        acc.resize(dim, 0.0);
+                    }
+                    accumulate_segment_tiled(seg, a, b, &mut acc);
+                    carries.push((seg.row, std::mem::take(&mut acc)));
+                }
+            }
+        }
+    }
+    for (row, carry) in carries {
+        for (dst, v) in out[row * dim..][..dim].iter_mut().zip(carry) {
+            *dst += v;
+        }
+    }
+    out
+}
+
+/// Multi-worker path: logical threads are partitioned into `eff_workers`
+/// contiguous, equal-size ranges (merge-path plans are equal-work by
+/// construction, so a static partition balances). Direct rows are written
+/// through moved `&mut` slices; shared rows through the atomic side
+/// buffer; carries are added serially after the join in logical
+/// (thread, segment) order, matching the baseline executor.
+fn run_pooled(
+    prep: &PreparedPlan,
+    a: &CsrMatrix<f32>,
+    b: &DenseMatrix<f32>,
+    dim: usize,
+    eff_workers: usize,
+) -> Vec<f32> {
+    let logical = prep.plan.threads.len();
+    let per_worker = logical.div_ceil(eff_workers);
+    let mut out = vec![0.0f32; prep.row_kind.len() * dim];
+    let side: Vec<AtomicU32> = (0..prep.shared_rows.len() * dim)
+        .map(|_| AtomicU32::new(0))
+        .collect();
+    let all_carries = Mutex::new(Vec::<(usize, usize, usize, Vec<f32>)>::new());
+
+    // Hand each direct row's slice to the worker that executes its owning
+    // logical thread. Disjointness comes from `chunks_mut`, not from any
+    // engine invariant.
+    let mut assigned: Vec<Vec<(u32, &mut [f32])>> = (0..eff_workers).map(|_| Vec::new()).collect();
+    for (row, chunk) in out.chunks_mut(dim).enumerate() {
+        if let RowKind::Direct { owner } = prep.row_kind[row] {
+            assigned[owner as usize / per_worker].push((row as u32, chunk));
+        }
+    }
+
+    let jobs: Vec<ScopedJob<'_>> = assigned
+        .into_iter()
+        .enumerate()
+        .map(|(w, rows_for_w)| {
+            let side = &side;
+            let all_carries = &all_carries;
+            Box::new(move || {
+                let mut slices: HashMap<u32, &mut [f32]> = rows_for_w.into_iter().collect();
+                let mut acc = vec![0.0f32; dim];
+                let mut local_carries = Vec::new();
+                let hi = ((w + 1) * per_worker).min(logical);
+                for t in w * per_worker..hi {
+                    for (s, seg) in prep.plan.threads[t].segments.iter().enumerate() {
+                        if seg.is_empty() {
+                            continue;
+                        }
+                        match seg.flush {
+                            Flush::Regular => match prep.row_kind[seg.row] {
+                                RowKind::Direct { .. } => {
+                                    let dst = slices
+                                        .get_mut(&(seg.row as u32))
+                                        .expect("direct row slice routed to owner worker");
+                                    accumulate_segment_tiled(seg, a, b, dst);
+                                }
+                                RowKind::Shared { side: slot } => {
+                                    if acc.len() != dim {
+                                        acc.resize(dim, 0.0);
+                                    }
+                                    accumulate_segment_tiled(seg, a, b, &mut acc);
+                                    let base = slot as usize * dim;
+                                    for (i, &v) in acc.iter().enumerate() {
+                                        side[base + i].store(v.to_bits(), Ordering::Relaxed);
+                                    }
+                                }
+                                RowKind::Untouched => {
+                                    unreachable!("regular write classifies its row as touched")
+                                }
+                            },
+                            Flush::Atomic => {
+                                let RowKind::Shared { side: slot } = prep.row_kind[seg.row] else {
+                                    unreachable!("atomic update classifies its row as shared")
+                                };
+                                if acc.len() != dim {
+                                    acc.resize(dim, 0.0);
+                                }
+                                accumulate_segment_tiled(seg, a, b, &mut acc);
+                                let base = slot as usize * dim;
+                                for (i, &v) in acc.iter().enumerate() {
+                                    atomic_add_f32(&side[base + i], v);
+                                }
+                            }
+                            Flush::Carry => {
+                                if acc.len() != dim {
+                                    acc.resize(dim, 0.0);
+                                }
+                                accumulate_segment_tiled(seg, a, b, &mut acc);
+                                local_carries.push((t, s, seg.row, std::mem::take(&mut acc)));
+                            }
+                        }
+                    }
+                }
+                if !local_carries.is_empty() {
+                    all_carries.lock().unwrap().append(&mut local_carries);
+                }
+            }) as ScopedJob<'_>
+        })
+        .collect();
+    WorkerPool::global().scope_run(jobs);
+
+    // Fold the atomic side buffer back into the plain output.
+    for (slot, &row) in prep.shared_rows.iter().enumerate() {
+        let src = &side[slot * dim..(slot + 1) * dim];
+        for (dst, cell) in out[row as usize * dim..][..dim].iter_mut().zip(src) {
+            *dst = f32::from_bits(cell.load(Ordering::Relaxed));
+        }
+    }
+
+    // Serial fix-up phase in deterministic (thread, segment) order.
+    let mut carries = all_carries.into_inner().unwrap();
+    carries.sort_unstable_by_key(|&(t, s, _, _)| (t, s));
+    for (_, _, row, carry) in carries {
+        for (dst, v) in out[row * dim..][..dim].iter_mut().zip(carry) {
+            *dst += v;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::execute_sequential;
+    use crate::plan::ThreadPlan;
+
+    fn seg(row: usize, nz_start: usize, nz_end: usize, flush: Flush) -> Segment {
+        Segment {
+            row,
+            nz_start,
+            nz_end,
+            flush,
+        }
+    }
+
+    fn plan(threads: Vec<Vec<Segment>>) -> KernelPlan {
+        KernelPlan {
+            threads: threads
+                .into_iter()
+                .map(|segments| ThreadPlan { segments })
+                .collect(),
+        }
+    }
+
+    fn small() -> (CsrMatrix<f32>, DenseMatrix<f32>) {
+        let a = CsrMatrix::from_triplets(
+            3,
+            3,
+            &[(0, 0, 1.0), (0, 2, 2.0), (1, 1, 3.0), (2, 0, 4.0), (2, 1, 5.0)],
+        )
+        .unwrap();
+        let b = DenseMatrix::from_fn(3, 2, |r, c| (r * 2 + c) as f32 + 1.0);
+        (a, b)
+    }
+
+    fn mixed_plan() -> KernelPlan {
+        plan(vec![
+            vec![seg(0, 0, 1, Flush::Atomic)],
+            vec![seg(0, 1, 2, Flush::Atomic), seg(1, 2, 3, Flush::Regular)],
+            vec![seg(2, 3, 5, Flush::Carry)],
+        ])
+    }
+
+    #[test]
+    fn classification_finds_direct_shared_untouched() {
+        let (a, _) = small();
+        let p = mixed_plan();
+        p.validate(&a).unwrap();
+        let prep = PreparedPlan::new(p, a.rows());
+        assert_eq!(prep.row_kind[0], RowKind::Shared { side: 0 });
+        assert_eq!(prep.row_kind[1], RowKind::Direct { owner: 1 });
+        // Row 2 only receives a carry — no parallel-phase writes at all.
+        assert_eq!(prep.row_kind[2], RowKind::Untouched);
+        assert_eq!(prep.shared_rows, vec![0]);
+        assert_eq!(prep.direct_row_count(), 1);
+        assert_eq!(prep.shared_row_count(), 1);
+    }
+
+    #[test]
+    fn expected_stats_match_sequential_executor() {
+        let (a, b) = small();
+        let p = mixed_plan();
+        let (_, seq_stats) = execute_sequential(&p, &a, &b).unwrap();
+        let prep = PreparedPlan::new(p, a.rows());
+        assert_eq!(prep.expected_stats(), seq_stats);
+    }
+
+    #[test]
+    fn engine_matches_sequential_on_mixed_plan() {
+        let (a, b) = small();
+        let p = mixed_plan();
+        let (seq, seq_stats) = execute_sequential(&p, &a, &b).unwrap();
+        for workers in [1, 2, 4, 16] {
+            let engine = ExecEngine::new(workers);
+            let (out, stats) = engine.execute(&p, &a, &b).unwrap();
+            assert!(out.approx_eq(&seq, 1e-5).unwrap(), "workers={workers}");
+            assert_eq!(stats, seq_stats, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn single_worker_is_bit_identical_to_sequential() {
+        let a = crate::spmm::test_support::random_matrix(64, 64, 400, 11);
+        let b = crate::spmm::test_support::random_dense(64, 19, 12);
+        let p = crate::MergePathSpmm::with_threads(13).plan(&a, 19);
+        let (seq, _) = execute_sequential(&p, &a, &b).unwrap();
+        let (out, _) = ExecEngine::new(1).execute(&p, &a, &b).unwrap();
+        assert_eq!(out.max_abs_diff(&seq).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn tiled_segment_matches_scalar_accumulation() {
+        let a = crate::spmm::test_support::random_matrix(32, 32, 200, 3);
+        for dim in [1, 2, 3, 4, 5, 7, 8, 9, 12, 16, 17, 33] {
+            let b = crate::spmm::test_support::random_dense(32, dim, 4);
+            let s = seg(0, 0, a.row_ptr()[1], Flush::Regular);
+            let mut tiled = vec![f32::NAN; dim];
+            accumulate_segment_tiled(&s, &a, &b, &mut tiled);
+            // Scalar reference in the executors' accumulation order.
+            let mut scalar = vec![0.0f32; dim];
+            for k in s.nz_start..s.nz_end {
+                let v = a.values()[k];
+                for (dst, &src) in scalar.iter_mut().zip(b.row(a.col_indices()[k])) {
+                    *dst += v * src;
+                }
+            }
+            assert_eq!(tiled, scalar, "dim={dim}");
+        }
+    }
+
+    #[test]
+    fn zero_dimension_and_empty_plan() {
+        let (a, _) = small();
+        let b = DenseMatrix::<f32>::zeros(3, 0);
+        let engine = ExecEngine::new(4);
+        let (out, _) = engine.execute(&mixed_plan(), &a, &b).unwrap();
+        assert_eq!(out.cols(), 0);
+        let empty = plan(vec![]);
+        let b = DenseMatrix::<f32>::zeros(3, 2);
+        let (out, stats) = engine.execute(&empty, &a, &b).unwrap();
+        assert_eq!(out.rows(), 3);
+        assert_eq!(stats, WriteStats::default());
+    }
+
+    #[test]
+    fn shape_mismatch_is_rejected() {
+        let (a, _) = small();
+        let bad_b = DenseMatrix::<f32>::zeros(5, 2);
+        assert!(ExecEngine::new(2).execute(&mixed_plan(), &a, &bad_b).is_err());
+        assert!(ExecEngine::new(2)
+            .spmm_cached(&crate::MergePathSpmm::new(), &a, &bad_b, 0)
+            .is_err());
+    }
+
+    #[test]
+    fn mutated_matrix_misses_cache_via_shape_tripwire() {
+        let (a, b) = small();
+        let engine = ExecEngine::new(2);
+        let kernel = crate::MergePathSpmm::with_threads(3);
+        engine.spmm_cached(&kernel, &a, &b, 7).unwrap();
+        // Same epoch, but the matrix gained a non-zero: the (rows, cols,
+        // nnz) component of the key must force a re-plan.
+        let mutated = CsrMatrix::from_triplets(
+            3,
+            3,
+            &[
+                (0, 0, 1.0),
+                (0, 2, 2.0),
+                (1, 1, 3.0),
+                (2, 0, 4.0),
+                (2, 1, 5.0),
+                (2, 2, 6.0),
+            ],
+        )
+        .unwrap();
+        engine.spmm_cached(&kernel, &mutated, &b, 7).unwrap();
+        let stats = engine.stats();
+        assert_eq!(stats.plan_cache_misses, 2);
+        assert_eq!(stats.plan_cache_hits, 0);
+    }
+
+    #[test]
+    fn distinct_kernel_configs_get_distinct_cache_entries() {
+        let (a, b) = small();
+        let engine = ExecEngine::new(2);
+        engine
+            .spmm_cached(&crate::MergePathSpmm::with_threads(2), &a, &b, 0)
+            .unwrap();
+        engine
+            .spmm_cached(&crate::MergePathSpmm::with_threads(3), &a, &b, 0)
+            .unwrap();
+        let stats = engine.stats();
+        assert_eq!(stats.plan_cache_misses, 2);
+        assert_eq!(stats.cached_plans, 2);
+    }
+
+    #[test]
+    fn cache_hits_and_misses_are_counted() {
+        let (a, b) = small();
+        let engine = ExecEngine::new(2);
+        let kernel = crate::MergePathSpmm::with_threads(3);
+        let (first, _) = engine.spmm_cached(&kernel, &a, &b, 0).unwrap();
+        let (second, _) = engine.spmm_cached(&kernel, &a, &b, 0).unwrap();
+        assert_eq!(first.max_abs_diff(&second).unwrap(), 0.0);
+        let stats = engine.stats();
+        assert_eq!(stats.plan_cache_misses, 1);
+        assert_eq!(stats.plan_cache_hits, 1);
+        assert_eq!(stats.cached_plans, 1);
+        assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
+        engine.clear_cache();
+        assert_eq!(engine.stats().cached_plans, 0);
+        assert_eq!(engine.stats().hit_rate(), 0.0);
+    }
+}

@@ -6,7 +6,7 @@
 //!   calling thread — fully deterministic, used as the correctness oracle
 //!   and by the machine-model simulators.
 //! * [`execute_parallel`] runs thread plans on a pool of worker OS threads
-//!   (`crossbeam` scoped threads), with atomic f32 accumulation implemented
+//!   (`std::thread::scope`), with atomic f32 accumulation implemented
 //!   as compare-and-swap loops over `AtomicU32` bit patterns — the CPU
 //!   equivalent of the GPU's `atomicAdd(float*)` used by the paper's
 //!   kernels.
@@ -23,9 +23,9 @@
 //! [`WriteStats`].
 
 use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 use mpspmm_sparse::{CsrMatrix, DenseMatrix, SparseFormatError};
-use parking_lot::Mutex;
 
 use crate::plan::{Flush, KernelPlan, Segment};
 use crate::stats::WriteStats;
@@ -115,7 +115,7 @@ pub fn execute_sequential(
 
 /// Adds `v` to the f32 stored in `cell` with a compare-and-swap loop.
 #[inline]
-fn atomic_add_f32(cell: &AtomicU32, v: f32) {
+pub(crate) fn atomic_add_f32(cell: &AtomicU32, v: f32) {
     let mut current = cell.load(Ordering::Relaxed);
     loop {
         let new = (f32::from_bits(current) + v).to_bits();
@@ -159,9 +159,9 @@ pub fn execute_parallel(
     // Carries collected as (logical thread, segment order, row, partial).
     let all_carries = Mutex::new(Vec::<(usize, usize, usize, Vec<f32>)>::new());
 
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..workers.min(plan.threads.len()).max(1) {
-            scope.spawn(|_| {
+            scope.spawn(|| {
                 let mut acc = vec![0.0f32; dim];
                 let mut local = WriteStats::default();
                 let mut local_carries = Vec::new();
@@ -173,6 +173,9 @@ pub fn execute_parallel(
                     for (s, seg) in plan.threads[t].segments.iter().enumerate() {
                         if seg.is_empty() {
                             continue;
+                        }
+                        if acc.len() != dim {
+                            acc.resize(dim, 0.0);
                         }
                         accumulate_segment(seg, a, b, &mut acc);
                         let base = seg.row * dim;
@@ -194,24 +197,26 @@ pub fn execute_parallel(
                                 local.atomic_nnz += seg.len();
                             }
                             Flush::Carry => {
-                                local_carries.push((t, s, seg.row, acc.clone()));
+                                // Hand over the accumulator instead of
+                                // cloning it; a fresh one is allocated
+                                // lazily only when another segment follows.
+                                local_carries.push((t, s, seg.row, std::mem::take(&mut acc)));
                                 local.serial_row_updates += 1;
                                 local.serial_nnz += seg.len();
                             }
                         }
                     }
                 }
-                *stats.lock() += local;
+                *stats.lock().unwrap() += local;
                 if !local_carries.is_empty() {
-                    all_carries.lock().append(&mut local_carries);
+                    all_carries.lock().unwrap().append(&mut local_carries);
                 }
             });
         }
-    })
-    .expect("worker threads do not panic");
+    });
 
     // Serial fix-up phase in deterministic (thread, segment) order.
-    let mut carries = all_carries.into_inner();
+    let mut carries = all_carries.into_inner().unwrap();
     carries.sort_unstable_by_key(|&(t, s, _, _)| (t, s));
     for (_, _, row, carry) in carries {
         let base = row * dim;
@@ -226,7 +231,7 @@ pub fn execute_parallel(
         .collect();
     let out = DenseMatrix::from_vec(a.rows(), dim, data)
         .expect("output buffer has exactly rows*dim elements");
-    Ok((out, stats.into_inner()))
+    Ok((out, stats.into_inner().unwrap()))
 }
 
 #[cfg(test)]
@@ -351,16 +356,15 @@ mod tests {
     #[test]
     fn atomic_adds_race_free_across_threads() {
         let cell = AtomicU32::new(0f32.to_bits());
-        crossbeam::thread::scope(|s| {
+        std::thread::scope(|s| {
             for _ in 0..4 {
-                s.spawn(|_| {
+                s.spawn(|| {
                     for _ in 0..1000 {
                         atomic_add_f32(&cell, 1.0);
                     }
                 });
             }
-        })
-        .unwrap();
+        });
         // 4000 < 2^24, so f32 addition is exact here.
         assert_eq!(f32::from_bits(cell.into_inner()), 4000.0);
     }

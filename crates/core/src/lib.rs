@@ -40,18 +40,24 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the worker pool (`pool.rs`) is the single
+// module allowed to opt back in, for one lifetime-erasure transmute with a
+// documented completion-barrier argument. Everything else stays safe.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod analysis;
+pub mod engine;
 pub mod executor;
 mod merge_path;
 mod plan;
+mod pool;
 pub mod spmm;
 pub mod spmv;
 mod stats;
 pub mod tuning;
 
+pub use engine::{EngineStats, ExecEngine, PreparedPlan};
 pub use merge_path::{merge_path_search, MergeCoord, Schedule, ThreadAssignment};
 pub use plan::{Flush, KernelPlan, PlanError, Segment, ThreadPlan};
 pub use spmm::{

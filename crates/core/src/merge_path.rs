@@ -21,7 +21,6 @@
 //! paper) that MergePath-SpMM uses to decide which output updates need
 //! atomic operations.
 
-use serde::{Deserialize, Serialize};
 
 use mpspmm_sparse::CsrMatrix;
 
@@ -29,7 +28,7 @@ use mpspmm_sparse::CsrMatrix;
 ///
 /// `row` indexes list A (row end offsets), `nnz` indexes list B (non-zero
 /// indices); the coordinate lies on diagonal `row + nnz`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct MergeCoord {
     /// Row index (0-based).
     pub row: usize,
@@ -91,7 +90,7 @@ pub fn merge_path_search(diagonal: usize, row_end_offsets: &[usize], nnz: usize)
 /// The thread processes merge items from `start` (inclusive) to `end`
 /// (exclusive): non-zeros `start.nnz..end.nnz` spread over rows
 /// `start.row..=end.row`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ThreadAssignment {
     /// First merge coordinate owned by this thread.
     pub start: MergeCoord,
@@ -155,7 +154,7 @@ impl ThreadAssignment {
 /// assert_eq!(schedule.total_merge_items(), 6); // 4 rows + 2 nnz
 /// # Ok::<(), mpspmm_sparse::SparseFormatError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Schedule {
     rows: usize,
     nnz: usize,
@@ -225,9 +224,9 @@ impl Schedule {
             num_threads + 1
         ];
         let chunk = (num_threads + 1).div_ceil(workers);
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             for (w, slot) in boundaries.chunks_mut(chunk).enumerate() {
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     for (i, out) in slot.iter_mut().enumerate() {
                         let b = w * chunk + i;
                         let diag = (b * items_per_thread).min(merge_items);
@@ -235,8 +234,7 @@ impl Schedule {
                     }
                 });
             }
-        })
-        .expect("boundary workers do not panic");
+        });
         let assignments = boundaries
             .windows(2)
             .map(|w| ThreadAssignment {
@@ -312,6 +310,48 @@ impl Schedule {
     /// while the adjacency matrix is stationary.
     pub fn matches<T>(&self, matrix: &CsrMatrix<T>) -> bool {
         self.rows == matrix.rows() && self.nnz == matrix.nnz()
+    }
+
+    /// Reassembles a schedule from externally stored parts (the offline
+    /// setting persists schedules between runs; this is the decode side).
+    ///
+    /// The parts must describe a schedule previously taken apart via the
+    /// accessors ([`rows`](Self::rows), [`nnz`](Self::nnz),
+    /// [`items_per_thread`](Self::items_per_thread),
+    /// [`assignments`](Self::assignments)); basic shape invariants are
+    /// checked here, full validity is re-checked when the schedule is
+    /// lowered against a concrete matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `assignments` is empty, does not start at diagonal 0, is
+    /// not contiguous, or does not end at `rows + nnz`.
+    pub fn from_parts(
+        rows: usize,
+        nnz: usize,
+        items_per_thread: usize,
+        assignments: Vec<ThreadAssignment>,
+    ) -> Self {
+        assert!(!assignments.is_empty(), "schedule needs at least one thread");
+        assert_eq!(
+            assignments[0].start.diagonal(),
+            0,
+            "first thread must start at diagonal 0"
+        );
+        for w in assignments.windows(2) {
+            assert_eq!(w[0].end, w[1].start, "assignments must be contiguous");
+        }
+        assert_eq!(
+            assignments.last().unwrap().end.diagonal(),
+            rows + nnz,
+            "last thread must end at the final merge item"
+        );
+        Self {
+            rows,
+            nnz,
+            items_per_thread,
+            assignments,
+        }
     }
 }
 

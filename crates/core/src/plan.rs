@@ -10,14 +10,13 @@
 //! ([`crate::executor`]); the GPU and multicore simulators lower plans to
 //! machine traces.
 
-use serde::{Deserialize, Serialize};
 
 use mpspmm_sparse::CsrMatrix;
 
 use crate::stats::WriteStats;
 
 /// How a segment's accumulated partial result reaches the output row.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Flush {
     /// Plain (non-atomic) write by the row's exclusive owner
     /// (MergePath-SpMM complete rows, Algorithm 2 line 15).
@@ -35,7 +34,7 @@ pub enum Flush {
 
 /// A contiguous range of non-zeros within one row, processed by one
 /// logical thread, flushed to the output with one update.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Segment {
     /// Output row this segment accumulates into.
     pub row: usize,
@@ -60,7 +59,7 @@ impl Segment {
 }
 
 /// The segments assigned to one logical thread, in execution order.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ThreadPlan {
     /// Segments executed sequentially by this thread.
     pub segments: Vec<Segment>,
@@ -86,7 +85,7 @@ impl ThreadPlan {
 /// Threads whose plans contain [`Flush::Carry`] segments feed a serial
 /// post-barrier phase: one dimension-wide vector addition per non-empty
 /// carry segment, executed in thread order by a single thread.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct KernelPlan {
     /// Per-logical-thread parallel work.
     pub threads: Vec<ThreadPlan>,

@@ -9,7 +9,6 @@
 //! two output updates per thread — the paper's central idea.
 
 use mpspmm_sparse::CsrMatrix;
-use serde::{Deserialize, Serialize};
 
 use crate::merge_path::Schedule;
 use crate::plan::{Flush, KernelPlan, Segment, ThreadPlan};
@@ -18,7 +17,7 @@ use crate::tuning::{default_cost_for_dim, thread_count, MIN_THREADS};
 use super::SpmmKernel;
 
 /// How MergePath-SpMM picks its logical-thread count.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CostPolicy {
     /// Use the paper's empirically tuned merge-path cost for the dense
     /// dimension (Figure 6 table), with the §III-C minimum-thread floor.
@@ -47,7 +46,7 @@ pub enum CostPolicy {
 /// assert_eq!(stats.total_nnz(), 2);
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MergePathSpmm {
     policy: CostPolicy,
     min_threads: usize,
@@ -126,6 +125,15 @@ impl SpmmKernel for MergePathSpmm {
 
     fn plan(&self, a: &CsrMatrix<f32>, dim: usize) -> KernelPlan {
         plan_from_schedule(&self.schedule(a, dim), a)
+    }
+
+    fn config_fingerprint(&self) -> u64 {
+        let (tag, value) = match self.policy {
+            CostPolicy::Auto => (0u64, 0u64),
+            CostPolicy::FixedCost(cost) => (1, cost as u64),
+            CostPolicy::FixedThreads(threads) => (2, threads as u64),
+        };
+        super::mix_config(&[tag, value, self.min_threads as u64])
     }
 }
 

@@ -31,11 +31,40 @@ use crate::executor;
 use crate::plan::KernelPlan;
 use crate::stats::WriteStats;
 
-/// Number of worker OS threads the parallel executor uses by default.
+/// Number of worker OS threads the execution engine uses by default.
+///
+/// Resolved once per process and cached: the `MPSPMM_WORKERS` environment
+/// variable (a positive integer) wins if set and valid, otherwise the
+/// machine's available parallelism. Because the result seeds the global
+/// worker pool and engine, changing the variable after the first call has
+/// no effect.
 pub fn default_workers() -> usize {
-    std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(1)
+    static WORKERS: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *WORKERS.get_or_init(|| {
+        if let Ok(raw) = std::env::var("MPSPMM_WORKERS") {
+            if let Ok(n) = raw.trim().parse::<usize>() {
+                if n > 0 {
+                    return n;
+                }
+            }
+        }
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    })
+}
+
+/// Order-sensitive FNV-1a mix of a kernel's configuration words, used by
+/// [`SpmmKernel::config_fingerprint`] implementations.
+pub(crate) fn mix_config(parts: &[u64]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &p in parts {
+        for byte in p.to_le_bytes() {
+            h ^= u64::from(byte);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+    h
 }
 
 /// A sparse-matrix × dense-matrix multiplication strategy.
@@ -49,6 +78,15 @@ pub trait SpmmKernel: Send + Sync {
     /// Decomposes the kernel into logical-thread work for a dense
     /// dimension of `dim` columns.
     fn plan(&self, a: &CsrMatrix<f32>, dim: usize) -> KernelPlan;
+
+    /// Hash of the kernel's tunable configuration, used (together with
+    /// [`SpmmKernel::name`]) to key the engine's plan cache. Two instances
+    /// that can produce different plans for the same matrix must return
+    /// different fingerprints; configuration-free kernels keep the
+    /// default.
+    fn config_fingerprint(&self) -> u64 {
+        0
+    }
 
     /// Computes `A × B` on the default worker pool.
     ///
@@ -78,7 +116,7 @@ pub trait SpmmKernel: Send + Sync {
     ) -> Result<(DenseMatrix<f32>, WriteStats), SparseFormatError> {
         executor::check_shapes(a, b)?;
         let plan = self.plan(a, b.cols());
-        executor::execute_parallel(&plan, a, b, default_workers())
+        crate::engine::ExecEngine::global().execute(&plan, a, b)
     }
 
     /// Computes `A × B` deterministically on the calling thread, replaying

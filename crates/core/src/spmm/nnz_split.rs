@@ -10,7 +10,6 @@
 //! The paper's default NG size is the graph's average degree.
 
 use mpspmm_sparse::CsrMatrix;
-use serde::{Deserialize, Serialize};
 
 use crate::plan::{Flush, KernelPlan, Segment, ThreadPlan};
 
@@ -32,7 +31,7 @@ use super::SpmmKernel;
 /// assert_eq!(c.get(0, 1), 3.0); // B[0,1] + B[1,1]
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct NnzSplitSpmm {
     ng_size: Option<usize>,
 }
@@ -83,6 +82,15 @@ impl SpmmKernel for NnzSplitSpmm {
     fn plan(&self, a: &CsrMatrix<f32>, _dim: usize) -> KernelPlan {
         NeighborPartitionIndex::build(a, self.ng_size_for(a)).to_plan()
     }
+
+    fn config_fingerprint(&self) -> u64 {
+        // `None` plans from the per-matrix average degree; the cache key's
+        // (rows, nnz) component pins that down, so 0 vs 1+size suffices.
+        match self.ng_size {
+            None => 0,
+            Some(s) => super::mix_config(&[1, s as u64]),
+        }
+    }
 }
 
 /// GNNAdvisor's preprocessed neighbor-partition metadata — the
@@ -95,7 +103,7 @@ impl SpmmKernel for NnzSplitSpmm {
 /// [`memory_bytes`](Self::memory_bytes) quantifies that overhead (the
 /// `ablation_preprocessing` harness compares it against the merge-path
 /// schedule's footprint).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct NeighborPartitionIndex {
     ng_size: usize,
     rows: usize,

@@ -7,7 +7,6 @@
 //! hardware baselines (AWB-GCN et al.) added an auto-tuner to fix.
 
 use mpspmm_sparse::CsrMatrix;
-use serde::{Deserialize, Serialize};
 
 use crate::plan::{Flush, KernelPlan, Segment, ThreadPlan};
 
@@ -27,7 +26,7 @@ use super::SpmmKernel;
 /// assert_eq!(c.get(3, 0), 3.0);
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RowSplitSpmm {
     threads: usize,
 }
@@ -59,6 +58,10 @@ impl Default for RowSplitSpmm {
 impl SpmmKernel for RowSplitSpmm {
     fn name(&self) -> &'static str {
         "row-splitting"
+    }
+
+    fn config_fingerprint(&self) -> u64 {
+        crate::spmm::mix_config(&[self.threads as u64])
     }
 
     fn plan(&self, a: &CsrMatrix<f32>, _dim: usize) -> KernelPlan {

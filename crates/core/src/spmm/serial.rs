@@ -1,7 +1,6 @@
 //! Single-threaded reference kernel: the correctness oracle.
 
 use mpspmm_sparse::CsrMatrix;
-use serde::{Deserialize, Serialize};
 
 use crate::plan::{Flush, KernelPlan, Segment, ThreadPlan};
 
@@ -21,7 +20,7 @@ use super::SpmmKernel;
 /// assert_eq!(c.get(1, 1), 3.0);
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SerialSpmm;
 
 impl SpmmKernel for SerialSpmm {

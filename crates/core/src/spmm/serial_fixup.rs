@@ -12,7 +12,6 @@
 //! phase strangles parallelism — the paper's Figure 2 motivation.
 
 use mpspmm_sparse::CsrMatrix;
-use serde::{Deserialize, Serialize};
 
 use crate::merge_path::Schedule;
 use crate::plan::{Flush, KernelPlan, Segment, ThreadPlan};
@@ -34,7 +33,7 @@ use super::SpmmKernel;
 /// assert_eq!(c.get(0, 0), 1.0);
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MergePathSerialFixup {
     threads: Option<usize>,
     cost: usize,
@@ -89,6 +88,14 @@ impl SpmmKernel for MergePathSerialFixup {
 
     fn plan(&self, a: &CsrMatrix<f32>, _dim: usize) -> KernelPlan {
         plan_with_serial_fixup(&self.schedule(a), a)
+    }
+
+    fn config_fingerprint(&self) -> u64 {
+        super::mix_config(&[
+            self.threads.map_or(0, |t| t as u64 + 1),
+            self.cost as u64,
+            self.min_threads as u64,
+        ])
     }
 }
 

@@ -1,7 +1,6 @@
 //! Execution statistics: the atomic/regular write accounting behind
 //! Figure 5 of the paper.
 
-use serde::{Deserialize, Serialize};
 use std::ops::AddAssign;
 
 /// Counts of output-matrix update operations performed by an SpMM kernel.
@@ -10,7 +9,7 @@ use std::ops::AddAssign;
 /// operations to partial start/end rows while GNNAdvisor updates *every*
 /// output row atomically; Figure 5 plots exactly this distribution for
 /// MergePath-SpMM at dimension 16.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct WriteStats {
     /// Output-row updates performed with atomic accumulation. Each counts
     /// one thread-local partial result flushed atomically (Algorithm 2

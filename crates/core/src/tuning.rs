@@ -7,7 +7,6 @@
 //! logical threads into one warp) — and ties the *merge-path cost* (work
 //! per thread) to the regime via an empirical table (Figure 6).
 
-use serde::{Deserialize, Serialize};
 
 /// Minimum logical-thread floor for small graphs (§III-C1: "When the
 /// computed threads are below a threshold (e.g., 1024), the total thread
@@ -18,7 +17,7 @@ pub const MIN_THREADS: usize = 1024;
 pub const GPU_SIMD_LANES: usize = 32;
 
 /// How logical threads map onto SIMD units for a given dense dimension.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SimdMapping {
     /// SIMD lanes per hardware unit (warp).
     pub lanes: usize,

@@ -3,7 +3,7 @@
 //! aggregation, and all with *different* dense-dimension profiles, which
 //! is exactly why §III-C studies a range of dimension sizes.
 
-use mpspmm_core::SpmmKernel;
+use mpspmm_core::{ExecEngine, SpmmKernel};
 use mpspmm_sparse::{CsrMatrix, DenseMatrix, SparseFormatError};
 
 use crate::ops::{gemm, Activation};
@@ -59,6 +59,28 @@ impl GinLayer {
         // Aggregation FIRST (unlike GCN): the SpMM runs at the input
         // width, so GIN exercises different Figure 6/7 dimension points.
         let agg = kernel.spmm(op, h)?;
+        self.finish_mlp(agg)
+    }
+
+    /// Forward pass through `engine`'s plan cache (see
+    /// [`crate::GcnLayer::forward_cached`] for the epoch contract).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseFormatError::ShapeMismatch`] on inconsistent shapes.
+    pub fn forward_cached(
+        &self,
+        op: &CsrMatrix<f32>,
+        h: &DenseMatrix<f32>,
+        kernel: &dyn SpmmKernel,
+        engine: &ExecEngine,
+        epoch: u64,
+    ) -> Result<DenseMatrix<f32>, SparseFormatError> {
+        let (agg, _) = engine.spmm_cached(kernel, op, h, epoch)?;
+        self.finish_mlp(agg)
+    }
+
+    fn finish_mlp(&self, agg: DenseMatrix<f32>) -> Result<DenseMatrix<f32>, SparseFormatError> {
         let mut hidden = gemm(&agg, &self.w1)?;
         Activation::Relu.apply(&mut hidden);
         let mut out = gemm(&hidden, &self.w2)?;
@@ -120,9 +142,34 @@ impl SageMeanLayer {
         h: &DenseMatrix<f32>,
         kernel: &dyn SpmmKernel,
     ) -> Result<DenseMatrix<f32>, SparseFormatError> {
-        let self_path = gemm(h, &self.w_self)?;
         let neigh = kernel.spmm(op, &gemm(h, &self.w_neigh)?)?;
-        let mut out = self_path;
+        self.combine(h, neigh)
+    }
+
+    /// Forward pass through `engine`'s plan cache (see
+    /// [`crate::GcnLayer::forward_cached`] for the epoch contract).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseFormatError::ShapeMismatch`] on inconsistent shapes.
+    pub fn forward_cached(
+        &self,
+        op: &CsrMatrix<f32>,
+        h: &DenseMatrix<f32>,
+        kernel: &dyn SpmmKernel,
+        engine: &ExecEngine,
+        epoch: u64,
+    ) -> Result<DenseMatrix<f32>, SparseFormatError> {
+        let (neigh, _) = engine.spmm_cached(kernel, op, &gemm(h, &self.w_neigh)?, epoch)?;
+        self.combine(h, neigh)
+    }
+
+    fn combine(
+        &self,
+        h: &DenseMatrix<f32>,
+        neigh: DenseMatrix<f32>,
+    ) -> Result<DenseMatrix<f32>, SparseFormatError> {
+        let mut out = gemm(h, &self.w_self)?;
         if out.rows() != neigh.rows() || out.cols() != neigh.cols() {
             return Err(SparseFormatError::ShapeMismatch {
                 left: (out.rows(), out.cols()),

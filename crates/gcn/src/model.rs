@@ -1,6 +1,6 @@
 //! GCN layers and models over pluggable SpMM kernels.
 
-use mpspmm_core::{Schedule, SpmmKernel};
+use mpspmm_core::{ExecEngine, Schedule, SpmmKernel};
 use mpspmm_sparse::{CsrMatrix, DenseMatrix, SparseFormatError};
 
 use crate::ops::{gemm, Activation};
@@ -47,6 +47,33 @@ impl GcnLayer {
     ) -> Result<DenseMatrix<f32>, SparseFormatError> {
         let hw = gemm(h, &self.weight)?;
         let mut out = kernel.spmm(a_hat, &hw)?;
+        self.activation.apply(&mut out);
+        Ok(out)
+    }
+
+    /// Forward pass through `engine`'s plan cache: the merge-path
+    /// scheduling for `Â` at this layer's output width is computed at most
+    /// once per graph `epoch` and reused on every subsequent call —
+    /// the offline setting of the paper's Figure 8, made automatic.
+    ///
+    /// `epoch` must change whenever `a_hat`'s sparsity pattern does
+    /// (`GraphStream::generation` in `mpspmm-graphs` is the intended
+    /// source).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseFormatError::ShapeMismatch`] when the feature or
+    /// adjacency shapes are inconsistent.
+    pub fn forward_cached(
+        &self,
+        a_hat: &CsrMatrix<f32>,
+        h: &DenseMatrix<f32>,
+        kernel: &dyn SpmmKernel,
+        engine: &ExecEngine,
+        epoch: u64,
+    ) -> Result<DenseMatrix<f32>, SparseFormatError> {
+        let hw = gemm(h, &self.weight)?;
+        let (mut out, _) = engine.spmm_cached(kernel, a_hat, &hw, epoch)?;
         self.activation.apply(&mut out);
         Ok(out)
     }
@@ -154,6 +181,29 @@ impl GcnModel {
         let mut h = self.layers[0].forward(a_hat, x, kernel)?;
         for layer in &self.layers[1..] {
             h = layer.forward(a_hat, &h, kernel)?;
+        }
+        Ok(h)
+    }
+
+    /// Full forward pass through `engine`'s plan cache (see
+    /// [`GcnLayer::forward_cached`]): after the first inference on a graph
+    /// epoch, every layer's SpMM skips planning entirely.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseFormatError::ShapeMismatch`] when shapes are
+    /// inconsistent.
+    pub fn forward_cached(
+        &self,
+        a_hat: &CsrMatrix<f32>,
+        x: &DenseMatrix<f32>,
+        kernel: &dyn SpmmKernel,
+        engine: &ExecEngine,
+        epoch: u64,
+    ) -> Result<DenseMatrix<f32>, SparseFormatError> {
+        let mut h = self.layers[0].forward_cached(a_hat, x, kernel, engine, epoch)?;
+        for layer in &self.layers[1..] {
+            h = layer.forward_cached(a_hat, &h, kernel, engine, epoch)?;
         }
         Ok(h)
     }
@@ -292,6 +342,40 @@ mod tests {
         let (out, timing) = online_inference(&model, &a, &x, &kernel).unwrap();
         assert_eq!(out.rows(), 100);
         assert!(timing.overhead_fraction() >= 0.0 && timing.overhead_fraction() <= 1.0);
+    }
+
+    #[test]
+    fn cached_forward_matches_plain_forward_and_hits_cache() {
+        let a = small_graph();
+        let model = GcnModel::two_layer(16, 16, 4, 2);
+        let x = random_features(100, 16, 0.4, 3);
+        let kernel = MergePathSpmm::new();
+        let engine = ExecEngine::new(2);
+        let plain = model.forward(&a, &x, &kernel).unwrap();
+        for _ in 0..10 {
+            let out = model.forward_cached(&a, &x, &kernel, &engine, 0).unwrap();
+            assert!(out.approx_eq(&plain, 1e-4).unwrap());
+        }
+        let stats = engine.stats();
+        // One planning miss per distinct layer width (hidden=16, classes=4),
+        // everything after that served from the cache: 18 hits / 20 calls.
+        assert_eq!(stats.plan_cache_misses, 2);
+        assert_eq!(stats.plan_cache_hits, 18);
+        assert!(stats.hit_rate() >= 0.9);
+    }
+
+    #[test]
+    fn epoch_bump_invalidates_cached_plans() {
+        let a = small_graph();
+        let model = GcnModel::two_layer(16, 16, 4, 2);
+        let x = random_features(100, 16, 0.4, 3);
+        let kernel = MergePathSpmm::new();
+        let engine = ExecEngine::new(2);
+        model.forward_cached(&a, &x, &kernel, &engine, 0).unwrap();
+        model.forward_cached(&a, &x, &kernel, &engine, 1).unwrap();
+        let stats = engine.stats();
+        assert_eq!(stats.plan_cache_misses, 4);
+        assert_eq!(stats.plan_cache_hits, 0);
     }
 
     #[test]

@@ -3,7 +3,6 @@
 use mpspmm_sparse::{DenseMatrix, SparseFormatError};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
 
 /// Dense matrix multiplication `A × B` (row-major, ikj loop order).
 ///
@@ -41,7 +40,7 @@ pub fn gemm(a: &DenseMatrix<f32>, b: &DenseMatrix<f32>) -> Result<DenseMatrix<f3
 }
 
 /// Nonlinear activation functions used between GCN layers.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Activation {
     /// Rectified linear unit, `max(0, x)`.
     Relu,

@@ -1,8 +1,7 @@
 use mpspmm_sparse::CsrMatrix;
-use serde::{Deserialize, Serialize};
 
 /// Structural class of an evaluation graph (the "Type" column of Table II).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum GraphClass {
     /// Type I — power-law (heavy-tail) degree distribution with evil rows.
     PowerLaw,
@@ -26,7 +25,7 @@ impl std::fmt::Display for GraphClass {
 /// [`synthesize`](Self::synthesize) materializes a deterministic synthetic
 /// graph matching these parameters (see the crate docs for the substitution
 /// rationale).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DatasetSpec {
     /// Dataset name as printed in the paper.
     pub name: &'static str,

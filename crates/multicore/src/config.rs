@@ -1,6 +1,5 @@
 //! Multicore machine description (Table I of the paper).
 
-use serde::{Deserialize, Serialize};
 
 /// Cache line size in bytes (fixed across the hierarchy).
 pub const LINE_BYTES: usize = 64;
@@ -18,7 +17,7 @@ pub const LINE_BYTES: usize = 64;
 /// Per §V-D, when scaling the core count *down* the total cache capacity
 /// stays constant (per-core caches grow) and the total DRAM bandwidth
 /// stays constant (fewer controllers): use [`with_cores`](Self::with_cores).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct McConfig {
     /// Number of cores (one kernel thread per core in the evaluation).
     pub cores: usize,

@@ -26,13 +26,12 @@ use std::collections::{BinaryHeap, HashMap};
 
 use mpspmm_core::{Flush, KernelPlan, Segment};
 use mpspmm_sparse::CsrMatrix;
-use serde::{Deserialize, Serialize};
 
 use crate::cache::SetAssocCache;
 use crate::config::{McConfig, LINE_BYTES};
 
 /// Simulation result for one kernel on one machine configuration.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct McReport {
     /// Parallel completion time in cycles (the slowest core's clock, plus
     /// any serial carry phase).

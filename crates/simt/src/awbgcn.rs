@@ -14,10 +14,9 @@
 //! ratio but saturates (why AWB-GCN loses ~6× on Nell).
 
 use mpspmm_sparse::stats::DegreeStats;
-use serde::{Deserialize, Serialize};
 
 /// AWB-GCN accelerator parameters.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AwbGcnConfig {
     /// Multiply-accumulate processing elements (4096 in the paper).
     pub pes: f64,

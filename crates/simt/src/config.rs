@@ -1,6 +1,5 @@
 //! GPU machine description.
 
-use serde::{Deserialize, Serialize};
 
 /// Parameters of the simulated SIMT (GPU) machine.
 ///
@@ -10,7 +9,7 @@ use serde::{Deserialize, Serialize};
 /// contention constants are calibrated so the *relative* behaviour of the
 /// SpMM kernels matches the paper's figures; absolute microseconds are
 /// indicative only (see DESIGN.md §1 on substitutions).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GpuConfig {
     /// Number of streaming multiprocessors.
     pub sms: usize,

@@ -20,13 +20,12 @@
 //! A shared DRAM-bandwidth bound covers the streaming traffic, with a
 //! skew-aware cache model for the scattered `XW` row reads.
 
-use serde::{Deserialize, Serialize};
 
 use crate::config::GpuConfig;
 use crate::warp::KernelRun;
 
 /// Which resource bound determined the parallel-phase time.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Bound {
     /// SM instruction-issue throughput.
     Issue,
@@ -39,7 +38,7 @@ pub enum Bound {
 }
 
 /// Timing result for one simulated kernel.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SimReport {
     /// Total kernel cycles (launch + parallel phase + serial phase).
     pub cycles: f64,

@@ -6,14 +6,13 @@ use mpspmm_core::{
     RowSplitSpmm, SpmmKernel, MIN_THREADS,
 };
 use mpspmm_sparse::CsrMatrix;
-use serde::{Deserialize, Serialize};
 
 use crate::config::GpuConfig;
 use crate::engine::{simulate, SimReport};
 use crate::lower::{lower_with_policy, LoweringPolicy};
 
 /// A GPU SpMM kernel configuration to simulate (one bar of Figures 2/4/7).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum GpuKernel {
     /// The proposed MergePath-SpMM (Algorithm 2).
     MergePath {

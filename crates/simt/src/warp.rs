@@ -1,6 +1,5 @@
 //! Warp-level work descriptors produced by kernel lowering.
 
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// The work one warp performs during the parallel phase.
@@ -9,7 +8,7 @@ use std::collections::HashMap;
 /// into one warp (dimension < lanes), the warp advances at the pace of its
 /// longest thread (SIMT divergence), so `steps` is the maximum — not the
 /// sum — of the packed threads' non-zero counts.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct WarpWork {
     /// Lockstep non-zero processing steps (one FMA + one `XW`-row fetch
     /// each).
@@ -40,7 +39,7 @@ impl WarpWork {
 
 /// A lowered kernel: the complete set of warps plus global contention
 /// metadata, ready for the [`engine`](crate::engine) to time.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct KernelRun {
     /// Per-warp work, in launch order.
     pub warps: Vec<WarpWork>,

@@ -1,4 +1,3 @@
-use serde::{Deserialize, Serialize};
 
 use crate::SparseFormatError;
 
@@ -21,7 +20,7 @@ use crate::SparseFormatError;
 /// assert_eq!(csr.nnz(), 2);
 /// # Ok::<(), mpspmm_sparse::SparseFormatError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CooMatrix<T> {
     rows: usize,
     cols: usize,
@@ -30,7 +29,6 @@ pub struct CooMatrix<T> {
     /// unsorted and deduplicate lazily with a sorted shadow only in debug
     /// builds. For correctness we always check on push against a hash of
     /// occupied coordinates.
-    #[serde(skip)]
     occupied: std::collections::HashSet<(usize, usize)>,
 }
 

@@ -1,4 +1,3 @@
-use serde::{Deserialize, Serialize};
 
 use crate::SparseFormatError;
 
@@ -18,7 +17,7 @@ use crate::SparseFormatError;
 /// m.set(1, 2, 7.0);
 /// assert_eq!(m.row(1), &[0.0, 0.0, 7.0]);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DenseMatrix<T> {
     rows: usize,
     cols: usize,

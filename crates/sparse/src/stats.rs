@@ -7,7 +7,6 @@
 //! skew measures (Gini coefficient, tail CCDF) used by the generators'
 //! verification tests and the Figure 1 harness.
 
-use serde::{Deserialize, Serialize};
 
 use crate::CsrMatrix;
 
@@ -15,7 +14,7 @@ use crate::CsrMatrix;
 ///
 /// For an adjacency matrix, row length is out-degree, so these are exactly
 /// the per-graph columns of the paper's Table II.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DegreeStats {
     /// Number of rows (graph nodes).
     pub rows: usize,

@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Tier-1 gate: release build, test suite, and the engine benchmark artifact.
+#
+# Usage: scripts/tier1.sh
+# Emits BENCH_engine.json in the repository root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release
+cargo test -q
+cargo test --workspace -q
+cargo run --release -p mpspmm-bench --bin bench_engine

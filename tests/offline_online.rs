@@ -39,11 +39,11 @@ fn parallel_execution_stays_within_tolerance_of_sequential() {
 }
 
 #[test]
-fn schedule_serde_round_trip_preserves_plans() {
+fn schedule_text_round_trip_preserves_plans() {
     let a = graph();
     let schedule = Schedule::build(&a, 53);
-    let encoded = serde_json_encode(&schedule);
-    let decoded: Schedule = serde_json_decode(&encoded);
+    let encoded = codec::encode(&schedule);
+    let decoded = codec::decode(&encoded);
     assert_eq!(schedule, decoded);
     assert_eq!(
         plan_from_schedule(&schedule, &a),
@@ -60,442 +60,51 @@ fn stale_schedule_is_rejected() {
     assert!(!schedule.matches(&other), "nnz changed: schedule is stale");
 }
 
-// Minimal JSON helpers via serde's data model exercised through the
-// `serde_json`-free route: round-trip with `bincode`-like manual encoding
-// is overkill, so we use the `serde` test channel: encode to a string via
-// `format!` is not deserializable — instead round-trip through
-// `serde_json` would add a dependency. We use `postcard`-style... simplest:
-// use `serde_json` via `serde::Serialize` into a `Vec<u8>` with the
-// `serde_json` crate is unavailable; rely on `ron`-free manual check:
-// since `Schedule` derives PartialEq + Serialize + Deserialize, we verify
-// the round trip through the `serde_transcode`-free in-memory
-// `serde_value` approach below.
-fn serde_json_encode(s: &Schedule) -> String {
-    // Hand-rolled JSON via serde's own Serializer implementation from the
-    // `serde` ecosystem is unavailable offline; use the debug form plus a
-    // rebuild check instead. To keep this test meaningful without a JSON
-    // dependency, encode with `bincode`-style: the `postcard`/`serde_json`
-    // crates are not offline-approved, so we serialize through
-    // `serde::Serialize` into this custom writer.
-    json_value(s)
-}
+mod codec {
+    //! Minimal text codec for [`Schedule`] — the offline setting (§III-D)
+    //! persists a schedule between runs, so the round trip must preserve
+    //! every plan-relevant field. The format is a flat line of
+    //! whitespace-separated unsigned integers:
+    //! `rows nnz items_per_thread num_threads (start.row start.nnz end.row end.nnz)*`.
 
-fn serde_json_decode(s: &str) -> Schedule {
-    json_parse(s)
-}
+    use merge_path_spmm::core::{MergeCoord, Schedule, ThreadAssignment};
 
-// --- tiny self-contained JSON round trip for the test -------------------
-// (The workspace deliberately avoids a JSON dependency; this encodes just
-// enough of serde's data model for `Schedule`.)
-
-fn json_value<T: serde::Serialize>(value: &T) -> String {
-    let v = serde_value::to_value(value);
-    serde_value::render(&v)
-}
-
-fn json_parse(s: &str) -> Schedule {
-    let v = serde_value::parse(s);
-    serde_value::from_value(&v)
-}
-
-mod serde_value {
-    //! Just enough of a JSON tree for `Schedule` (unsigned integers,
-    //! sequences, structs).
-
-    use merge_path_spmm::core::Schedule;
-
-    #[derive(Debug, Clone, PartialEq)]
-    pub enum Value {
-        U64(u64),
-        Seq(Vec<Value>),
-        Map(Vec<(String, Value)>),
+    pub fn encode(s: &Schedule) -> String {
+        let mut out = format!(
+            "{} {} {} {}",
+            s.rows(),
+            s.nnz(),
+            s.items_per_thread(),
+            s.num_threads()
+        );
+        for a in s.assignments() {
+            out.push_str(&format!(
+                " {} {} {} {}",
+                a.start.row, a.start.nnz, a.end.row, a.end.nnz
+            ));
+        }
+        out
     }
 
-    pub fn to_value<T: serde::Serialize>(v: &T) -> Value {
-        let mut ser = Ser;
-        v.serialize(&mut ser).expect("schedule serializes")
-    }
-
-    pub fn render(v: &Value) -> String {
-        match v {
-            Value::U64(n) => n.to_string(),
-            Value::Seq(items) => {
-                let inner: Vec<String> = items.iter().map(render).collect();
-                format!("[{}]", inner.join(","))
-            }
-            Value::Map(fields) => {
-                let inner: Vec<String> = fields
-                    .iter()
-                    .map(|(k, v)| format!("\"{k}\":{}", render(v)))
-                    .collect();
-                format!("{{{}}}", inner.join(","))
-            }
-        }
-    }
-
-    pub fn parse(s: &str) -> Value {
-        let mut p = Parser {
-            bytes: s.as_bytes(),
-            pos: 0,
-        };
-        p.value()
-    }
-
-    pub fn from_value(v: &Value) -> Schedule {
-        // Rebuild through the derived Deserialize using our own
-        // deserializer over the value tree.
-        let mut de = De { value: v };
-        serde::Deserialize::deserialize(&mut de).expect("schedule deserializes")
-    }
-
-    struct Parser<'a> {
-        bytes: &'a [u8],
-        pos: usize,
-    }
-
-    impl<'a> Parser<'a> {
-        fn peek(&self) -> u8 {
-            self.bytes[self.pos]
-        }
-        fn value(&mut self) -> Value {
-            match self.peek() {
-                b'[' => {
-                    self.pos += 1;
-                    let mut items = Vec::new();
-                    while self.peek() != b']' {
-                        items.push(self.value());
-                        if self.peek() == b',' {
-                            self.pos += 1;
-                        }
-                    }
-                    self.pos += 1;
-                    Value::Seq(items)
-                }
-                b'{' => {
-                    self.pos += 1;
-                    let mut fields = Vec::new();
-                    while self.peek() != b'}' {
-                        assert_eq!(self.peek(), b'"');
-                        self.pos += 1;
-                        let start = self.pos;
-                        while self.peek() != b'"' {
-                            self.pos += 1;
-                        }
-                        let key = String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned();
-                        self.pos += 1; // closing quote
-                        assert_eq!(self.peek(), b':');
-                        self.pos += 1;
-                        fields.push((key, self.value()));
-                        if self.peek() == b',' {
-                            self.pos += 1;
-                        }
-                    }
-                    self.pos += 1;
-                    Value::Map(fields)
-                }
-                _ => {
-                    let start = self.pos;
-                    while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_digit() {
-                        self.pos += 1;
-                    }
-                    Value::U64(
-                        std::str::from_utf8(&self.bytes[start..self.pos])
-                            .expect("digits")
-                            .parse()
-                            .expect("u64"),
-                    )
-                }
-            }
-        }
-    }
-
-    // ---- serializer ----
-    pub struct Ser;
-
-    #[derive(Debug)]
-    pub struct Error(String);
-    impl std::fmt::Display for Error {
-        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-            f.write_str(&self.0)
-        }
-    }
-    impl std::error::Error for Error {}
-    impl serde::ser::Error for Error {
-        fn custom<T: std::fmt::Display>(msg: T) -> Self {
-            Error(msg.to_string())
-        }
-    }
-    impl serde::de::Error for Error {
-        fn custom<T: std::fmt::Display>(msg: T) -> Self {
-            Error(msg.to_string())
-        }
-    }
-
-    macro_rules! unsupported {
-        ($($f:ident: $t:ty),*) => {
-            $(fn $f(self, _v: $t) -> Result<Value, Error> {
-                Err(serde::ser::Error::custom("unsupported"))
-            })*
-        };
-    }
-
-    impl serde::Serializer for &mut Ser {
-        type Ok = Value;
-        type Error = Error;
-        type SerializeSeq = SeqSer;
-        type SerializeTuple = SeqSer;
-        type SerializeTupleStruct = SeqSer;
-        type SerializeTupleVariant = SeqSer;
-        type SerializeMap = MapSer;
-        type SerializeStruct = MapSer;
-        type SerializeStructVariant = MapSer;
-
-        fn serialize_u8(self, v: u8) -> Result<Value, Error> {
-            Ok(Value::U64(v as u64))
-        }
-        fn serialize_u16(self, v: u16) -> Result<Value, Error> {
-            Ok(Value::U64(v as u64))
-        }
-        fn serialize_u32(self, v: u32) -> Result<Value, Error> {
-            Ok(Value::U64(v as u64))
-        }
-        fn serialize_u64(self, v: u64) -> Result<Value, Error> {
-            Ok(Value::U64(v))
-        }
-        unsupported! {
-            serialize_bool: bool, serialize_i8: i8, serialize_i16: i16,
-            serialize_i32: i32, serialize_i64: i64, serialize_f32: f32,
-            serialize_f64: f64, serialize_char: char, serialize_str: &str,
-            serialize_bytes: &[u8]
-        }
-        fn serialize_none(self) -> Result<Value, Error> {
-            Err(serde::ser::Error::custom("unsupported"))
-        }
-        fn serialize_some<T: serde::Serialize + ?Sized>(self, _: &T) -> Result<Value, Error> {
-            Err(serde::ser::Error::custom("unsupported"))
-        }
-        fn serialize_unit(self) -> Result<Value, Error> {
-            Err(serde::ser::Error::custom("unsupported"))
-        }
-        fn serialize_unit_struct(self, _: &'static str) -> Result<Value, Error> {
-            Err(serde::ser::Error::custom("unsupported"))
-        }
-        fn serialize_unit_variant(
-            self,
-            _: &'static str,
-            _: u32,
-            _: &'static str,
-        ) -> Result<Value, Error> {
-            Err(serde::ser::Error::custom("unsupported"))
-        }
-        fn serialize_newtype_struct<T: serde::Serialize + ?Sized>(
-            self,
-            _: &'static str,
-            v: &T,
-        ) -> Result<Value, Error> {
-            v.serialize(self)
-        }
-        fn serialize_newtype_variant<T: serde::Serialize + ?Sized>(
-            self,
-            _: &'static str,
-            _: u32,
-            _: &'static str,
-            _: &T,
-        ) -> Result<Value, Error> {
-            Err(serde::ser::Error::custom("unsupported"))
-        }
-        fn serialize_seq(self, _: Option<usize>) -> Result<SeqSer, Error> {
-            Ok(SeqSer(Vec::new()))
-        }
-        fn serialize_tuple(self, len: usize) -> Result<SeqSer, Error> {
-            self.serialize_seq(Some(len))
-        }
-        fn serialize_tuple_struct(self, _: &'static str, len: usize) -> Result<SeqSer, Error> {
-            self.serialize_seq(Some(len))
-        }
-        fn serialize_tuple_variant(
-            self,
-            _: &'static str,
-            _: u32,
-            _: &'static str,
-            len: usize,
-        ) -> Result<SeqSer, Error> {
-            self.serialize_seq(Some(len))
-        }
-        fn serialize_map(self, _: Option<usize>) -> Result<MapSer, Error> {
-            Ok(MapSer(Vec::new()))
-        }
-        fn serialize_struct(self, _: &'static str, _: usize) -> Result<MapSer, Error> {
-            Ok(MapSer(Vec::new()))
-        }
-        fn serialize_struct_variant(
-            self,
-            _: &'static str,
-            _: u32,
-            _: &'static str,
-            _: usize,
-        ) -> Result<MapSer, Error> {
-            Ok(MapSer(Vec::new()))
-        }
-    }
-
-    pub struct SeqSer(Vec<Value>);
-    impl serde::ser::SerializeSeq for SeqSer {
-        type Ok = Value;
-        type Error = Error;
-        fn serialize_element<T: serde::Serialize + ?Sized>(&mut self, v: &T) -> Result<(), Error> {
-            self.0.push(v.serialize(&mut Ser)?);
-            Ok(())
-        }
-        fn end(self) -> Result<Value, Error> {
-            Ok(Value::Seq(self.0))
-        }
-    }
-    impl serde::ser::SerializeTuple for SeqSer {
-        type Ok = Value;
-        type Error = Error;
-        fn serialize_element<T: serde::Serialize + ?Sized>(&mut self, v: &T) -> Result<(), Error> {
-            serde::ser::SerializeSeq::serialize_element(self, v)
-        }
-        fn end(self) -> Result<Value, Error> {
-            serde::ser::SerializeSeq::end(self)
-        }
-    }
-    impl serde::ser::SerializeTupleStruct for SeqSer {
-        type Ok = Value;
-        type Error = Error;
-        fn serialize_field<T: serde::Serialize + ?Sized>(&mut self, v: &T) -> Result<(), Error> {
-            serde::ser::SerializeSeq::serialize_element(self, v)
-        }
-        fn end(self) -> Result<Value, Error> {
-            serde::ser::SerializeSeq::end(self)
-        }
-    }
-    impl serde::ser::SerializeTupleVariant for SeqSer {
-        type Ok = Value;
-        type Error = Error;
-        fn serialize_field<T: serde::Serialize + ?Sized>(&mut self, v: &T) -> Result<(), Error> {
-            serde::ser::SerializeSeq::serialize_element(self, v)
-        }
-        fn end(self) -> Result<Value, Error> {
-            serde::ser::SerializeSeq::end(self)
-        }
-    }
-
-    pub struct MapSer(Vec<(String, Value)>);
-    impl serde::ser::SerializeStruct for MapSer {
-        type Ok = Value;
-        type Error = Error;
-        fn serialize_field<T: serde::Serialize + ?Sized>(
-            &mut self,
-            key: &'static str,
-            v: &T,
-        ) -> Result<(), Error> {
-            self.0.push((key.to_string(), v.serialize(&mut Ser)?));
-            Ok(())
-        }
-        fn end(self) -> Result<Value, Error> {
-            Ok(Value::Map(self.0))
-        }
-    }
-    impl serde::ser::SerializeMap for MapSer {
-        type Ok = Value;
-        type Error = Error;
-        fn serialize_key<T: serde::Serialize + ?Sized>(&mut self, _k: &T) -> Result<(), Error> {
-            Err(serde::ser::Error::custom("unsupported"))
-        }
-        fn serialize_value<T: serde::Serialize + ?Sized>(&mut self, _v: &T) -> Result<(), Error> {
-            Err(serde::ser::Error::custom("unsupported"))
-        }
-        fn end(self) -> Result<Value, Error> {
-            Ok(Value::Map(self.0))
-        }
-    }
-    impl serde::ser::SerializeStructVariant for MapSer {
-        type Ok = Value;
-        type Error = Error;
-        fn serialize_field<T: serde::Serialize + ?Sized>(
-            &mut self,
-            key: &'static str,
-            v: &T,
-        ) -> Result<(), Error> {
-            serde::ser::SerializeStruct::serialize_field(self, key, v)
-        }
-        fn end(self) -> Result<Value, Error> {
-            serde::ser::SerializeStruct::end(self)
-        }
-    }
-
-    // ---- deserializer ----
-    pub struct De<'v> {
-        pub value: &'v Value,
-    }
-
-    impl<'de, 'v> serde::Deserializer<'de> for &mut De<'v> {
-        type Error = Error;
-
-        fn deserialize_any<V: serde::de::Visitor<'de>>(self, visitor: V) -> Result<V::Value, Error> {
-            match self.value {
-                Value::U64(n) => visitor.visit_u64(*n),
-                Value::Seq(items) => visitor.visit_seq(SeqDe { items, pos: 0 }),
-                Value::Map(fields) => visitor.visit_map(MapDe { fields, pos: 0 }),
-            }
-        }
-
-        serde::forward_to_deserialize_any! {
-            bool i8 i16 i32 i64 i128 u8 u16 u32 u64 u128 f32 f64 char str
-            string bytes byte_buf option unit unit_struct newtype_struct seq
-            tuple tuple_struct map struct enum identifier ignored_any
-        }
-    }
-
-    struct SeqDe<'v> {
-        items: &'v [Value],
-        pos: usize,
-    }
-    impl<'de, 'v> serde::de::SeqAccess<'de> for SeqDe<'v> {
-        type Error = Error;
-        fn next_element_seed<T: serde::de::DeserializeSeed<'de>>(
-            &mut self,
-            seed: T,
-        ) -> Result<Option<T::Value>, Error> {
-            if self.pos >= self.items.len() {
-                return Ok(None);
-            }
-            let mut de = De {
-                value: &self.items[self.pos],
-            };
-            self.pos += 1;
-            seed.deserialize(&mut de).map(Some)
-        }
-    }
-
-    struct MapDe<'v> {
-        fields: &'v [(String, Value)],
-        pos: usize,
-    }
-    impl<'de, 'v> serde::de::MapAccess<'de> for MapDe<'v> {
-        type Error = Error;
-        fn next_key_seed<K: serde::de::DeserializeSeed<'de>>(
-            &mut self,
-            seed: K,
-        ) -> Result<Option<K::Value>, Error> {
-            if self.pos >= self.fields.len() {
-                return Ok(None);
-            }
-            let key = &self.fields[self.pos].0;
-            seed.deserialize(serde::de::value::StrDeserializer::new(key))
-                .map(Some)
-        }
-        fn next_value_seed<V: serde::de::DeserializeSeed<'de>>(
-            &mut self,
-            seed: V,
-        ) -> Result<V::Value, Error> {
-            let mut de = De {
-                value: &self.fields[self.pos].1,
-            };
-            self.pos += 1;
-            seed.deserialize(&mut de)
-        }
+    pub fn decode(text: &str) -> Schedule {
+        let mut it = text
+            .split_ascii_whitespace()
+            .map(|t| t.parse::<usize>().expect("integer field"));
+        let mut next = || it.next().expect("truncated schedule encoding");
+        let (rows, nnz, items_per_thread, threads) = (next(), next(), next(), next());
+        let assignments: Vec<ThreadAssignment> = (0..threads)
+            .map(|_| ThreadAssignment {
+                start: MergeCoord {
+                    row: next(),
+                    nnz: next(),
+                },
+                end: MergeCoord {
+                    row: next(),
+                    nnz: next(),
+                },
+            })
+            .collect();
+        assert!(it.next().is_none(), "trailing fields in schedule encoding");
+        Schedule::from_parts(rows, nnz, items_per_thread, assignments)
     }
 }
