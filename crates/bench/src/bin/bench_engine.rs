@@ -4,17 +4,24 @@
 //! (`executor::execute_parallel`, which routes every output element
 //! through an atomic cell and spawns threads per call) against
 //! [`ExecEngine`] on the *same* plan, single-core, at dimensions 16 and
-//! 32. Writes `BENCH_engine.json` with one record per
+//! 32, across merge-path, nnz-split (GNNAdvisor), and row-split kernels.
+//! Writes `BENCH_engine.json` with one record per
 //! (dataset, kernel, dim): `{dataset, kernel, dim, ns_per_nnz, speedup}`
 //! where `ns_per_nnz` is the engine's time and `speedup` is
 //! baseline-over-engine.
+//!
+//! The engine is pinned to [`DataPath::Tiled`] — the PR-1 register-tiled
+//! path — so this file stays a stable baseline for `bench_simd`, which
+//! measures the vectorized data path against it.
 //!
 //! Also demonstrates the plan cache on a 2-layer GCN (10 inferences on a
 //! fixed graph epoch) and prints the observed hit rate.
 
 use mpspmm_bench::{banner, full_size_requested, geomean, load, time_ns};
 use mpspmm_core::executor::execute_parallel;
-use mpspmm_core::{default_workers, ExecEngine, MergePathSpmm, NnzSplitSpmm, SpmmKernel};
+use mpspmm_core::{
+    default_workers, DataPath, ExecEngine, MergePathSpmm, NnzSplitSpmm, RowSplitSpmm, SpmmKernel,
+};
 use mpspmm_gcn::{ops, GcnModel};
 use mpspmm_graphs::{find_dataset, gcn_normalize};
 use mpspmm_sparse::DenseMatrix;
@@ -39,8 +46,12 @@ fn main() {
     let kernels: Vec<Box<dyn SpmmKernel>> = vec![
         Box::new(MergePathSpmm::new()),
         Box::new(NnzSplitSpmm::new()),
+        Box::new(RowSplitSpmm::default()),
     ];
-    let engine = ExecEngine::new(1);
+    // Pinned to the register-tiled PR-1 data path: this harness is the
+    // stable baseline `bench_simd` measures the vectorized path against,
+    // so regenerating BENCH_engine.json must not absorb the SIMD work.
+    let engine = ExecEngine::with_data_path(1, DataPath::Tiled);
 
     println!(
         "\n{:<16} {:<16} {:>4} {:>12} {:>12} {:>9}",
@@ -57,10 +68,12 @@ fn main() {
                     ((r * 31 + c * 7) % 17) as f32 * 0.125 - 1.0
                 });
                 let plan = kernel.plan(&a, dim);
-                let old_ns = time_ns(1, 3, || {
+                // Explicit warmup (untimed) before the min-of-N timed runs:
+                // the first call faults in the output and operand pages.
+                let old_ns = time_ns(2, 5, || {
                     let _ = execute_parallel(&plan, &a, &b, 1).unwrap();
                 });
-                let new_ns = time_ns(1, 5, || {
+                let new_ns = time_ns(2, 7, || {
                     let _ = engine.execute(&plan, &a, &b).unwrap();
                 });
                 let speedup = old_ns / new_ns;

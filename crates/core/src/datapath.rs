@@ -1,0 +1,581 @@
+//! Vectorized, cache-blocked inner data path for the execution engine.
+//!
+//! PR 1's engine removed the *scheduling* overheads (thread spawn, global
+//! atomics, re-planning); the inner loop it kept is a scalar-accumulator
+//! kernel unrolled by 8/4. This module supplies the data-path side:
+//!
+//! * **Wide-lane streaming kernels** — const-generic register-accumulator
+//!   blocks of 16 and 8 f32 lanes ([`LaneWidth`] picks the widest the CPU
+//!   supports at runtime), each compiled to straight-line FMA-friendly
+//!   code LLVM auto-vectorizes, with an 8/4/scalar tail cascade for
+//!   dimension remainders.
+//! * **Feature-dimension panel blocking** — for large `dim` a segment is
+//!   swept in L1-resident column panels ([`crate::tuning::panel_cols`]),
+//!   so the gathered rows of `B` are touched one cache-friendly panel at
+//!   a time instead of streaming full rows past the accumulators.
+//! * **Degree-adaptive dispatch** — segments with at most
+//!   [`crate::tuning::GATHER_MAX_NNZ`] non-zeros (the short-row regime
+//!   that dominates power-law graphs) skip the column-blocked machinery
+//!   and run a gather microkernel that initializes the destination once
+//!   and axpy-accumulates row by row; long segments take the streaming
+//!   panel kernel. The engine records the split in
+//!   [`crate::EngineStats`].
+//! * **Packed indices** — every kernel is generic over the column-index
+//!   type, so it runs on the `u32` SoA packing
+//!   ([`mpspmm_sparse::PackedCsr`]-style, built by
+//!   [`crate::PreparedPlan::pack_indices`]) when available and on the
+//!   plain `usize` CSR arrays otherwise.
+//!
+//! # Why the scalar kernel stays the oracle
+//!
+//! Every kernel here gives each output column its **own** accumulator and
+//! adds that column's products in non-zero order. Lane width, panel
+//! boundaries, and the gather-vs-stream choice only change *which columns
+//! are grouped together*, never the order of additions within a column —
+//! so all paths produce exactly equal values (f32 `==`, zero tolerance)
+//! to [`accumulate_segment_scalar`] (and hence to
+//! [`crate::executor::execute_sequential`]). The streaming kernels fold
+//! in the oracle's leading `0.0` and are bit-identical; the gather
+//! microkernel fuses the products directly, which can differ from the
+//! oracle only in the **sign of a zero** result (`-0.0` vs `+0.0`, a
+//! 0-ulp difference) — the property tests assert exact equality, not a
+//! tolerance, and pass because `-0.0 == 0.0`. Building with the
+//! `force-scalar` feature pins [`DataPath::Auto`] to the scalar path,
+//! keeping a known-good oracle build available at all times.
+//!
+//! # Tuning knobs
+//!
+//! Two environment variables, read **once** per engine run when the path
+//! is resolved (never in the segment loop), exist for ablation:
+//! `MPSPMM_GATHER_MAX` overrides the gather threshold
+//! ([`GATHER_MAX_NNZ`]; `0` disables the gather kernel entirely) and
+//! `MPSPMM_NO_PREFETCH` disables the software prefetch.
+
+use mpspmm_sparse::{CsrMatrix, DenseMatrix};
+
+use crate::plan::Segment;
+use crate::tuning::{panel_cols, CacheModel, GATHER_MAX_NNZ};
+
+/// Which inner data path an [`crate::ExecEngine`] drives its segments
+/// through.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DataPath {
+    /// Pick automatically: the vectorized path, unless the crate is built
+    /// with the `force-scalar` feature (then the scalar oracle).
+    #[default]
+    Auto,
+    /// Scalar per-column accumulation — the correctness oracle.
+    Scalar,
+    /// The PR-1 register-tiled kernel (8/4-unrolled, `usize` indices, no
+    /// panel blocking). Kept selectable so benchmarks can regenerate the
+    /// PR-1 baseline on the same binary.
+    Tiled,
+    /// Wide-lane streaming kernels with panel blocking, packed-index
+    /// support, and degree-adaptive gather dispatch.
+    Vector,
+}
+
+/// Accumulator width of the streaming kernel, selected at runtime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LaneWidth {
+    /// 8 f32 accumulators per block (two SSE vectors, one AVX vector).
+    W8,
+    /// 16 f32 accumulators per block (two AVX vectors, one AVX-512
+    /// vector).
+    W16,
+}
+
+impl LaneWidth {
+    /// Picks the widest block the running CPU vectorizes profitably:
+    /// 16 lanes with AVX2/AVX-512, 8 otherwise (and on non-x86_64).
+    pub fn detect() -> Self {
+        #[cfg(target_arch = "x86_64")]
+        {
+            if is_x86_feature_detected!("avx512f") || is_x86_feature_detected!("avx2") {
+                return LaneWidth::W16;
+            }
+        }
+        LaneWidth::W8
+    }
+
+    /// Number of f32 lanes per block.
+    pub fn lanes(self) -> usize {
+        match self {
+            LaneWidth::W8 => 8,
+            LaneWidth::W16 => 16,
+        }
+    }
+}
+
+/// Concrete kernel family after [`DataPath`] resolution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum PathKind {
+    Scalar,
+    Tiled,
+    Vector,
+}
+
+/// A [`DataPath`] resolved against a dense dimension: the kernel family,
+/// the lane width, the column panel, and the gather threshold, fixed once
+/// per engine run.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ResolvedPath {
+    pub kind: PathKind,
+    pub lanes: LaneWidth,
+    pub panel: usize,
+    pub gather_max: usize,
+    pub prefetch: bool,
+}
+
+impl DataPath {
+    /// Resolves the path for one execution over a `dim`-column dense
+    /// operand.
+    pub(crate) fn resolve(self, dim: usize) -> ResolvedPath {
+        let kind = match self {
+            DataPath::Auto => {
+                if cfg!(feature = "force-scalar") {
+                    PathKind::Scalar
+                } else {
+                    PathKind::Vector
+                }
+            }
+            DataPath::Scalar => PathKind::Scalar,
+            DataPath::Tiled => PathKind::Tiled,
+            DataPath::Vector => PathKind::Vector,
+        };
+        let lanes = LaneWidth::detect();
+        ResolvedPath {
+            kind,
+            lanes,
+            panel: panel_cols(dim, lanes.lanes(), &CacheModel::default()),
+            gather_max: std::env::var("MPSPMM_GATHER_MAX")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(GATHER_MAX_NNZ),
+            prefetch: std::env::var_os("MPSPMM_NO_PREFETCH").is_none(),
+        }
+    }
+}
+
+/// Column-index view the kernels are generic over: plain CSR `usize`
+/// indices or the packed `u32` form.
+pub(crate) trait ColIdx: Copy {
+    fn to_usize(self) -> usize;
+}
+
+impl ColIdx for usize {
+    #[inline(always)]
+    fn to_usize(self) -> usize {
+        self
+    }
+}
+
+impl ColIdx for u32 {
+    #[inline(always)]
+    fn to_usize(self) -> usize {
+        self as usize
+    }
+}
+
+/// Scalar oracle: one column at a time, additions in non-zero order.
+pub(crate) fn accumulate_segment_scalar<I: ColIdx>(
+    seg: &Segment,
+    cols: &[I],
+    vals: &[f32],
+    b: &DenseMatrix<f32>,
+    dst: &mut [f32],
+) {
+    for (d, slot) in dst.iter_mut().enumerate() {
+        let mut s = 0.0f32;
+        for k in seg.nz_start..seg.nz_end {
+            s += vals[k] * b.row(cols[k].to_usize())[d];
+        }
+        *slot = s;
+    }
+}
+
+/// The PR-1 register-tiled kernel, re-expressed over the shared wide-lane
+/// blocks: unrolled blocks of 8 and 4 plus a scalar tail, full-width (no
+/// panel loop), `usize` indices. Arithmetic per column is unchanged from
+/// PR 1 — same block cascade, same accumulation order.
+#[inline]
+pub(crate) fn accumulate_segment_tiled(
+    seg: &Segment,
+    a: &CsrMatrix<f32>,
+    b: &DenseMatrix<f32>,
+    dst: &mut [f32],
+) {
+    let cols = a.col_indices();
+    let vals = a.values();
+    let dim = dst.len();
+    let mut d = 0;
+    while d + 8 <= dim {
+        stream_block::<8, _>(seg, cols, vals, b, d, dst);
+        d += 8;
+    }
+    if d + 4 <= dim {
+        stream_block::<4, _>(seg, cols, vals, b, d, dst);
+        d += 4;
+    }
+    tail_columns(seg, cols, vals, b, d..dim, dst);
+}
+
+/// One `W`-column register-accumulator block: `W` f32 accumulators live
+/// across the whole segment sweep, loads of `B` go through a fixed-size
+/// `[f32; W]` view so the inner loop is bounds-check-free straight-line
+/// code LLVM vectorizes.
+#[inline]
+fn stream_block<const W: usize, I: ColIdx>(
+    seg: &Segment,
+    cols: &[I],
+    vals: &[f32],
+    b: &DenseMatrix<f32>,
+    d: usize,
+    dst: &mut [f32],
+) {
+    let mut acc = [0.0f32; W];
+    for k in seg.nz_start..seg.nz_end {
+        let v = vals[k];
+        let row = b.row(cols[k].to_usize());
+        let blk: &[f32; W] = row[d..d + W].try_into().expect("block inside dense row");
+        for (a, &x) in acc.iter_mut().zip(blk) {
+            *a += v * x;
+        }
+    }
+    dst[d..d + W].copy_from_slice(&acc);
+}
+
+/// Scalar remainder columns of a panel.
+#[inline]
+fn tail_columns<I: ColIdx>(
+    seg: &Segment,
+    cols: &[I],
+    vals: &[f32],
+    b: &DenseMatrix<f32>,
+    range: std::ops::Range<usize>,
+    dst: &mut [f32],
+) {
+    for d in range {
+        let mut s = 0.0f32;
+        for k in seg.nz_start..seg.nz_end {
+            s += vals[k] * b.row(cols[k].to_usize())[d];
+        }
+        dst[d] = s;
+    }
+}
+
+/// Gather microkernel for short segments: fuse all (at most four) gathered
+/// rows into a single register-accumulating pass over the destination —
+/// one `dst` write per column, no per-block loop restarts, no staging
+/// array. The column-blocked machinery would cost more than the segment
+/// itself.
+///
+/// Per column the products are summed left-to-right in non-zero order,
+/// the oracle's order; the only representational difference is that the
+/// oracle folds in a leading `0.0` (which can flip a `-0.0` product to
+/// `+0.0`), so results are equal under f32 `==` and may differ only in
+/// the sign of zero.
+pub(crate) fn gather_segment<I: ColIdx>(
+    seg: &Segment,
+    cols: &[I],
+    vals: &[f32],
+    b: &DenseMatrix<f32>,
+    dst: &mut [f32],
+) {
+    let dim = dst.len();
+    let k = seg.nz_start;
+    let row = |i: usize| &b.row(cols[k + i].to_usize())[..dim];
+    match seg.len() {
+        0 => dst.fill(0.0),
+        1 => {
+            let v0 = vals[k];
+            for (slot, &x0) in dst.iter_mut().zip(row(0)) {
+                *slot = v0 * x0;
+            }
+        }
+        2 => {
+            let (v0, v1) = (vals[k], vals[k + 1]);
+            for ((slot, &x0), &x1) in dst.iter_mut().zip(row(0)).zip(row(1)) {
+                *slot = v0 * x0 + v1 * x1;
+            }
+        }
+        3 => {
+            let (v0, v1, v2) = (vals[k], vals[k + 1], vals[k + 2]);
+            for (((slot, &x0), &x1), &x2) in
+                dst.iter_mut().zip(row(0)).zip(row(1)).zip(row(2))
+            {
+                *slot = v0 * x0 + v1 * x1 + v2 * x2;
+            }
+        }
+        4 => {
+            let (v0, v1, v2, v3) = (vals[k], vals[k + 1], vals[k + 2], vals[k + 3]);
+            for ((((slot, &x0), &x1), &x2), &x3) in
+                dst.iter_mut().zip(row(0)).zip(row(1)).zip(row(2)).zip(row(3))
+            {
+                *slot = v0 * x0 + v1 * x1 + v2 * x2 + v3 * x3;
+            }
+        }
+        // Above four rows (a raised `MPSPMM_GATHER_MAX`): initialize from
+        // the first row's product, then axpy the rest.
+        _ => {
+            let v0 = vals[k];
+            for (slot, &x0) in dst.iter_mut().zip(row(0)) {
+                *slot = v0 * x0;
+            }
+            for j in 1..seg.len() {
+                let v = vals[k + j];
+                for (slot, &x) in dst.iter_mut().zip(row(j)) {
+                    *slot += v * x;
+                }
+            }
+        }
+    }
+}
+
+/// Streaming panel kernel for long segments: sweeps the dense dimension
+/// in `rp.panel`-column panels; within a panel, wide-lane blocks at
+/// `rp.lanes`, then an 8/4/scalar cascade for the remainder.
+pub(crate) fn stream_segment<I: ColIdx>(
+    seg: &Segment,
+    cols: &[I],
+    vals: &[f32],
+    b: &DenseMatrix<f32>,
+    dst: &mut [f32],
+    rp: &ResolvedPath,
+) {
+    let dim = dst.len();
+    let panel = rp.panel.max(1);
+    let mut p0 = 0;
+    while p0 < dim {
+        let p1 = (p0 + panel).min(dim);
+        let mut d = p0;
+        if rp.lanes == LaneWidth::W16 {
+            while d + 16 <= p1 {
+                stream_block::<16, _>(seg, cols, vals, b, d, dst);
+                d += 16;
+            }
+        }
+        while d + 8 <= p1 {
+            stream_block::<8, _>(seg, cols, vals, b, d, dst);
+            d += 8;
+        }
+        if d + 4 <= p1 {
+            stream_block::<4, _>(seg, cols, vals, b, d, dst);
+            d += 4;
+        }
+        tail_columns(seg, cols, vals, b, d..p1, dst);
+        p0 = p1;
+    }
+}
+
+/// The vectorized path's degree-adaptive dispatch: gather microkernel at
+/// or below the threshold, streaming panel kernel above it.
+#[inline]
+pub(crate) fn vector_segment<I: ColIdx>(
+    seg: &Segment,
+    cols: &[I],
+    vals: &[f32],
+    b: &DenseMatrix<f32>,
+    dst: &mut [f32],
+    rp: &ResolvedPath,
+) {
+    if seg.len() <= rp.gather_max {
+        gather_segment(seg, cols, vals, b, dst);
+    } else {
+        stream_segment(seg, cols, vals, b, dst, rp);
+    }
+}
+
+/// Accumulates one segment into `dst` (length = dense dimension),
+/// overwriting it, through the resolved data path. `cols32` is the packed
+/// `u32` index array when the prepared plan carries one.
+pub(crate) fn accumulate_segment_dispatch(
+    rp: &ResolvedPath,
+    seg: &Segment,
+    a: &CsrMatrix<f32>,
+    cols32: Option<&[u32]>,
+    b: &DenseMatrix<f32>,
+    dst: &mut [f32],
+) {
+    match rp.kind {
+        PathKind::Scalar => {
+            accumulate_segment_scalar(seg, a.col_indices(), a.values(), b, dst);
+        }
+        PathKind::Tiled => accumulate_segment_tiled(seg, a, b, dst),
+        PathKind::Vector => match cols32 {
+            Some(cols) => vector_segment(seg, cols, a.values(), b, dst, rp),
+            None => vector_segment(seg, a.col_indices(), a.values(), b, dst, rp),
+        },
+    }
+}
+
+/// How many of the next segment's gathered rows to touch ahead of time.
+const PREFETCH_ROWS: usize = 4;
+
+/// Software prefetch of the next segment's first gathered `B` rows: a
+/// handful of `black_box`-forced head loads pull the lines toward L1
+/// while the current segment still has arithmetic in flight. `black_box`
+/// keeps the loads from being optimized away without any `unsafe`
+/// prefetch intrinsic (this crate denies `unsafe_code`).
+pub(crate) fn prefetch_segment_rows(
+    rp: &ResolvedPath,
+    next: Option<&Segment>,
+    a: &CsrMatrix<f32>,
+    cols32: Option<&[u32]>,
+    b: &DenseMatrix<f32>,
+) {
+    if rp.kind != PathKind::Vector || !rp.prefetch {
+        return;
+    }
+    // Only prefetch ahead of *streaming* segments: a gather segment
+    // finishes in fewer cycles than the prefetch distance, so the head
+    // loads would cost more than the misses they hide.
+    let Some(seg) = next.filter(|s| s.len() > rp.gather_max) else {
+        return;
+    };
+    let end = (seg.nz_start + PREFETCH_ROWS).min(seg.nz_end);
+    match cols32 {
+        Some(cols) => {
+            for &c in &cols[seg.nz_start..end] {
+                std::hint::black_box(b.row(c.to_usize()).first().copied());
+            }
+        }
+        None => {
+            for &c in &a.col_indices()[seg.nz_start..end] {
+                std::hint::black_box(b.row(c).first().copied());
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::Flush;
+    use crate::spmm::test_support::{random_dense, random_matrix};
+
+    fn seg(nz_start: usize, nz_end: usize) -> Segment {
+        Segment {
+            row: 0,
+            nz_start,
+            nz_end,
+            flush: Flush::Regular,
+        }
+    }
+
+    fn scalar_reference(s: &Segment, a: &CsrMatrix<f32>, b: &DenseMatrix<f32>, dim: usize) -> Vec<f32> {
+        let mut out = vec![0.0f32; dim];
+        accumulate_segment_scalar(s, a.col_indices(), a.values(), b, &mut out);
+        out
+    }
+
+    fn resolved(kind: PathKind, lanes: LaneWidth, panel: usize) -> ResolvedPath {
+        ResolvedPath {
+            kind,
+            lanes,
+            panel,
+            gather_max: GATHER_MAX_NNZ,
+            prefetch: true,
+        }
+    }
+
+    /// Every kernel variant, lane width, panel size, and index type must be
+    /// bit-identical to the scalar oracle on all dims 1..=67 — including
+    /// empty segments and single-nnz rows.
+    #[test]
+    fn all_kernels_bit_match_scalar_oracle_dims_1_to_67() {
+        let a = random_matrix(64, 64, 300, 21);
+        let cols32: Vec<u32> = a.col_indices().iter().map(|&c| c as u32).collect();
+        let row_end = a.row_ptr()[1];
+        let segments = [
+            seg(0, row_end),  // the evil long row
+            seg(0, 0),        // empty
+            seg(2, 3),        // single non-zero
+            seg(1, row_end - 1),
+        ];
+        for dim in 1..=67usize {
+            let b = random_dense(64, dim, 22);
+            for s in &segments {
+                let want = scalar_reference(s, &a, &b, dim);
+                let mut got = vec![f32::NAN; dim];
+                accumulate_segment_tiled(s, &a, &b, &mut got);
+                assert_eq!(got, want, "tiled dim={dim} seg={s:?}");
+                for lanes in [LaneWidth::W8, LaneWidth::W16] {
+                    for panel in [8usize, 16, 32, 1024] {
+                        let rp = resolved(PathKind::Vector, lanes, panel);
+                        got.fill(f32::NAN);
+                        vector_segment(s, a.col_indices(), a.values(), &b, &mut got, &rp);
+                        assert_eq!(got, want, "vector/usize dim={dim} lanes={lanes:?} panel={panel} seg={s:?}");
+                        got.fill(f32::NAN);
+                        vector_segment(s, &cols32, a.values(), &b, &mut got, &rp);
+                        assert_eq!(got, want, "vector/u32 dim={dim} lanes={lanes:?} panel={panel} seg={s:?}");
+                    }
+                }
+                got.fill(f32::NAN);
+                gather_segment(s, a.col_indices(), a.values(), &b, &mut got);
+                assert_eq!(got, want, "gather dim={dim} seg={s:?}");
+                got.fill(f32::NAN);
+                let rp = resolved(PathKind::Vector, LaneWidth::W16, 16);
+                stream_segment(s, a.col_indices(), a.values(), &b, &mut got, &rp);
+                assert_eq!(got, want, "stream dim={dim} seg={s:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn dispatch_routes_short_segments_to_gather() {
+        // The dispatch itself is value-transparent; this pins the routing
+        // threshold semantics: len <= GATHER_MAX_NNZ gathers.
+        let a = random_matrix(32, 32, 150, 5);
+        let b = random_dense(32, 24, 6);
+        let rp = DataPath::Vector.resolve(24);
+        assert_eq!(rp.gather_max, GATHER_MAX_NNZ);
+        let short = seg(0, GATHER_MAX_NNZ);
+        let long = seg(0, GATHER_MAX_NNZ + 1);
+        for s in [&short, &long] {
+            let want = scalar_reference(s, &a, &b, 24);
+            let mut got = vec![f32::NAN; 24];
+            vector_segment(s, a.col_indices(), a.values(), &b, &mut got, &rp);
+            assert_eq!(got, want);
+        }
+    }
+
+    #[test]
+    fn resolve_honors_explicit_paths_and_panel_model() {
+        assert_eq!(DataPath::Scalar.resolve(32).kind, PathKind::Scalar);
+        assert_eq!(DataPath::Tiled.resolve(32).kind, PathKind::Tiled);
+        assert_eq!(DataPath::Vector.resolve(32).kind, PathKind::Vector);
+        let auto = DataPath::Auto.resolve(32).kind;
+        if cfg!(feature = "force-scalar") {
+            assert_eq!(auto, PathKind::Scalar);
+        } else {
+            assert_eq!(auto, PathKind::Vector);
+        }
+        let rp = DataPath::Vector.resolve(4096);
+        assert_eq!(rp.panel % rp.lanes.lanes(), 0);
+        assert!(rp.panel <= 4096 + rp.lanes.lanes());
+    }
+
+    #[test]
+    fn lane_detection_is_stable_and_wide_enough() {
+        let w = LaneWidth::detect();
+        assert_eq!(w, LaneWidth::detect());
+        assert!(w.lanes() >= 8);
+    }
+
+    #[test]
+    fn prefetch_is_a_no_op_for_values() {
+        // Prefetching must not write anything; just exercise both index
+        // paths for coverage.
+        let a = random_matrix(16, 16, 40, 9);
+        let cols32: Vec<u32> = a.col_indices().iter().map(|&c| c as u32).collect();
+        let b = random_dense(16, 8, 10);
+        let rp = DataPath::Vector.resolve(8);
+        let s = seg(0, a.nnz().min(6));
+        prefetch_segment_rows(&rp, Some(&s), &a, None, &b);
+        prefetch_segment_rows(&rp, Some(&s), &a, Some(&cols32), &b);
+        prefetch_segment_rows(&rp, None, &a, None, &b);
+        let tiled = DataPath::Tiled.resolve(8);
+        prefetch_segment_rows(&tiled, Some(&s), &a, None, &b);
+    }
+}

@@ -20,11 +20,18 @@
 //!   central argument) rows with shared updates go through a compact
 //!   atomic side buffer; `Flush::Carry` segments stay thread-local and
 //!   are added serially after the join, exactly like the baseline.
-//! * **Register-tiled inner kernel** ([`accumulate_segment_tiled`]):
-//!   the dense dimension is processed in unrolled blocks of 8 and 4 with
-//!   scalar accumulators held in registers (the CPU analogue of
-//!   GE-SpMM-style coalesced column tiling), instead of streaming a full
-//!   accumulator row through memory per non-zero.
+//! * **Vectorized, cache-blocked data path** ([`crate::datapath`]): each
+//!   segment runs through a [`DataPath`]-selected inner kernel — by
+//!   default the wide-lane streaming kernels (16/8 f32 register
+//!   accumulators, runtime lane detection, L1-sized column panels) with
+//!   degree-adaptive dispatch: short segments take a gather microkernel,
+//!   long segments the streaming panel kernel, and the split is recorded
+//!   in [`EngineStats`]. Prepared plans carry a 64-byte-aligned `u32`
+//!   packing of the column indices ([`PreparedPlan::pack_indices`]) that
+//!   halves index bandwidth in the hot loop; values are always read live
+//!   from the matrix so value-only re-weighting never goes stale. The
+//!   PR-1 register-tiled kernel and a scalar oracle stay selectable
+//!   ([`DataPath::Tiled`] / [`DataPath::Scalar`]).
 //! * **Plan caching** ([`ExecEngine::spmm_cached`]): planning — the
 //!   merge-path binary searches plus row classification — is keyed by
 //!   (kernel name, kernel configuration fingerprint, graph epoch, shape,
@@ -35,8 +42,12 @@
 //!
 //! With one worker the engine accumulates in exactly the order of
 //! [`crate::executor::execute_sequential`] (same per-element addition
-//! order; tiling only reorders across output columns, never across
-//! non-zeros), so results are bit-identical to the oracle. With several
+//! order; every data path — scalar, tiled, vectorized — only regroups
+//! output columns, never reorders additions within a column), so results
+//! are exactly equal (f32 `==`, zero tolerance) to the oracle on every
+//! path; the single representational deviation is the sign of a zero out
+//! of the vectorized gather microkernel (a 0-ulp difference; see the
+//! `datapath` module docs). With several
 //! workers, rows updated atomically by multiple logical threads may
 //! accumulate in a different order and differ by rounding — the same
 //! tolerance contract `execute_parallel` has always had.
@@ -55,13 +66,15 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
-use mpspmm_sparse::{CsrMatrix, DenseMatrix, SparseFormatError};
+use mpspmm_sparse::{AlignedVec, CsrMatrix, DenseMatrix, SparseFormatError};
 
+use crate::datapath::{accumulate_segment_dispatch, prefetch_segment_rows, DataPath, PathKind, ResolvedPath};
 use crate::executor::{atomic_add_f32, check_shapes};
-use crate::plan::{Flush, KernelPlan, Segment};
+use crate::plan::{Flush, KernelPlan};
 use crate::pool::{ScopedJob, WorkerPool};
 use crate::spmm::{default_workers, SpmmKernel};
 use crate::stats::WriteStats;
+use crate::tuning::GATHER_MAX_NNZ;
 
 /// Plans cached per engine before the whole cache is dropped and rebuilt.
 /// GNN inference touches a handful of (kernel, dim) combinations per
@@ -85,6 +98,14 @@ enum RowKind {
 /// A plan plus the row classification and precomputed write statistics
 /// the engine needs to execute it. Classification is independent of the
 /// dense dimension, so one `PreparedPlan` serves any `B` width.
+///
+/// A prepared plan may additionally carry a 64-byte-aligned `u32` packing
+/// of the matrix's column indices ([`pack_indices`](Self::pack_indices))
+/// for the vectorized data path. Only the *structure* is packed — values
+/// are always read live from the matrix at execution time, so value
+/// re-weighting through [`CsrMatrix::values_mut`] never stales a cached
+/// plan (structural mutations are caught by the plan-cache epoch and
+/// shape tripwire as before).
 #[derive(Debug, Clone)]
 pub struct PreparedPlan {
     plan: KernelPlan,
@@ -92,6 +113,12 @@ pub struct PreparedPlan {
     /// Row index of each side-buffer slot, in slot order.
     shared_rows: Vec<u32>,
     stats: WriteStats,
+    /// Non-empty segments at/below and above [`GATHER_MAX_NNZ`] — the
+    /// degree-adaptive dispatch split, precomputed so the engine bumps
+    /// its counters once per run instead of once per segment.
+    dispatch: (usize, usize),
+    /// Cache-aligned `u32` column indices for the vectorized path.
+    cols32: Option<AlignedVec<u32>>,
 }
 
 impl PreparedPlan {
@@ -144,12 +171,51 @@ impl PreparedPlan {
                 }
             })
             .collect();
+        let dispatch = plan.dispatch_profile(GATHER_MAX_NNZ);
         Self {
             plan,
             row_kind,
             shared_rows,
             stats,
+            dispatch,
+            cols32: None,
         }
+    }
+
+    /// Classifies `plan` for `a` and packs `a`'s column indices for the
+    /// vectorized data path in one step — the constructor the plan cache
+    /// uses, so every cached plan executes on packed indices.
+    pub fn for_matrix(plan: KernelPlan, a: &CsrMatrix<f32>) -> Self {
+        let mut prep = Self::new(plan, a.rows());
+        prep.pack_indices(a);
+        prep
+    }
+
+    /// Packs `a`'s column indices into a 64-byte-aligned `u32` array for
+    /// the vectorized data path (halves index bandwidth versus the CSR
+    /// `usize` array). A no-op if `a` has more columns than `u32` can
+    /// index — the engine then falls back to the plain indices.
+    ///
+    /// `a` must be the matrix this plan was built for (same staleness
+    /// contract as the plan itself).
+    pub fn pack_indices(&mut self, a: &CsrMatrix<f32>) {
+        if a.cols() > u32::MAX as usize {
+            return;
+        }
+        let src = a.col_indices();
+        self.cols32 = Some(AlignedVec::from_fn(src.len(), |i| src[i] as u32));
+    }
+
+    /// Whether this plan carries the packed `u32` index array.
+    pub fn has_packed_indices(&self) -> bool {
+        self.cols32.is_some()
+    }
+
+    /// The degree-adaptive dispatch split of this plan's non-empty
+    /// segments: `(gather_bound, stream_bound)` at the
+    /// [`GATHER_MAX_NNZ`] threshold.
+    pub fn dispatch_profile(&self) -> (usize, usize) {
+        self.dispatch
     }
 
     /// The underlying plan.
@@ -177,78 +243,7 @@ impl PreparedPlan {
     }
 }
 
-/// Accumulates one segment into `dst` (length = dense dimension),
-/// overwriting it, with the dense dimension register-tiled in unrolled
-/// blocks of 8 and 4 plus a scalar tail.
-///
-/// Per output column this performs the same additions in the same
-/// non-zero order as the executors' scalar loop, so individual elements
-/// are bit-identical to [`crate::executor::execute_sequential`].
-#[inline]
-pub(crate) fn accumulate_segment_tiled(
-    seg: &Segment,
-    a: &CsrMatrix<f32>,
-    b: &DenseMatrix<f32>,
-    dst: &mut [f32],
-) {
-    let cols = a.col_indices();
-    let vals = a.values();
-    let dim = dst.len();
-    let mut d = 0;
-    while d + 8 <= dim {
-        let (mut s0, mut s1, mut s2, mut s3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
-        let (mut s4, mut s5, mut s6, mut s7) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
-        for k in seg.nz_start..seg.nz_end {
-            let v = vals[k];
-            let blk = &b.row(cols[k])[d..d + 8];
-            s0 += v * blk[0];
-            s1 += v * blk[1];
-            s2 += v * blk[2];
-            s3 += v * blk[3];
-            s4 += v * blk[4];
-            s5 += v * blk[5];
-            s6 += v * blk[6];
-            s7 += v * blk[7];
-        }
-        let out = &mut dst[d..d + 8];
-        out[0] = s0;
-        out[1] = s1;
-        out[2] = s2;
-        out[3] = s3;
-        out[4] = s4;
-        out[5] = s5;
-        out[6] = s6;
-        out[7] = s7;
-        d += 8;
-    }
-    if d + 4 <= dim {
-        let (mut s0, mut s1, mut s2, mut s3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
-        for k in seg.nz_start..seg.nz_end {
-            let v = vals[k];
-            let blk = &b.row(cols[k])[d..d + 4];
-            s0 += v * blk[0];
-            s1 += v * blk[1];
-            s2 += v * blk[2];
-            s3 += v * blk[3];
-        }
-        let out = &mut dst[d..d + 4];
-        out[0] = s0;
-        out[1] = s1;
-        out[2] = s2;
-        out[3] = s3;
-        d += 4;
-    }
-    while d < dim {
-        let mut s = 0.0f32;
-        for k in seg.nz_start..seg.nz_end {
-            s += vals[k] * b.row(cols[k])[d];
-        }
-        dst[d] = s;
-        d += 1;
-    }
-}
-
-/// Snapshot of an engine's plan-cache counters.
+/// Snapshot of an engine's plan-cache and data-path counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct EngineStats {
     /// [`ExecEngine::spmm_cached`] calls served from the plan cache.
@@ -259,6 +254,12 @@ pub struct EngineStats {
     pub cached_plans: usize,
     /// Worker parallelism the engine executes with.
     pub workers: usize,
+    /// Segments the degree-adaptive dispatcher routed to the gather
+    /// microkernel (vectorized data path only), cumulative over runs.
+    pub gather_segments: u64,
+    /// Segments routed to the streaming panel kernel (vectorized data
+    /// path only), cumulative over runs.
+    pub stream_segments: u64,
 }
 
 impl EngineStats {
@@ -291,26 +292,49 @@ struct PlanKey {
 /// optimizations it layers over [`crate::executor::execute_parallel`].
 pub struct ExecEngine {
     workers: usize,
+    data_path: DataPath,
     cache: Mutex<HashMap<PlanKey, Arc<PreparedPlan>>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    gather: AtomicU64,
+    stream: AtomicU64,
 }
 
 impl ExecEngine {
     /// An engine that executes with `workers`-way parallelism
-    /// (`workers == 1` runs entirely on the calling thread, atomics-free).
+    /// (`workers == 1` runs entirely on the calling thread, atomics-free)
+    /// on the default ([`DataPath::Auto`]) data path.
     ///
     /// # Panics
     ///
     /// Panics if `workers == 0`.
     pub fn new(workers: usize) -> Self {
+        Self::with_data_path(workers, DataPath::Auto)
+    }
+
+    /// An engine pinned to a specific inner [`DataPath`] — used by the
+    /// benchmarks to compare paths on one binary and by tests to force
+    /// the scalar oracle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers == 0`.
+    pub fn with_data_path(workers: usize, data_path: DataPath) -> Self {
         assert!(workers > 0, "need at least one worker");
         Self {
             workers,
+            data_path,
             cache: Mutex::new(HashMap::new()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            gather: AtomicU64::new(0),
+            stream: AtomicU64::new(0),
         }
+    }
+
+    /// The inner data path this engine executes segments through.
+    pub fn data_path(&self) -> DataPath {
+        self.data_path
     }
 
     /// The process-wide engine, sized by [`default_workers`] (which honors
@@ -383,6 +407,24 @@ impl ExecEngine {
         epoch: u64,
     ) -> Result<(DenseMatrix<f32>, WriteStats), SparseFormatError> {
         check_shapes(a, b)?;
+        let prep = self.plan_cached(kernel, a, b.cols(), epoch);
+        Ok(self.run(&prep, a, b))
+    }
+
+    /// Fetches (or builds, classifies, index-packs, and caches) the
+    /// prepared plan for `kernel` on `a` at dense dimension `dim` —
+    /// the planning half of [`spmm_cached`](Self::spmm_cached), exposed
+    /// so callers that know their layer shapes up front (a GCN forward
+    /// pass, a benchmark loop) can warm the cache and then execute
+    /// through [`execute_prepared`](Self::execute_prepared) with zero
+    /// planning on the timed path.
+    pub fn plan_cached(
+        &self,
+        kernel: &dyn SpmmKernel,
+        a: &CsrMatrix<f32>,
+        dim: usize,
+        epoch: u64,
+    ) -> Arc<PreparedPlan> {
         let key = PlanKey {
             kernel: kernel.name(),
             config: kernel.config_fingerprint(),
@@ -390,17 +432,17 @@ impl ExecEngine {
             rows: a.rows(),
             cols: a.cols(),
             nnz: a.nnz(),
-            dim: b.cols(),
+            dim,
         };
         let cached = self.cache.lock().unwrap().get(&key).cloned();
-        let prep = match cached {
+        match cached {
             Some(prep) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 prep
             }
             None => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
-                let prep = Arc::new(PreparedPlan::new(kernel.plan(a, b.cols()), a.rows()));
+                let prep = Arc::new(PreparedPlan::for_matrix(kernel.plan(a, dim), a));
                 let mut cache = self.cache.lock().unwrap();
                 if cache.len() >= PLAN_CACHE_CAPACITY {
                     cache.clear();
@@ -408,25 +450,29 @@ impl ExecEngine {
                 cache.insert(key, Arc::clone(&prep));
                 prep
             }
-        };
-        Ok(self.run(&prep, a, b))
+        }
     }
 
-    /// Current cache counters.
+    /// Current cache and dispatch counters.
     pub fn stats(&self) -> EngineStats {
         EngineStats {
             plan_cache_hits: self.hits.load(Ordering::Relaxed),
             plan_cache_misses: self.misses.load(Ordering::Relaxed),
             cached_plans: self.cache.lock().unwrap().len(),
             workers: self.workers,
+            gather_segments: self.gather.load(Ordering::Relaxed),
+            stream_segments: self.stream.load(Ordering::Relaxed),
         }
     }
 
-    /// Drops every cached plan and zeroes the hit/miss counters.
+    /// Drops every cached plan and zeroes the hit/miss and dispatch
+    /// counters.
     pub fn clear_cache(&self) {
         self.cache.lock().unwrap().clear();
         self.hits.store(0, Ordering::Relaxed);
         self.misses.store(0, Ordering::Relaxed);
+        self.gather.store(0, Ordering::Relaxed);
+        self.stream.store(0, Ordering::Relaxed);
     }
 
     /// Dispatches to the inline or pooled path. Shapes are already checked.
@@ -447,11 +493,18 @@ impl ExecEngine {
         if dim == 0 || logical == 0 {
             return (DenseMatrix::zeros(rows, dim), prep.stats);
         }
+        let rp = self.data_path.resolve(dim);
+        if rp.kind == PathKind::Vector {
+            let (gather, stream) = prep.dispatch;
+            self.gather.fetch_add(gather as u64, Ordering::Relaxed);
+            self.stream.fetch_add(stream as u64, Ordering::Relaxed);
+        }
+        let cols32 = prep.cols32.as_ref().map(AlignedVec::as_slice);
         let eff_workers = self.workers.min(logical);
         let out = if eff_workers <= 1 {
-            run_inline(prep, a, b, dim)
+            run_inline(prep, a, b, dim, &rp, cols32)
         } else {
-            run_pooled(prep, a, b, dim, eff_workers)
+            run_pooled(prep, a, b, dim, eff_workers, &rp, cols32)
         };
         let out = DenseMatrix::from_vec(rows, dim, out)
             .expect("output buffer has exactly rows*dim elements");
@@ -476,24 +529,34 @@ fn run_inline(
     a: &CsrMatrix<f32>,
     b: &DenseMatrix<f32>,
     dim: usize,
+    rp: &ResolvedPath,
+    cols32: Option<&[u32]>,
 ) -> Vec<f32> {
     let mut out = vec![0.0f32; prep.row_kind.len() * dim];
     let mut acc = vec![0.0f32; dim];
     let mut carries: Vec<(usize, Vec<f32>)> = Vec::new();
     for tp in &prep.plan.threads {
-        for seg in &tp.segments {
+        for (s, seg) in tp.segments.iter().enumerate() {
             if seg.is_empty() {
                 continue;
             }
+            prefetch_segment_rows(rp, tp.segments.get(s + 1), a, cols32, b);
             match seg.flush {
                 Flush::Regular => {
-                    accumulate_segment_tiled(seg, a, b, &mut out[seg.row * dim..][..dim]);
+                    accumulate_segment_dispatch(
+                        rp,
+                        seg,
+                        a,
+                        cols32,
+                        b,
+                        &mut out[seg.row * dim..][..dim],
+                    );
                 }
                 Flush::Atomic => {
                     if acc.len() != dim {
                         acc.resize(dim, 0.0);
                     }
-                    accumulate_segment_tiled(seg, a, b, &mut acc);
+                    accumulate_segment_dispatch(rp, seg, a, cols32, b, &mut acc);
                     for (dst, &v) in out[seg.row * dim..][..dim].iter_mut().zip(&acc) {
                         *dst += v;
                     }
@@ -502,7 +565,7 @@ fn run_inline(
                     if acc.len() != dim {
                         acc.resize(dim, 0.0);
                     }
-                    accumulate_segment_tiled(seg, a, b, &mut acc);
+                    accumulate_segment_dispatch(rp, seg, a, cols32, b, &mut acc);
                     carries.push((seg.row, std::mem::take(&mut acc)));
                 }
             }
@@ -528,6 +591,8 @@ fn run_pooled(
     b: &DenseMatrix<f32>,
     dim: usize,
     eff_workers: usize,
+    rp: &ResolvedPath,
+    cols32: Option<&[u32]>,
 ) -> Vec<f32> {
     let logical = prep.plan.threads.len();
     let per_worker = logical.div_ceil(eff_workers);
@@ -563,19 +628,26 @@ fn run_pooled(
                         if seg.is_empty() {
                             continue;
                         }
+                        prefetch_segment_rows(
+                            rp,
+                            prep.plan.threads[t].segments.get(s + 1),
+                            a,
+                            cols32,
+                            b,
+                        );
                         match seg.flush {
                             Flush::Regular => match prep.row_kind[seg.row] {
                                 RowKind::Direct { .. } => {
                                     let dst = slices
                                         .get_mut(&(seg.row as u32))
                                         .expect("direct row slice routed to owner worker");
-                                    accumulate_segment_tiled(seg, a, b, dst);
+                                    accumulate_segment_dispatch(rp, seg, a, cols32, b, dst);
                                 }
                                 RowKind::Shared { side: slot } => {
                                     if acc.len() != dim {
                                         acc.resize(dim, 0.0);
                                     }
-                                    accumulate_segment_tiled(seg, a, b, &mut acc);
+                                    accumulate_segment_dispatch(rp, seg, a, cols32, b, &mut acc);
                                     let base = slot as usize * dim;
                                     for (i, &v) in acc.iter().enumerate() {
                                         side[base + i].store(v.to_bits(), Ordering::Relaxed);
@@ -592,7 +664,7 @@ fn run_pooled(
                                 if acc.len() != dim {
                                     acc.resize(dim, 0.0);
                                 }
-                                accumulate_segment_tiled(seg, a, b, &mut acc);
+                                accumulate_segment_dispatch(rp, seg, a, cols32, b, &mut acc);
                                 let base = slot as usize * dim;
                                 for (i, &v) in acc.iter().enumerate() {
                                     atomic_add_f32(&side[base + i], v);
@@ -602,7 +674,7 @@ fn run_pooled(
                                 if acc.len() != dim {
                                     acc.resize(dim, 0.0);
                                 }
-                                accumulate_segment_tiled(seg, a, b, &mut acc);
+                                accumulate_segment_dispatch(rp, seg, a, cols32, b, &mut acc);
                                 local_carries.push((t, s, seg.row, std::mem::take(&mut acc)));
                             }
                         }
@@ -639,7 +711,7 @@ fn run_pooled(
 mod tests {
     use super::*;
     use crate::executor::execute_sequential;
-    use crate::plan::ThreadPlan;
+    use crate::plan::{Segment, ThreadPlan};
 
     fn seg(row: usize, nz_start: usize, nz_end: usize, flush: Flush) -> Segment {
         Segment {
@@ -726,23 +798,69 @@ mod tests {
     }
 
     #[test]
-    fn tiled_segment_matches_scalar_accumulation() {
-        let a = crate::spmm::test_support::random_matrix(32, 32, 200, 3);
-        for dim in [1, 2, 3, 4, 5, 7, 8, 9, 12, 16, 17, 33] {
-            let b = crate::spmm::test_support::random_dense(32, dim, 4);
-            let s = seg(0, 0, a.row_ptr()[1], Flush::Regular);
-            let mut tiled = vec![f32::NAN; dim];
-            accumulate_segment_tiled(&s, &a, &b, &mut tiled);
-            // Scalar reference in the executors' accumulation order.
-            let mut scalar = vec![0.0f32; dim];
-            for k in s.nz_start..s.nz_end {
-                let v = a.values()[k];
-                for (dst, &src) in scalar.iter_mut().zip(b.row(a.col_indices()[k])) {
-                    *dst += v * src;
-                }
+    fn every_data_path_is_bit_identical_through_the_engine() {
+        let a = crate::spmm::test_support::random_matrix(48, 48, 300, 3);
+        let kernel = crate::MergePathSpmm::with_threads(9);
+        for dim in [1, 3, 8, 16, 17, 32, 33] {
+            let b = crate::spmm::test_support::random_dense(48, dim, 4);
+            let p = kernel.plan(&a, dim);
+            let (seq, _) = execute_sequential(&p, &a, &b).unwrap();
+            for path in [DataPath::Auto, DataPath::Scalar, DataPath::Tiled, DataPath::Vector] {
+                let engine = ExecEngine::with_data_path(1, path);
+                let (out, _) = engine.execute(&p, &a, &b).unwrap();
+                assert_eq!(out.max_abs_diff(&seq).unwrap(), 0.0, "path={path:?} dim={dim}");
+                // Packed-index route (the cached path) must agree too.
+                let (packed, _) = engine
+                    .execute_prepared(&PreparedPlan::for_matrix(p.clone(), &a), &a, &b)
+                    .unwrap();
+                assert_eq!(packed.max_abs_diff(&seq).unwrap(), 0.0, "packed path={path:?} dim={dim}");
             }
-            assert_eq!(tiled, scalar, "dim={dim}");
         }
+    }
+
+    #[test]
+    fn dispatch_counters_record_gather_stream_split() {
+        let a = crate::spmm::test_support::random_matrix(48, 48, 300, 7);
+        let b = crate::spmm::test_support::random_dense(48, 16, 8);
+        let kernel = crate::MergePathSpmm::with_threads(9);
+        let p = kernel.plan(&a, 16);
+        let prep = PreparedPlan::for_matrix(p.clone(), &a);
+        let (gather, stream) = prep.dispatch_profile();
+        assert_eq!(prep.dispatch_profile(), p.dispatch_profile(GATHER_MAX_NNZ));
+        assert!(gather + stream > 0);
+        assert!(prep.has_packed_indices());
+
+        let engine = ExecEngine::with_data_path(1, DataPath::Vector);
+        engine.execute_prepared(&prep, &a, &b).unwrap();
+        engine.execute_prepared(&prep, &a, &b).unwrap();
+        let stats = engine.stats();
+        assert_eq!(stats.gather_segments, 2 * gather as u64);
+        assert_eq!(stats.stream_segments, 2 * stream as u64);
+
+        // The tiled path does not go through the dispatcher.
+        let tiled = ExecEngine::with_data_path(1, DataPath::Tiled);
+        tiled.execute_prepared(&prep, &a, &b).unwrap();
+        assert_eq!(tiled.stats().gather_segments, 0);
+        assert_eq!(tiled.stats().stream_segments, 0);
+        engine.clear_cache();
+        assert_eq!(engine.stats().gather_segments, 0);
+    }
+
+    #[test]
+    fn plan_cached_warms_the_cache_for_execute_prepared() {
+        let (a, b) = small();
+        let engine = ExecEngine::new(2);
+        let kernel = crate::MergePathSpmm::with_threads(3);
+        let prep = engine.plan_cached(&kernel, &a, b.cols(), 0);
+        assert!(prep.has_packed_indices());
+        assert_eq!(engine.stats().plan_cache_misses, 1);
+        // Same key: served from cache.
+        let again = engine.plan_cached(&kernel, &a, b.cols(), 0);
+        assert_eq!(engine.stats().plan_cache_hits, 1);
+        assert!(Arc::ptr_eq(&prep, &again));
+        // And spmm_cached reuses the same entry.
+        engine.spmm_cached(&kernel, &a, &b, 0).unwrap();
+        assert_eq!(engine.stats().plan_cache_hits, 2);
     }
 
     #[test]

@@ -47,6 +47,7 @@
 #![warn(missing_docs)]
 
 pub mod analysis;
+mod datapath;
 pub mod engine;
 pub mod executor;
 mod merge_path;
@@ -57,6 +58,7 @@ pub mod spmv;
 mod stats;
 pub mod tuning;
 
+pub use datapath::{DataPath, LaneWidth};
 pub use engine::{EngineStats, ExecEngine, PreparedPlan};
 pub use merge_path::{merge_path_search, MergeCoord, Schedule, ThreadAssignment};
 pub use plan::{Flush, KernelPlan, PlanError, Segment, ThreadPlan};
@@ -65,4 +67,7 @@ pub use spmm::{
     NeighborPartitionIndex, NnzSplitSpmm, RowSplitSpmm, SerialSpmm, SpmmKernel,
 };
 pub use stats::WriteStats;
-pub use tuning::{default_cost_for_dim, thread_count, SimdMapping, GPU_SIMD_LANES, MIN_THREADS};
+pub use tuning::{
+    default_cost_for_dim, panel_cols, thread_count, CacheModel, SimdMapping, GATHER_MAX_NNZ,
+    GPU_SIMD_LANES, MIN_THREADS,
+};

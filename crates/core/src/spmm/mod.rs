@@ -34,24 +34,49 @@ use crate::stats::WriteStats;
 /// Number of worker OS threads the execution engine uses by default.
 ///
 /// Resolved once per process and cached: the `MPSPMM_WORKERS` environment
-/// variable (a positive integer) wins if set and valid, otherwise the
-/// machine's available parallelism. Because the result seeds the global
-/// worker pool and engine, changing the variable after the first call has
-/// no effect.
+/// variable (a positive integer) wins if set and valid; an unset variable
+/// uses the machine's available parallelism silently, while an invalid or
+/// zero value falls back to available parallelism with a one-line warning
+/// on stderr. Because the result seeds the global worker pool and engine,
+/// changing the variable after the first call has no effect.
 pub fn default_workers() -> usize {
     static WORKERS: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
     *WORKERS.get_or_init(|| {
-        if let Ok(raw) = std::env::var("MPSPMM_WORKERS") {
-            if let Ok(n) = raw.trim().parse::<usize>() {
-                if n > 0 {
-                    return n;
-                }
-            }
-        }
-        std::thread::available_parallelism()
+        let available = std::thread::available_parallelism()
             .map(std::num::NonZeroUsize::get)
-            .unwrap_or(1)
+            .unwrap_or(1);
+        let raw = std::env::var("MPSPMM_WORKERS").ok();
+        let (workers, warning) = resolve_workers(raw.as_deref(), available);
+        if let Some(msg) = warning {
+            eprintln!("{msg}");
+        }
+        workers
     })
+}
+
+/// Pure resolution of the `MPSPMM_WORKERS` override against the machine's
+/// `available` parallelism: `(workers, warning)`.
+///
+/// `None` (variable unset) resolves to `available` with no warning; a
+/// valid positive integer wins; anything else — unparsable text, zero, a
+/// negative or overflowing number — also resolves to `available` but
+/// returns a one-line warning so the misconfiguration is visible instead
+/// of a panic or a silent single-digit typo taking effect.
+pub(crate) fn resolve_workers(raw: Option<&str>, available: usize) -> (usize, Option<String>) {
+    let available = available.max(1);
+    match raw {
+        None => (available, None),
+        Some(raw) => match raw.trim().parse::<usize>() {
+            Ok(n) if n > 0 => (n, None),
+            _ => (
+                available,
+                Some(format!(
+                    "mpspmm: ignoring invalid MPSPMM_WORKERS={raw:?} (want a positive integer); \
+                     using available parallelism ({available})"
+                )),
+            ),
+        },
+    }
 }
 
 /// Order-sensitive FNV-1a mix of a kernel's configuration words, used by
@@ -138,6 +163,35 @@ pub trait SpmmKernel: Send + Sync {
 }
 
 #[cfg(test)]
+mod worker_resolution_tests {
+    use super::resolve_workers;
+
+    #[test]
+    fn unset_uses_available_parallelism_silently() {
+        assert_eq!(resolve_workers(None, 8), (8, None));
+        // Degenerate `available` is clamped to one worker.
+        assert_eq!(resolve_workers(None, 0), (1, None));
+    }
+
+    #[test]
+    fn valid_positive_override_wins() {
+        assert_eq!(resolve_workers(Some("3"), 8), (3, None));
+        assert_eq!(resolve_workers(Some(" 16 "), 2), (16, None));
+    }
+
+    #[test]
+    fn invalid_and_zero_values_fall_back_with_warning() {
+        for bad in ["0", "-2", "four", "", "1.5", "99999999999999999999999999"] {
+            let (workers, warning) = resolve_workers(Some(bad), 4);
+            assert_eq!(workers, 4, "input {bad:?}");
+            let msg = warning.unwrap_or_else(|| panic!("no warning for {bad:?}"));
+            assert!(msg.contains("MPSPMM_WORKERS"), "warning names the variable: {msg}");
+            assert!(msg.contains('4'), "warning names the fallback: {msg}");
+        }
+    }
+}
+
+#[cfg(test)]
 pub(crate) mod test_support {
     use super::*;
     use rand::rngs::SmallRng;
@@ -181,6 +235,36 @@ pub(crate) mod test_support {
     pub fn random_dense(rows: usize, cols: usize, seed: u64) -> DenseMatrix<f32> {
         let mut rng = SmallRng::seed_from_u64(seed ^ 0xABCD);
         DenseMatrix::from_fn(rows, cols, |_, _| rng.gen_range(-1.0..1.0))
+    }
+
+    /// Asserts the vectorized data path is bit-identical to the scalar
+    /// oracle for one kernel's plan, both with plain CSR indices and with
+    /// the packed `u32` indices the plan cache uses.
+    pub fn check_vector_path_bit_identical(kernel: &dyn SpmmKernel, a: &CsrMatrix<f32>, dim: usize) {
+        use crate::datapath::DataPath;
+        use crate::engine::{ExecEngine, PreparedPlan};
+
+        let b = random_dense(a.cols(), dim, 123);
+        let plan = kernel.plan(a, dim);
+        let (oracle, _) = executor::execute_sequential(&plan, a, &b).unwrap();
+        for path in [DataPath::Scalar, DataPath::Vector] {
+            let engine = ExecEngine::with_data_path(1, path);
+            let (plain, _) = engine.execute(&plan, a, &b).unwrap();
+            assert_eq!(
+                plain.max_abs_diff(&oracle).unwrap(),
+                0.0,
+                "{}: {path:?} path diverges from oracle at dim {dim}",
+                kernel.name()
+            );
+            let prep = PreparedPlan::for_matrix(plan.clone(), a);
+            let (packed, _) = engine.execute_prepared(&prep, a, &b).unwrap();
+            assert_eq!(
+                packed.max_abs_diff(&oracle).unwrap(),
+                0.0,
+                "{}: packed {path:?} path diverges from oracle at dim {dim}",
+                kernel.name()
+            );
+        }
     }
 
     /// Exercises one kernel against the dense oracle: plan validity,

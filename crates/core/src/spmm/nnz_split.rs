@@ -185,7 +185,7 @@ impl NeighborPartitionIndex {
 
 #[cfg(test)]
 mod tests {
-    use super::super::test_support::{check_kernel, random_matrix};
+    use super::super::test_support::{check_kernel, check_vector_path_bit_identical, random_matrix};
     use super::*;
 
     #[test]
@@ -196,6 +196,17 @@ mod tests {
                 check_kernel(&NnzSplitSpmm::with_ng_size(ng), &a, 8);
             }
             check_kernel(&NnzSplitSpmm::new(), &a, 16);
+        }
+    }
+
+    #[test]
+    fn vector_path_is_bit_identical() {
+        let a = random_matrix(50, 50, 300, 32);
+        for dim in [1, 5, 16, 33] {
+            // ng 2 keeps every segment in the gather regime; ng 100 forces
+            // the streaming kernel on the evil row.
+            check_vector_path_bit_identical(&NnzSplitSpmm::with_ng_size(2), &a, dim);
+            check_vector_path_bit_identical(&NnzSplitSpmm::with_ng_size(100), &a, dim);
         }
     }
 

@@ -90,7 +90,7 @@ impl SpmmKernel for RowSplitSpmm {
 
 #[cfg(test)]
 mod tests {
-    use super::super::test_support::{check_kernel, random_matrix};
+    use super::super::test_support::{check_kernel, check_vector_path_bit_identical, random_matrix};
     use super::*;
 
     #[test]
@@ -100,6 +100,14 @@ mod tests {
             for threads in [1, 2, 7, 64] {
                 check_kernel(&RowSplitSpmm::with_threads(threads), &a, 8);
             }
+        }
+    }
+
+    #[test]
+    fn vector_path_is_bit_identical() {
+        let a = random_matrix(50, 50, 300, 31);
+        for dim in [1, 5, 16, 33] {
+            check_vector_path_bit_identical(&RowSplitSpmm::with_threads(7), &a, dim);
         }
     }
 

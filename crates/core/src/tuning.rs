@@ -13,6 +13,64 @@
 /// count is set to the threshold value").
 pub const MIN_THREADS: usize = 1024;
 
+/// Degree-adaptive dispatch threshold of the CPU data path: segments with
+/// at most this many non-zeros run the gather microkernel; longer
+/// segments run the streaming panel kernel. Power-law graphs put most
+/// rows (but few non-zeros) below this line, which is exactly the regime
+/// where per-panel loop restarts cost more than the segment's arithmetic.
+pub const GATHER_MAX_NNZ: usize = 4;
+
+/// Tiny CPU cache model the plan uses to size feature-dimension panels.
+///
+/// Only order-of-magnitude accuracy matters: the panel must keep a
+/// segment's working set — a few gathered `B` row panels plus the
+/// accumulator row — resident in L1 while leaving headroom for the
+/// streamed index/value arrays.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheModel {
+    /// Per-core L1 data cache capacity in bytes.
+    pub l1_bytes: usize,
+    /// Per-core L2 capacity in bytes (reserved for multi-level blocking).
+    pub l2_bytes: usize,
+}
+
+impl Default for CacheModel {
+    /// Conservative defaults (32 KiB L1d / 1 MiB L2) that fit every
+    /// mainstream x86-64 and AArch64 core of the last decade.
+    fn default() -> Self {
+        Self {
+            l1_bytes: 32 * 1024,
+            l2_bytes: 1024 * 1024,
+        }
+    }
+}
+
+/// Number of distinct `B` rows the panel model budgets as simultaneously
+/// hot during one segment sweep.
+const PANEL_RESIDENT_ROWS: usize = 8;
+
+/// Column-panel width (in f32 columns) for sweeping a `dim`-wide dense
+/// operand with `lanes`-wide accumulator blocks.
+///
+/// Model: reserve half of L1 for gathered `B` row panels (the other half
+/// absorbs the streamed indices/values and the destination row), assume
+/// [`PANEL_RESIDENT_ROWS`] rows hot at a time, and round the resulting
+/// width down to a multiple of `lanes` so panels never split a wide
+/// block. The result is clamped to cover `dim` in one panel when `dim`
+/// already fits (the common GNN case — hidden widths of 16–128 are far
+/// below the ~512-column panel a 32 KiB L1 yields).
+///
+/// # Panics
+///
+/// Panics if `lanes == 0`.
+pub fn panel_cols(dim: usize, lanes: usize, model: &CacheModel) -> usize {
+    assert!(lanes > 0, "lane width must be positive");
+    let budget = model.l1_bytes / 2;
+    let raw = budget / (PANEL_RESIDENT_ROWS * std::mem::size_of::<f32>());
+    let aligned = (raw / lanes).max(1) * lanes;
+    aligned.min(dim.next_multiple_of(lanes).max(lanes))
+}
+
 /// SIMD lanes per warp on the evaluated GPU (NVidia, 32-lane warps).
 pub const GPU_SIMD_LANES: usize = 32;
 
@@ -181,6 +239,26 @@ mod tests {
         // Off-table dimension snaps to the nearest entry.
         assert_eq!(default_cost_for_dim(24), 30);
         assert_eq!(default_cost_for_dim(256), 50);
+    }
+
+    #[test]
+    fn panel_model_aligns_and_clamps() {
+        let m = CacheModel::default();
+        // 32 KiB L1 → 16 KiB row budget / (8 rows × 4 B) = 512 columns.
+        assert_eq!(panel_cols(4096, 16, &m), 512);
+        assert_eq!(panel_cols(4096, 8, &m), 512);
+        // GNN-sized dims fit in a single panel (rounded up to the lane
+        // width so the wide block never splits).
+        assert_eq!(panel_cols(16, 16, &m), 16);
+        assert_eq!(panel_cols(32, 16, &m), 32);
+        assert_eq!(panel_cols(20, 16, &m), 32);
+        assert_eq!(panel_cols(0, 8, &m), 8);
+        // A tiny L1 still yields at least one lane-aligned panel.
+        let tiny = CacheModel {
+            l1_bytes: 64,
+            l2_bytes: 1024,
+        };
+        assert_eq!(panel_cols(4096, 16, &tiny), 16);
     }
 
     #[test]

@@ -7,7 +7,8 @@
 
 use mpspmm_core::executor::execute_sequential;
 use mpspmm_core::{
-    ExecEngine, MergePathSerialFixup, MergePathSpmm, NnzSplitSpmm, RowSplitSpmm, SpmmKernel,
+    DataPath, ExecEngine, MergePathSerialFixup, MergePathSpmm, NnzSplitSpmm, PreparedPlan,
+    RowSplitSpmm, SpmmKernel,
 };
 use mpspmm_sparse::{CsrMatrix, DenseMatrix};
 use proptest::prelude::*;
@@ -109,5 +110,81 @@ proptest! {
         prop_assert_eq!(s1, want_stats);
         prop_assert_eq!(s2, want_stats);
         prop_assert!(engine.stats().plan_cache_hits >= 1);
+    }
+
+    /// The vectorized data path (gather + streaming panel kernels, packed
+    /// or plain indices) must be bit-identical to the scalar oracle for
+    /// every kernel at a random dimension in the full 1..=67 lane-tail
+    /// matrix (exhaustive dims are covered by the deterministic test
+    /// below; this adds random sparsity patterns on top).
+    #[test]
+    fn vector_path_bit_matches_oracle_at_random_dims(
+        rows in 2usize..48,
+        fill in 1usize..6,
+        dim in 1usize..=67,
+        seed in any::<u64>(),
+    ) {
+        let nnz = (rows * fill).min(rows * rows);
+        let (a, b) = random_inputs(rows, nnz, dim, seed);
+        for kernel in kernels() {
+            let plan = kernel.plan(&a, dim);
+            let (want, _) = execute_sequential(&plan, &a, &b).unwrap();
+            for path in [DataPath::Scalar, DataPath::Tiled, DataPath::Vector] {
+                let engine = ExecEngine::with_data_path(1, path);
+                let (got, _) = engine.execute(&plan, &a, &b).unwrap();
+                prop_assert_eq!(
+                    got.max_abs_diff(&want).unwrap(),
+                    0.0,
+                    "kernel={} path={:?} dim={}",
+                    kernel.name(),
+                    path,
+                    dim
+                );
+                let prep = PreparedPlan::for_matrix(plan.clone(), &a);
+                let (packed, _) = engine.execute_prepared(&prep, &a, &b).unwrap();
+                prop_assert_eq!(
+                    packed.max_abs_diff(&want).unwrap(),
+                    0.0,
+                    "packed kernel={} path={:?} dim={}",
+                    kernel.name(),
+                    path,
+                    dim
+                );
+            }
+        }
+    }
+}
+
+/// Exhaustive sweep of every dense dimension 1..=67 (covering the scalar
+/// tail of every lane width: 4, 8, 16 and their combinations) on a matrix
+/// that mixes an evil long row, single-nnz rows, and empty rows — the
+/// degree spectrum the adaptive dispatcher splits on.
+#[test]
+fn all_paths_bit_match_oracle_for_dims_1_to_67() {
+    let mut triplets: Vec<(usize, usize, f32)> = Vec::new();
+    // Evil row 0: 20 non-zeros (streaming kernel territory).
+    for c in 0..20 {
+        triplets.push((0, c, 0.25 * c as f32 - 2.0));
+    }
+    // Single-nnz rows (gather territory); rows 21, 24, 27 stay empty.
+    for r in (1..30).filter(|r| r % 3 != 0) {
+        triplets.push((r, (r * 7) % 30, 1.0 - 0.1 * r as f32));
+    }
+    let a = CsrMatrix::from_triplets(30, 30, &triplets).unwrap();
+    let kernel = MergePathSpmm::with_threads(11);
+    for dim in 1..=67usize {
+        let b = DenseMatrix::from_fn(30, dim, |r, c| ((r * 13 + c * 5) % 23) as f32 * 0.125 - 1.0);
+        let plan = kernel.plan(&a, dim);
+        let (want, _) = execute_sequential(&plan, &a, &b).unwrap();
+        for path in [DataPath::Scalar, DataPath::Tiled, DataPath::Vector] {
+            let engine = ExecEngine::with_data_path(1, path);
+            let prep = PreparedPlan::for_matrix(plan.clone(), &a);
+            let (got, _) = engine.execute_prepared(&prep, &a, &b).unwrap();
+            assert_eq!(
+                got.max_abs_diff(&want).unwrap(),
+                0.0,
+                "path={path:?} dim={dim}"
+            );
+        }
     }
 }

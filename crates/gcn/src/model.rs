@@ -185,6 +185,44 @@ impl GcnModel {
         Ok(h)
     }
 
+    /// Pre-plans every layer's aggregation SpMM into `engine`'s cache:
+    /// one prepared plan per distinct output width, each carrying the
+    /// packed u32 column indices the vectorized data path consumes. After
+    /// warming, even the *first* [`forward_cached`](Self::forward_cached)
+    /// on this graph epoch runs entirely from cached, pre-packed plans —
+    /// the paper's offline setting (Figure 8) with the panel/packing work
+    /// hoisted out of inference too.
+    ///
+    /// Returns the number of plans inserted or refreshed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseFormatError::ShapeMismatch`] when `a_hat` is not
+    /// square (aggregation requires `Â` to map nodes to nodes).
+    pub fn warm_plans(
+        &self,
+        a_hat: &CsrMatrix<f32>,
+        kernel: &dyn SpmmKernel,
+        engine: &ExecEngine,
+        epoch: u64,
+    ) -> Result<usize, SparseFormatError> {
+        if a_hat.rows() != a_hat.cols() {
+            return Err(SparseFormatError::ShapeMismatch {
+                left: (a_hat.rows(), a_hat.cols()),
+                right: (a_hat.cols(), a_hat.cols()),
+            });
+        }
+        let mut warmed = 0;
+        let mut widths: Vec<usize> = self.layers.iter().map(GcnLayer::out_features).collect();
+        widths.sort_unstable();
+        widths.dedup();
+        for dim in widths {
+            engine.plan_cached(kernel, a_hat, dim, epoch);
+            warmed += 1;
+        }
+        Ok(warmed)
+    }
+
     /// Full forward pass through `engine`'s plan cache (see
     /// [`GcnLayer::forward_cached`]): after the first inference on a graph
     /// epoch, every layer's SpMM skips planning entirely.
@@ -362,6 +400,36 @@ mod tests {
         assert_eq!(stats.plan_cache_misses, 2);
         assert_eq!(stats.plan_cache_hits, 18);
         assert!(stats.hit_rate() >= 0.9);
+    }
+
+    #[test]
+    fn warm_plans_makes_first_inference_all_hits() {
+        let a = small_graph();
+        let model = GcnModel::two_layer(16, 16, 4, 2);
+        let x = random_features(100, 16, 0.4, 3);
+        let kernel = MergePathSpmm::new();
+        let engine = ExecEngine::new(2);
+        // Two distinct layer widths (hidden=16, classes=4) → two plans.
+        let warmed = model.warm_plans(&a, &kernel, &engine, 0).unwrap();
+        assert_eq!(warmed, 2);
+        assert_eq!(engine.stats().plan_cache_misses, 2);
+        let plain = model.forward(&a, &x, &kernel).unwrap();
+        let out = model.forward_cached(&a, &x, &kernel, &engine, 0).unwrap();
+        assert!(out.approx_eq(&plain, 1e-4).unwrap());
+        let stats = engine.stats();
+        // The first inference never plans: both layer SpMMs hit.
+        assert_eq!(stats.plan_cache_misses, 2);
+        assert_eq!(stats.plan_cache_hits, 2);
+    }
+
+    #[test]
+    fn warm_plans_rejects_rectangular_adjacency() {
+        let a = CsrMatrix::from_triplets(3, 4, &[(0, 1, 1.0f32)]).unwrap();
+        let model = GcnModel::two_layer(8, 4, 2, 1);
+        let engine = ExecEngine::new(1);
+        assert!(model
+            .warm_plans(&a, &MergePathSpmm::new(), &engine, 0)
+            .is_err());
     }
 
     #[test]

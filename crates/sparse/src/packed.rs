@@ -1,0 +1,266 @@
+//! Packed, cache-aligned structure-of-arrays view of a CSR matrix.
+//!
+//! The validated [`CsrMatrix`] stores `usize` column indices — convenient
+//! for algorithm code, wasteful for the SpMM hot loop: on 64-bit targets
+//! every gather of a dense row pays 8 bytes of index traffic per non-zero,
+//! and `Vec`'s 8/4-byte allocation alignment lets the index and value
+//! streams straddle cache-line boundaries arbitrarily.
+//!
+//! [`PackedCsr`] is the execution-side remedy (the same preprocessing-free
+//! spirit as the paper — the packing is a pure O(nnz) narrowing copy, no
+//! reordering, no format extension):
+//!
+//! * column indices narrowed to `u32` (every Table II graph fits with room
+//!   to spare; packing fails gracefully for matrices wider than `u32`),
+//! * value and index arrays start on 64-byte (cache-line) boundaries via
+//!   [`AlignedVec`], so wide-lane kernels never split their first block
+//!   across two lines,
+//! * row pointers kept as `usize` (they index the packed arrays directly).
+//!
+//! Alignment is achieved without `unsafe`: [`AlignedVec`] over-allocates a
+//! plain `Vec<T>` by one cache line and exposes the slice starting at the
+//! first 64-byte boundary inside the allocation.
+
+use crate::{CsrMatrix, SparseFormatError};
+
+/// Cache-line size the packed buffers align to.
+pub const CACHE_LINE_BYTES: usize = 64;
+
+/// A fixed-length buffer whose payload starts on a 64-byte boundary.
+///
+/// Built safely on top of `Vec<T>`: the backing vector is created with
+/// enough spare capacity for one cache line of padding, the distance from
+/// the allocation start to the next 64-byte boundary is measured, and that
+/// many default elements are prepended. The vector never reallocates after
+/// construction, so the measured offset stays valid for the buffer's
+/// lifetime.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AlignedVec<T> {
+    buf: Vec<T>,
+    offset: usize,
+    len: usize,
+}
+
+impl<T: Copy + Default> AlignedVec<T> {
+    /// Builds an aligned buffer holding exactly `len` elements drawn from
+    /// `fill(i)` for `i in 0..len`.
+    pub fn from_fn(len: usize, mut fill: impl FnMut(usize) -> T) -> Self {
+        let elem = std::mem::size_of::<T>().max(1);
+        let pad = CACHE_LINE_BYTES.div_ceil(elem);
+        let mut buf: Vec<T> = Vec::with_capacity(len + pad);
+        // `as_ptr` on a freshly allocated (possibly empty) Vec points at the
+        // allocation; with zero capacity it is a dangling-but-aligned
+        // sentinel, which the modulo below still handles (offset 0 or pad).
+        let addr = buf.as_ptr() as usize;
+        let offset = (addr.next_multiple_of(CACHE_LINE_BYTES) - addr) / elem;
+        debug_assert!(offset <= pad);
+        buf.resize(offset, T::default());
+        buf.extend((0..len).map(&mut fill));
+        debug_assert_eq!(buf.len(), offset + len);
+        Self { buf, offset, len }
+    }
+
+    /// Copies `src` into a new aligned buffer.
+    pub fn from_slice(src: &[T]) -> Self {
+        Self::from_fn(src.len(), |i| src[i])
+    }
+
+    /// The aligned payload.
+    pub fn as_slice(&self) -> &[T] {
+        &self.buf[self.offset..self.offset + self.len]
+    }
+
+    /// Mutable access to the aligned payload (length is fixed).
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.buf[self.offset..self.offset + self.len]
+    }
+
+    /// Number of payload elements.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the buffer holds no payload.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Whether the payload actually starts on a cache-line boundary.
+    ///
+    /// True by construction whenever the backing allocation is non-empty;
+    /// exposed so tests can assert the invariant instead of trusting it.
+    pub fn is_cache_aligned(&self) -> bool {
+        (self.as_slice().as_ptr() as usize).is_multiple_of(CACHE_LINE_BYTES)
+    }
+}
+
+/// Structure-of-arrays packed view of a CSR matrix: `u32` column indices
+/// and `f32` values in 64-byte-aligned buffers, plus the original row
+/// pointers.
+///
+/// A `PackedCsr` is a snapshot: it does not track later mutations of the
+/// source matrix. Re-pack (or [`refresh_values`](Self::refresh_values)
+/// after value-only re-weighting) when the source changes — the same
+/// staleness contract the execution engine's plan cache documents for its
+/// `epoch` key.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PackedCsr {
+    rows: usize,
+    cols: usize,
+    row_ptr: Vec<usize>,
+    col_indices: AlignedVec<u32>,
+    values: AlignedVec<f32>,
+}
+
+impl PackedCsr {
+    /// Packs `matrix` into the SoA layout.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseFormatError::ColumnOutOfBounds`] if the matrix has
+    /// more columns than `u32` can index (no Table II graph comes close).
+    pub fn pack(matrix: &CsrMatrix<f32>) -> Result<Self, SparseFormatError> {
+        if matrix.cols() > u32::MAX as usize {
+            return Err(SparseFormatError::ColumnOutOfBounds {
+                position: 0,
+                column: matrix.cols(),
+                cols: u32::MAX as usize,
+            });
+        }
+        let src_cols = matrix.col_indices();
+        Ok(Self {
+            rows: matrix.rows(),
+            cols: matrix.cols(),
+            row_ptr: matrix.row_ptr().to_vec(),
+            col_indices: AlignedVec::from_fn(src_cols.len(), |i| src_cols[i] as u32),
+            values: AlignedVec::from_slice(matrix.values()),
+        })
+    }
+
+    /// Re-copies the values from `matrix` (e.g. after GCN re-normalization
+    /// through [`CsrMatrix::values_mut`]) without re-packing the structure.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseFormatError::IndexValueLength`] if `matrix` no
+    /// longer has the same non-zero count as this packing.
+    pub fn refresh_values(&mut self, matrix: &CsrMatrix<f32>) -> Result<(), SparseFormatError> {
+        if matrix.nnz() != self.values.len() {
+            return Err(SparseFormatError::IndexValueLength {
+                indices: self.values.len(),
+                values: matrix.nnz(),
+            });
+        }
+        self.values.as_mut_slice().copy_from_slice(matrix.values());
+        Ok(())
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored non-zeros.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// The row pointer array, of length `rows + 1`.
+    pub fn row_ptr(&self) -> &[usize] {
+        &self.row_ptr
+    }
+
+    /// The packed `u32` column indices, of length `nnz`, 64-byte aligned.
+    pub fn col_indices(&self) -> &[u32] {
+        self.col_indices.as_slice()
+    }
+
+    /// The packed values, of length `nnz`, 64-byte aligned.
+    pub fn values(&self) -> &[f32] {
+        self.values.as_slice()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CsrMatrix<f32> {
+        CsrMatrix::from_triplets(
+            4,
+            5,
+            &[(0, 1, 1.5), (0, 4, -2.0), (1, 0, 3.0), (3, 2, 0.25), (3, 3, 4.0)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn aligned_vec_is_cache_aligned_and_round_trips() {
+        for len in [0usize, 1, 3, 15, 16, 17, 100, 1000] {
+            let v = AlignedVec::<f32>::from_fn(len, |i| i as f32 * 0.5);
+            assert_eq!(v.len(), len);
+            assert_eq!(v.is_empty(), len == 0);
+            if len > 0 {
+                assert!(v.is_cache_aligned(), "len={len}");
+            }
+            assert!(v.as_slice().iter().enumerate().all(|(i, &x)| x == i as f32 * 0.5));
+            let u = AlignedVec::<u32>::from_fn(len, |i| i as u32 * 3);
+            if len > 0 {
+                assert!(u.is_cache_aligned(), "len={len}");
+            }
+            assert_eq!(u.as_slice().len(), len);
+        }
+    }
+
+    #[test]
+    fn aligned_vec_mutation_writes_through() {
+        let mut v = AlignedVec::<f32>::from_fn(8, |_| 0.0);
+        v.as_mut_slice()[3] = 7.0;
+        assert_eq!(v.as_slice()[3], 7.0);
+    }
+
+    #[test]
+    fn pack_preserves_structure_and_values() {
+        let m = sample();
+        let p = PackedCsr::pack(&m).unwrap();
+        assert_eq!(p.rows(), m.rows());
+        assert_eq!(p.cols(), m.cols());
+        assert_eq!(p.nnz(), m.nnz());
+        assert_eq!(p.row_ptr(), m.row_ptr());
+        let widened: Vec<usize> = p.col_indices().iter().map(|&c| c as usize).collect();
+        assert_eq!(widened, m.col_indices());
+        assert_eq!(p.values(), m.values());
+    }
+
+    #[test]
+    fn packed_buffers_are_aligned() {
+        let p = PackedCsr::pack(&sample()).unwrap();
+        assert_eq!(p.col_indices().as_ptr() as usize % CACHE_LINE_BYTES, 0);
+        assert_eq!(p.values().as_ptr() as usize % CACHE_LINE_BYTES, 0);
+    }
+
+    #[test]
+    fn refresh_values_tracks_reweighting() {
+        let mut m = sample();
+        let mut p = PackedCsr::pack(&m).unwrap();
+        for v in m.values_mut() {
+            *v *= 2.0;
+        }
+        p.refresh_values(&m).unwrap();
+        assert_eq!(p.values(), m.values());
+        let other = CsrMatrix::<f32>::zeros(4, 5);
+        assert!(p.refresh_values(&other).is_err());
+    }
+
+    #[test]
+    fn empty_matrix_packs() {
+        let p = PackedCsr::pack(&CsrMatrix::<f32>::zeros(3, 3)).unwrap();
+        assert_eq!(p.nnz(), 0);
+        assert_eq!(p.row_ptr(), &[0, 0, 0, 0]);
+    }
+}

@@ -1,12 +1,23 @@
 #!/usr/bin/env bash
-# Tier-1 gate: release build, test suite, and the engine benchmark artifact.
+# Tier-1 gate: release build, lint wall, test suite (including a
+# debug-assert run of the engine-vs-oracle property tests), and the
+# benchmark artifacts.
 #
 # Usage: scripts/tier1.sh
-# Emits BENCH_engine.json in the repository root.
+# Emits BENCH_engine.json (register-tiled baseline) and BENCH_simd.json
+# (vectorized data path vs that baseline) in the repository root.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo build --release
+cargo clippy --workspace --all-targets -- -D warnings
 cargo test -q
 cargo test --workspace -q
+# Debug build (debug_assertions on): overflow checks and the engine's
+# internal invariant asserts are live while the oracle property tests run —
+# once on the default (vectorized) path and once with the data path pinned
+# to the scalar oracle via the force-scalar feature.
+cargo test -q -p mpspmm-core --test engine_oracle
+cargo test -q -p mpspmm-core --features force-scalar
 cargo run --release -p mpspmm-bench --bin bench_engine
+cargo run --release -p mpspmm-bench --bin bench_simd
