@@ -83,7 +83,8 @@ fn main() {
         let all_atomic = with_flush(&selective, Flush::Atomic);
         let serial = serial_fixup_variant(&schedule, &a);
         let price = |plan: &KernelPlan| {
-            let run = lower_with_policy(plan, dim, cfg.lanes, LoweringPolicy::merge_path(), a.cols());
+            let run =
+                lower_with_policy(plan, dim, cfg.lanes, LoweringPolicy::merge_path(), a.cols());
             mpspmm_simt::engine::simulate(&run, &cfg).micros
         };
         let (s, aa, sf) = (price(&selective), price(&all_atomic), price(&serial));

@@ -55,7 +55,8 @@ fn main() {
         println!(" {:>9}", best.0);
         println!(
             "{:<14} (default ng = avg degree = {default_ng}; best within {:.0}% of default)",
-            "", (default_t / best.1 - 1.0) * 100.0
+            "",
+            (default_t / best.1 - 1.0) * 100.0
         );
     }
     println!(

@@ -17,8 +17,7 @@ use std::time::Instant;
 
 use mpspmm_bench::{banner, full_size_requested, load, SEED};
 use mpspmm_core::{
-    default_cost_for_dim, thread_count, NeighborPartitionIndex, NnzSplitSpmm, Schedule,
-    MIN_THREADS,
+    default_cost_for_dim, thread_count, NeighborPartitionIndex, NnzSplitSpmm, Schedule, MIN_THREADS,
 };
 use mpspmm_graphs::find_dataset;
 use mpspmm_simt::{GpuConfig, GpuKernel};

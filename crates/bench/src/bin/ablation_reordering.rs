@@ -20,9 +20,11 @@ use std::time::Instant;
 
 use mpspmm_bench::{banner, full_size_requested, load, SEED};
 use mpspmm_core::analysis::LoadBalance;
-use mpspmm_core::{Flush, KernelPlan, MergePathSpmm, RowSplitSpmm, Segment, SpmmKernel, ThreadPlan};
-use mpspmm_simt::{lower_with_policy, GpuConfig, GpuKernel, LoweringPolicy};
+use mpspmm_core::{
+    Flush, KernelPlan, MergePathSpmm, RowSplitSpmm, Segment, SpmmKernel, ThreadPlan,
+};
 use mpspmm_graphs::find_dataset;
+use mpspmm_simt::{lower_with_policy, GpuConfig, GpuKernel, LoweringPolicy};
 use mpspmm_sparse::reorder::{degree_sort_permutation, permute_rows};
 use mpspmm_sparse::CsrMatrix;
 
@@ -59,7 +61,16 @@ fn main() {
     let dim = 16;
     println!(
         "{:<16} {:>10} {:>11} {:>11} {:>9} {:>10} | {:>8} {:>8} {:>8} {:>8}",
-        "Graph", "RS µs", "sortRS µs", "sortLPT µs", "sort ms", "MP µs", "imb RS", "imb sRS", "imb LPT", "imb MP"
+        "Graph",
+        "RS µs",
+        "sortRS µs",
+        "sortLPT µs",
+        "sort ms",
+        "MP µs",
+        "imb RS",
+        "imb sRS",
+        "imb LPT",
+        "imb MP"
     );
     for name in SAMPLE {
         let (_, a) = load(find_dataset(name).expect("in Table II"), full);
@@ -74,9 +85,17 @@ fn main() {
         let srs = GpuKernel::RowSplit.simulate(&sorted, dim, &cfg).micros;
         let lpt_plan = dealt_row_plan(&sorted, threads);
         lpt_plan.validate(&sorted).expect("dealt plan is valid");
-        let lpt_run = lower_with_policy(&lpt_plan, dim, cfg.lanes, LoweringPolicy::merge_path(), sorted.cols());
+        let lpt_run = lower_with_policy(
+            &lpt_plan,
+            dim,
+            cfg.lanes,
+            LoweringPolicy::merge_path(),
+            sorted.cols(),
+        );
         let lpt = mpspmm_simt::engine::simulate(&lpt_run, &cfg).micros;
-        let mp = GpuKernel::MergePath { cost: None }.simulate(&a, dim, &cfg).micros;
+        let mp = GpuKernel::MergePath { cost: None }
+            .simulate(&a, dim, &cfg)
+            .micros;
 
         let imb = |plan: &KernelPlan| LoadBalance::of(plan).imbalance;
         let rs_plan = RowSplitSpmm::with_threads(threads).plan(&a, dim);

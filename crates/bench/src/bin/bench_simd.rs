@@ -46,7 +46,9 @@ fn main() {
         .map(|s| parse_bench_records(&s))
         .unwrap_or_default();
     if baseline.is_empty() {
-        println!("note: no BENCH_engine.json found; run bench_engine first for vs-baseline numbers");
+        println!(
+            "note: no BENCH_engine.json found; run bench_engine first for vs-baseline numbers"
+        );
     }
 
     let kernels: Vec<Box<dyn SpmmKernel>> = vec![

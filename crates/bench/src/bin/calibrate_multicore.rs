@@ -15,7 +15,11 @@ fn main() {
         ("Twitter-partial", 8),
     ] {
         let spec = find_dataset(name).unwrap();
-        let spec = if scale > 1 { spec.scaled_down(scale) } else { spec.clone() };
+        let spec = if scale > 1 {
+            spec.scaled_down(scale)
+        } else {
+            spec.clone()
+        };
         let a = spec.synthesize(7);
         print!("{name:<16} (x1/{scale})  MergePath:");
         let mut mp64 = 0.0;
@@ -43,7 +47,12 @@ fn main() {
         }
         // Absolute comparison at 1024 cores.
         let cfg = McConfig::with_cores(1024);
-        let mp = simulate(&MergePathSpmm::with_threads(1024).plan(&a, 16), &a, 16, &cfg);
+        let mp = simulate(
+            &MergePathSpmm::with_threads(1024).plan(&a, 16),
+            &a,
+            16,
+            &cfg,
+        );
         println!(
             "   @1024: GNN/MP = {:.2} (memfrac MP {:.2})",
             last.0 as f64 / mp.cycles as f64,

@@ -26,11 +26,18 @@ fn main() {
         let stats = DegreeStats::compute(&a);
         let awb_t = awbgcn::awbgcn_micros(name, &stats, dim, &awb);
         let rs = GpuKernel::RowSplit.simulate(&a, dim, &cfg).micros;
-        let gnn = GpuKernel::GnnAdvisor { opt: false, ng_size: None }
+        let gnn = GpuKernel::GnnAdvisor {
+            opt: false,
+            ng_size: None,
+        }
+        .simulate(&a, dim, &cfg)
+        .micros;
+        let mps = GpuKernel::SerialFixup { threads: None }
             .simulate(&a, dim, &cfg)
             .micros;
-        let mps = GpuKernel::SerialFixup { threads: None }.simulate(&a, dim, &cfg).micros;
-        let mp = GpuKernel::MergePath { cost: None }.simulate(&a, dim, &cfg).micros;
+        let mp = GpuKernel::MergePath { cost: None }
+            .simulate(&a, dim, &cfg)
+            .micros;
         println!(
             "{name:<10} dim{dim:<3} AWB {awb_t:8.2}  row-split {rs:8.2}  GNNAdvisor {gnn:8.2}  merge-serial {mps:8.2}  [MergePath {mp:8.2}]"
         );
@@ -42,17 +49,33 @@ fn main() {
     let mut sp_cu = Vec::new();
     for spec in table_ii() {
         // Scale down the giants so calibration stays fast; shapes hold.
-        let spec = if spec.nnz > 2_500_000 { spec.scaled_down(4) } else { spec.clone() };
+        let spec = if spec.nnz > 2_500_000 {
+            spec.scaled_down(4)
+        } else {
+            spec.clone()
+        };
         let a = spec.synthesize(SEED);
-        let gnn = GpuKernel::GnnAdvisor { opt: false, ng_size: None }
+        let gnn = GpuKernel::GnnAdvisor {
+            opt: false,
+            ng_size: None,
+        }
+        .simulate(&a, 16, &cfg)
+        .micros;
+        let opt = GpuKernel::GnnAdvisor {
+            opt: true,
+            ng_size: None,
+        }
+        .simulate(&a, 16, &cfg)
+        .micros;
+        let mp = GpuKernel::MergePath { cost: Some(20) }
             .simulate(&a, 16, &cfg)
             .micros;
-        let opt = GpuKernel::GnnAdvisor { opt: true, ng_size: None }
-            .simulate(&a, 16, &cfg)
-            .micros;
-        let mp = GpuKernel::MergePath { cost: Some(20) }.simulate(&a, 16, &cfg).micros;
         let cu = vendor::simulate_vendor(&a, 16, &cfg).report.micros;
-        let t = if spec.class == GraphClass::PowerLaw { "I " } else { "II" };
+        let t = if spec.class == GraphClass::PowerLaw {
+            "I "
+        } else {
+            "II"
+        };
         println!(
             "{t} {:<16} cuSPARSE {:5.2}  opt {:5.2}  MergePath {:5.2}",
             spec.name,
@@ -82,7 +105,12 @@ fn main() {
         for cost in [2usize, 5, 10, 15, 20, 25, 30, 35, 40, 45, 50] {
             let total: f64 = sample
                 .iter()
-                .map(|a| GpuKernel::MergePath { cost: Some(cost) }.simulate(a, dim, &cfg).micros.ln())
+                .map(|a| {
+                    GpuKernel::MergePath { cost: Some(cost) }
+                        .simulate(a, dim, &cfg)
+                        .micros
+                        .ln()
+                })
                 .sum();
             if total < best.1 {
                 best = (cost, total);
@@ -95,9 +123,12 @@ fn main() {
     let denom: Vec<f64> = sample
         .iter()
         .map(|a| {
-            GpuKernel::GnnAdvisor { opt: false, ng_size: None }
-                .simulate(a, 128, &cfg)
-                .micros
+            GpuKernel::GnnAdvisor {
+                opt: false,
+                ng_size: None,
+            }
+            .simulate(a, 128, &cfg)
+            .micros
         })
         .collect();
     for dim in [128usize, 64, 32, 16, 8, 4, 2] {
@@ -107,17 +138,28 @@ fn main() {
         for (i, a) in sample.iter().enumerate() {
             gnn_s.push(
                 denom[i]
-                    / GpuKernel::GnnAdvisor { opt: false, ng_size: None }
-                        .simulate(a, dim, &cfg)
-                        .micros,
+                    / GpuKernel::GnnAdvisor {
+                        opt: false,
+                        ng_size: None,
+                    }
+                    .simulate(a, dim, &cfg)
+                    .micros,
             );
             opt_s.push(
                 denom[i]
-                    / GpuKernel::GnnAdvisor { opt: true, ng_size: None }
+                    / GpuKernel::GnnAdvisor {
+                        opt: true,
+                        ng_size: None,
+                    }
+                    .simulate(a, dim, &cfg)
+                    .micros,
+            );
+            mp_s.push(
+                denom[i]
+                    / GpuKernel::MergePath { cost: None }
                         .simulate(a, dim, &cfg)
                         .micros,
             );
-            mp_s.push(denom[i] / GpuKernel::MergePath { cost: None }.simulate(a, dim, &cfg).micros);
         }
         println!(
             "dim {dim:<4} GNNAdvisor {:6.2}  opt {:6.2}  MergePath {:6.2}",

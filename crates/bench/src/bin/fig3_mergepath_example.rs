@@ -71,7 +71,8 @@ fn main() {
 
     println!("\nAlgorithm 2 lowering (segments per thread):");
     let plan = plan_from_schedule(&schedule, &a);
-    plan.validate(&a).expect("plan covers the matrix exactly once");
+    plan.validate(&a)
+        .expect("plan covers the matrix exactly once");
     for (t, tp) in plan.threads.iter().enumerate() {
         print!("thread {}:", t + 1);
         for seg in &tp.segments {

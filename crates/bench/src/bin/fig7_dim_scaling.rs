@@ -24,13 +24,21 @@ fn best_cost(graphs: &[CsrMatrix<f32>], dim: usize, cfg: &GpuConfig) -> usize {
             let ta = geomean(
                 &graphs
                     .iter()
-                    .map(|g| GpuKernel::MergePath { cost: Some(a) }.simulate(g, dim, cfg).micros)
+                    .map(|g| {
+                        GpuKernel::MergePath { cost: Some(a) }
+                            .simulate(g, dim, cfg)
+                            .micros
+                    })
                     .collect::<Vec<_>>(),
             );
             let tb = geomean(
                 &graphs
                     .iter()
-                    .map(|g| GpuKernel::MergePath { cost: Some(b) }.simulate(g, dim, cfg).micros)
+                    .map(|g| {
+                        GpuKernel::MergePath { cost: Some(b) }
+                            .simulate(g, dim, cfg)
+                            .micros
+                    })
                     .collect::<Vec<_>>(),
             );
             ta.partial_cmp(&tb).expect("finite times")

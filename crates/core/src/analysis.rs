@@ -7,7 +7,6 @@
 //! thread. [`LoadBalance`] quantifies that for any [`KernelPlan`], making
 //! the contrast with row-splitting measurable.
 
-
 use crate::plan::KernelPlan;
 
 /// Distribution statistics of per-logical-thread work in a plan.
@@ -63,7 +62,11 @@ impl LoadBalance {
             total_nnz,
             max_nnz,
             mean_nnz: mean,
-            imbalance: if mean > 0.0 { max_nnz as f64 / mean } else { 1.0 },
+            imbalance: if mean > 0.0 {
+                max_nnz as f64 / mean
+            } else {
+                1.0
+            },
             cv: if mean > 0.0 { var.sqrt() / mean } else { 0.0 },
         }
     }
@@ -89,8 +92,7 @@ mod tests {
 
     #[test]
     fn balanced_plan_has_unit_imbalance() {
-        let triplets: Vec<(usize, usize, f32)> =
-            (0..32).map(|i| (i / 4, i % 4, 1.0)).collect();
+        let triplets: Vec<(usize, usize, f32)> = (0..32).map(|i| (i / 4, i % 4, 1.0)).collect();
         let a = CsrMatrix::from_triplets(8, 4, &triplets).unwrap();
         // 8 rows of 4 nnz, 8 row-split threads → perfectly balanced.
         let plan = RowSplitSpmm::with_threads(8).plan(&a, 16);
@@ -115,7 +117,11 @@ mod tests {
             mp.imbalance,
             rs.imbalance
         );
-        assert!(mp.imbalance < 1.5, "merge-path imbalance {:.2}", mp.imbalance);
+        assert!(
+            mp.imbalance < 1.5,
+            "merge-path imbalance {:.2}",
+            mp.imbalance
+        );
         assert_eq!(mp.total_nnz, a.nnz());
         assert_eq!(rs.total_nnz, a.nnz());
     }

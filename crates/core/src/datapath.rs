@@ -45,11 +45,13 @@
 //!
 //! # Tuning knobs
 //!
-//! Two environment variables, read **once** per engine run when the path
-//! is resolved (never in the segment loop), exist for ablation:
-//! `MPSPMM_GATHER_MAX` overrides the gather threshold
+//! Two environment variables, read **once per process** at the first
+//! path resolution (never in the segment loop or per engine run), exist
+//! for ablation: `MPSPMM_GATHER_MAX` overrides the gather threshold
 //! ([`GATHER_MAX_NNZ`]; `0` disables the gather kernel entirely) and
-//! `MPSPMM_NO_PREFETCH` disables the software prefetch.
+//! `MPSPMM_NO_PREFETCH` disables the software prefetch. Like
+//! `MPSPMM_WORKERS`, changing them after the first engine run has no
+//! effect — a serving process resolves its configuration at startup.
 
 use mpspmm_sparse::{CsrMatrix, DenseMatrix};
 
@@ -148,13 +150,29 @@ impl DataPath {
             kind,
             lanes,
             panel: panel_cols(dim, lanes.lanes(), &CacheModel::default()),
-            gather_max: std::env::var("MPSPMM_GATHER_MAX")
-                .ok()
-                .and_then(|v| v.parse().ok())
-                .unwrap_or(GATHER_MAX_NNZ),
-            prefetch: std::env::var_os("MPSPMM_NO_PREFETCH").is_none(),
+            gather_max: env_gather_max(),
+            prefetch: env_prefetch(),
         }
     }
+}
+
+/// `MPSPMM_GATHER_MAX` override, resolved once per process (a request
+/// server resolves hundreds of thousands of paths; the environment cannot
+/// change under a running process anyway).
+fn env_gather_max() -> usize {
+    static GATHER_MAX: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *GATHER_MAX.get_or_init(|| {
+        std::env::var("MPSPMM_GATHER_MAX")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(GATHER_MAX_NNZ)
+    })
+}
+
+/// `MPSPMM_NO_PREFETCH` kill switch, resolved once per process.
+fn env_prefetch() -> bool {
+    static PREFETCH: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *PREFETCH.get_or_init(|| std::env::var_os("MPSPMM_NO_PREFETCH").is_none())
 }
 
 /// Column-index view the kernels are generic over: plain CSR `usize`
@@ -301,16 +319,18 @@ pub(crate) fn gather_segment<I: ColIdx>(
         }
         3 => {
             let (v0, v1, v2) = (vals[k], vals[k + 1], vals[k + 2]);
-            for (((slot, &x0), &x1), &x2) in
-                dst.iter_mut().zip(row(0)).zip(row(1)).zip(row(2))
-            {
+            for (((slot, &x0), &x1), &x2) in dst.iter_mut().zip(row(0)).zip(row(1)).zip(row(2)) {
                 *slot = v0 * x0 + v1 * x1 + v2 * x2;
             }
         }
         4 => {
             let (v0, v1, v2, v3) = (vals[k], vals[k + 1], vals[k + 2], vals[k + 3]);
-            for ((((slot, &x0), &x1), &x2), &x3) in
-                dst.iter_mut().zip(row(0)).zip(row(1)).zip(row(2)).zip(row(3))
+            for ((((slot, &x0), &x1), &x2), &x3) in dst
+                .iter_mut()
+                .zip(row(0))
+                .zip(row(1))
+                .zip(row(2))
+                .zip(row(3))
             {
                 *slot = v0 * x0 + v1 * x1 + v2 * x2 + v3 * x3;
             }
@@ -463,7 +483,12 @@ mod tests {
         }
     }
 
-    fn scalar_reference(s: &Segment, a: &CsrMatrix<f32>, b: &DenseMatrix<f32>, dim: usize) -> Vec<f32> {
+    fn scalar_reference(
+        s: &Segment,
+        a: &CsrMatrix<f32>,
+        b: &DenseMatrix<f32>,
+        dim: usize,
+    ) -> Vec<f32> {
         let mut out = vec![0.0f32; dim];
         accumulate_segment_scalar(s, a.col_indices(), a.values(), b, &mut out);
         out
@@ -488,9 +513,9 @@ mod tests {
         let cols32: Vec<u32> = a.col_indices().iter().map(|&c| c as u32).collect();
         let row_end = a.row_ptr()[1];
         let segments = [
-            seg(0, row_end),  // the evil long row
-            seg(0, 0),        // empty
-            seg(2, 3),        // single non-zero
+            seg(0, row_end), // the evil long row
+            seg(0, 0),       // empty
+            seg(2, 3),       // single non-zero
             seg(1, row_end - 1),
         ];
         for dim in 1..=67usize {
@@ -505,10 +530,16 @@ mod tests {
                         let rp = resolved(PathKind::Vector, lanes, panel);
                         got.fill(f32::NAN);
                         vector_segment(s, a.col_indices(), a.values(), &b, &mut got, &rp);
-                        assert_eq!(got, want, "vector/usize dim={dim} lanes={lanes:?} panel={panel} seg={s:?}");
+                        assert_eq!(
+                            got, want,
+                            "vector/usize dim={dim} lanes={lanes:?} panel={panel} seg={s:?}"
+                        );
                         got.fill(f32::NAN);
                         vector_segment(s, &cols32, a.values(), &b, &mut got, &rp);
-                        assert_eq!(got, want, "vector/u32 dim={dim} lanes={lanes:?} panel={panel} seg={s:?}");
+                        assert_eq!(
+                            got, want,
+                            "vector/u32 dim={dim} lanes={lanes:?} panel={panel} seg={s:?}"
+                        );
                     }
                 }
                 got.fill(f32::NAN);

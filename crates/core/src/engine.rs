@@ -68,7 +68,9 @@ use std::sync::{Arc, Mutex, OnceLock};
 
 use mpspmm_sparse::{AlignedVec, CsrMatrix, DenseMatrix, SparseFormatError};
 
-use crate::datapath::{accumulate_segment_dispatch, prefetch_segment_rows, DataPath, PathKind, ResolvedPath};
+use crate::datapath::{
+    accumulate_segment_dispatch, prefetch_segment_rows, DataPath, PathKind, ResolvedPath,
+};
 use crate::executor::{atomic_add_f32, check_shapes};
 use crate::plan::{Flush, KernelPlan};
 use crate::pool::{ScopedJob, WorkerPool};
@@ -76,10 +78,30 @@ use crate::spmm::{default_workers, SpmmKernel};
 use crate::stats::WriteStats;
 use crate::tuning::GATHER_MAX_NNZ;
 
-/// Plans cached per engine before the whole cache is dropped and rebuilt.
-/// GNN inference touches a handful of (kernel, dim) combinations per
-/// graph epoch, so a small bound with wholesale eviction is plenty.
-const PLAN_CACHE_CAPACITY: usize = 64;
+/// Default bound on plans cached per engine. A single GNN inference
+/// workload touches a handful of (kernel, dim) combinations per graph
+/// epoch, but a long-lived *serving* process registers many graphs and
+/// hot-swaps versions, so the bound is generous and eviction is
+/// least-recently-used rather than wholesale; size it explicitly with
+/// [`ExecEngine::with_plan_capacity`] when the default does not fit.
+pub const DEFAULT_PLAN_CACHE_CAPACITY: usize = 256;
+
+/// One resident plan plus the LRU stamp the eviction policy orders by.
+#[derive(Debug)]
+struct CacheEntry {
+    prep: Arc<PreparedPlan>,
+    last_used: u64,
+}
+
+/// The engine's bounded plan cache: a map plus a monotonic use counter.
+/// Lookups stamp the entry; inserts past capacity evict the entry with
+/// the oldest stamp (an O(n) scan — capacities are small enough that a
+/// linked LRU list would be pure complexity).
+#[derive(Debug, Default)]
+struct PlanCache {
+    map: HashMap<PlanKey, CacheEntry>,
+    tick: u64,
+}
 
 /// How the engine writes a given output row.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -252,6 +274,10 @@ pub struct EngineStats {
     pub plan_cache_misses: u64,
     /// Plans currently resident in the cache.
     pub cached_plans: usize,
+    /// Plans evicted because the cache reached its capacity bound
+    /// (least-recently-used first), cumulative since the last
+    /// [`ExecEngine::clear_cache`].
+    pub plan_cache_evictions: u64,
     /// Worker parallelism the engine executes with.
     pub workers: usize,
     /// Segments the degree-adaptive dispatcher routed to the gather
@@ -293,9 +319,11 @@ struct PlanKey {
 pub struct ExecEngine {
     workers: usize,
     data_path: DataPath,
-    cache: Mutex<HashMap<PlanKey, Arc<PreparedPlan>>>,
+    plan_capacity: usize,
+    cache: Mutex<PlanCache>,
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
     gather: AtomicU64,
     stream: AtomicU64,
 }
@@ -320,16 +348,40 @@ impl ExecEngine {
     ///
     /// Panics if `workers == 0`.
     pub fn with_data_path(workers: usize, data_path: DataPath) -> Self {
+        Self::with_plan_capacity(workers, data_path, DEFAULT_PLAN_CACHE_CAPACITY)
+    }
+
+    /// An engine with an explicit plan-cache capacity bound (LRU
+    /// eviction past the bound). Long-lived serving processes that
+    /// register many graphs size this to their working set; the
+    /// [`DEFAULT_PLAN_CACHE_CAPACITY`] default is generous for everything
+    /// else.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers == 0` or `plan_capacity == 0`.
+    pub fn with_plan_capacity(workers: usize, data_path: DataPath, plan_capacity: usize) -> Self {
         assert!(workers > 0, "need at least one worker");
+        assert!(
+            plan_capacity > 0,
+            "plan cache needs capacity for at least one plan"
+        );
         Self {
             workers,
             data_path,
-            cache: Mutex::new(HashMap::new()),
+            plan_capacity,
+            cache: Mutex::new(PlanCache::default()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
             gather: AtomicU64::new(0),
             stream: AtomicU64::new(0),
         }
+    }
+
+    /// The plan-cache capacity bound this engine evicts at.
+    pub fn plan_capacity(&self) -> usize {
+        self.plan_capacity
     }
 
     /// The inner data path this engine executes segments through.
@@ -434,21 +486,94 @@ impl ExecEngine {
             nnz: a.nnz(),
             dim,
         };
-        let cached = self.cache.lock().unwrap().get(&key).cloned();
-        match cached {
-            Some(prep) => {
+        {
+            let mut cache = self.cache.lock().unwrap();
+            cache.tick += 1;
+            let tick = cache.tick;
+            if let Some(entry) = cache.map.get_mut(&key) {
+                entry.last_used = tick;
+                let prep = Arc::clone(&entry.prep);
                 self.hits.fetch_add(1, Ordering::Relaxed);
-                prep
+                return prep;
             }
-            None => {
-                self.misses.fetch_add(1, Ordering::Relaxed);
-                let prep = Arc::new(PreparedPlan::for_matrix(kernel.plan(a, dim), a));
-                let mut cache = self.cache.lock().unwrap();
-                if cache.len() >= PLAN_CACHE_CAPACITY {
-                    cache.clear();
+        }
+        // Plan outside the lock: planning is the expensive part, and a
+        // racing miss on the same key merely builds the plan twice (the
+        // second insert wins), which is the same behavior spmm_cached has
+        // always had.
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let prep = Arc::new(PreparedPlan::for_matrix(kernel.plan(a, dim), a));
+        let mut cache = self.cache.lock().unwrap();
+        while cache.map.len() >= self.plan_capacity {
+            let victim = cache
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone());
+            match victim {
+                Some(k) => {
+                    cache.map.remove(&k);
+                    self.evictions.fetch_add(1, Ordering::Relaxed);
                 }
-                cache.insert(key, Arc::clone(&prep));
-                prep
+                None => break,
+            }
+        }
+        cache.tick += 1;
+        let last_used = cache.tick;
+        cache.map.insert(
+            key,
+            CacheEntry {
+                prep: Arc::clone(&prep),
+                last_used,
+            },
+        );
+        prep
+    }
+
+    /// Executes one prepared plan over several dense column blocks in a
+    /// *single* engine run: the blocks are concatenated column-wise, the
+    /// plan runs once over the combined `sum(cols)`-wide operand, and the
+    /// output is split back into one matrix per input block.
+    ///
+    /// This is the batched submission path the serving layer coalesces
+    /// concurrent requests through — every non-zero of `a` is walked once
+    /// per *batch* instead of once per request, which is exactly the
+    /// row-reuse argument batching makes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseFormatError::ShapeMismatch`] if any block has
+    /// `rows != a.cols()`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `prep` was classified for a different row count than
+    /// `a.rows()`.
+    pub fn execute_prepared_batch(
+        &self,
+        prep: &PreparedPlan,
+        a: &CsrMatrix<f32>,
+        blocks: &[&DenseMatrix<f32>],
+    ) -> Result<Vec<DenseMatrix<f32>>, SparseFormatError> {
+        for b in blocks {
+            check_shapes(a, b)?;
+        }
+        match blocks {
+            [] => Ok(Vec::new()),
+            [only] => self
+                .execute_prepared(prep, a, only)
+                .map(|(out, _)| vec![out]),
+            _ => {
+                let total: usize = blocks.iter().map(|b| b.cols()).sum();
+                if total == 0 {
+                    return Ok(blocks
+                        .iter()
+                        .map(|_| DenseMatrix::zeros(a.rows(), 0))
+                        .collect());
+                }
+                let combined = concat_col_blocks(blocks, a.cols(), total);
+                let (out, _) = self.execute_prepared(prep, a, &combined)?;
+                Ok(split_col_blocks(&out, blocks, a.rows(), total))
             }
         }
     }
@@ -458,7 +583,8 @@ impl ExecEngine {
         EngineStats {
             plan_cache_hits: self.hits.load(Ordering::Relaxed),
             plan_cache_misses: self.misses.load(Ordering::Relaxed),
-            cached_plans: self.cache.lock().unwrap().len(),
+            cached_plans: self.cache.lock().unwrap().map.len(),
+            plan_cache_evictions: self.evictions.load(Ordering::Relaxed),
             workers: self.workers,
             gather_segments: self.gather.load(Ordering::Relaxed),
             stream_segments: self.stream.load(Ordering::Relaxed),
@@ -468,9 +594,13 @@ impl ExecEngine {
     /// Drops every cached plan and zeroes the hit/miss and dispatch
     /// counters.
     pub fn clear_cache(&self) {
-        self.cache.lock().unwrap().clear();
+        let mut cache = self.cache.lock().unwrap();
+        cache.map.clear();
+        cache.tick = 0;
+        drop(cache);
         self.hits.store(0, Ordering::Relaxed);
         self.misses.store(0, Ordering::Relaxed);
+        self.evictions.store(0, Ordering::Relaxed);
         self.gather.store(0, Ordering::Relaxed);
         self.stream.store(0, Ordering::Relaxed);
     }
@@ -519,6 +649,143 @@ impl std::fmt::Debug for ExecEngine {
             .field("stats", &self.stats())
             .finish()
     }
+}
+
+/// Row-tile height of the single-column interleave/split fast lane: a
+/// tile of `64 rows x total cols x 4 B` stays L1-resident while every
+/// source (or destination) column streams through it, so each output
+/// cache line is filled while hot instead of being re-fetched per column.
+const INTERLEAVE_TILE_ROWS: usize = 64;
+
+/// Column-group width of the interleave/split micro-kernel. Eight
+/// single-column blocks are transposed together per pass: each output
+/// row contributes one contiguous 8-float (32 B) store instead of eight
+/// isolated scalar stores, and the fixed-size array references let the
+/// compiler drop every bounds check in the hot loop.
+const INTERLEAVE_GROUP: usize = 8;
+
+/// Transposes `srcs` (each a full column of length `rows`) into the
+/// row-major `rows x srcs.len()` buffer `dst`, tiled so the destination
+/// stays L1-resident across column groups.
+fn interleave_unit_cols(dst: &mut [f32], srcs: &[&[f32]], rows: usize) {
+    let total = srcs.len();
+    for start in (0..rows).step_by(INTERLEAVE_TILE_ROWS) {
+        let n = INTERLEAVE_TILE_ROWS.min(rows - start);
+        let tile = &mut dst[start * total..(start + n) * total];
+        let mut j = 0;
+        while j + INTERLEAVE_GROUP <= total {
+            let cols: [&[f32]; INTERLEAVE_GROUP] =
+                std::array::from_fn(|i| &srcs[j + i][start..start + n]);
+            for r in 0..n {
+                let base = r * total + j;
+                let out: &mut [f32; INTERLEAVE_GROUP] = (&mut tile[base..base + INTERLEAVE_GROUP])
+                    .try_into()
+                    .unwrap();
+                for (o, c) in out.iter_mut().zip(&cols) {
+                    *o = c[r];
+                }
+            }
+            j += INTERLEAVE_GROUP;
+        }
+        for (jj, src) in srcs[j..].iter().enumerate() {
+            let src = &src[start..start + n];
+            for (d, &v) in tile[j + jj..].iter_mut().step_by(total).zip(src) {
+                *d = v;
+            }
+        }
+    }
+}
+
+/// Inverse of [`interleave_unit_cols`]: scatters each column of the
+/// row-major `rows x outs.len()` buffer `src` into its own flat column.
+fn deinterleave_unit_cols(src: &[f32], outs: &mut [Vec<f32>], rows: usize) {
+    let total = outs.len();
+    for start in (0..rows).step_by(INTERLEAVE_TILE_ROWS) {
+        let n = INTERLEAVE_TILE_ROWS.min(rows - start);
+        let tile = &src[start * total..(start + n) * total];
+        let mut chunks = outs.chunks_exact_mut(INTERLEAVE_GROUP);
+        let mut j = 0;
+        for group in chunks.by_ref() {
+            let mut bufs = group.iter_mut();
+            let mut cols: [&mut [f32]; INTERLEAVE_GROUP] = std::array::from_fn(|_| {
+                &mut bufs.next().expect("chunk has 8 bufs")[start..start + n]
+            });
+            for r in 0..n {
+                let base = r * total + j;
+                let inp: &[f32; INTERLEAVE_GROUP] =
+                    (&tile[base..base + INTERLEAVE_GROUP]).try_into().unwrap();
+                for (c, &v) in cols.iter_mut().zip(inp) {
+                    c[r] = v;
+                }
+            }
+            j += INTERLEAVE_GROUP;
+        }
+        for (jj, buf) in chunks.into_remainder().iter_mut().enumerate() {
+            let dst = &mut buf[start..start + n];
+            for (d, &v) in dst.iter_mut().zip(tile[j + jj..].iter().step_by(total)) {
+                *d = v;
+            }
+        }
+    }
+}
+
+/// Column-concatenates `blocks` into one `rows x total` matrix.
+///
+/// The batch path's overhead is exactly this copy plus
+/// [`split_col_blocks`], so both are tuned for the serving layer's
+/// dominant shape — many single-column blocks — with the tiled 8-wide
+/// transpose micro-kernel above; mixed-width batches take a row-major
+/// `copy_from_slice` walk instead.
+fn concat_col_blocks(blocks: &[&DenseMatrix<f32>], rows: usize, total: usize) -> DenseMatrix<f32> {
+    let mut combined = DenseMatrix::zeros(rows, total);
+    let dst = combined.as_mut_slice();
+    if blocks.iter().all(|b| b.cols() == 1) {
+        let srcs: Vec<&[f32]> = blocks.iter().map(|b| b.as_slice()).collect();
+        interleave_unit_cols(dst, &srcs, rows);
+    } else {
+        let srcs: Vec<(&[f32], usize)> = blocks.iter().map(|b| (b.as_slice(), b.cols())).collect();
+        for (r, drow) in dst.chunks_exact_mut(total).enumerate() {
+            let mut off = 0;
+            for &(src, k) in &srcs {
+                drow[off..off + k].copy_from_slice(&src[r * k..r * k + k]);
+                off += k;
+            }
+        }
+    }
+    combined
+}
+
+/// Inverse of [`concat_col_blocks`]: splits the batched output back into
+/// one matrix per input block, in order.
+fn split_col_blocks(
+    out: &DenseMatrix<f32>,
+    blocks: &[&DenseMatrix<f32>],
+    rows: usize,
+    total: usize,
+) -> Vec<DenseMatrix<f32>> {
+    let src = out.as_slice();
+    let mut bufs: Vec<Vec<f32>> = blocks
+        .iter()
+        .map(|b| vec![0.0f32; rows * b.cols()])
+        .collect();
+    if blocks.iter().all(|b| b.cols() == 1) {
+        deinterleave_unit_cols(src, &mut bufs, rows);
+    } else {
+        for (r, srow) in src.chunks_exact(total).enumerate() {
+            let mut off = 0;
+            for (buf, b) in bufs.iter_mut().zip(blocks) {
+                let k = b.cols();
+                buf[r * k..r * k + k].copy_from_slice(&srow[off..off + k]);
+                off += k;
+            }
+        }
+    }
+    bufs.into_iter()
+        .zip(blocks)
+        .map(|(buf, b)| {
+            DenseMatrix::from_vec(rows, b.cols(), buf).expect("buffer sized to rows x cols")
+        })
+        .collect()
 }
 
 /// Single-worker path: no pool, no atomics anywhere. Accumulation order
@@ -735,7 +1002,13 @@ mod tests {
         let a = CsrMatrix::from_triplets(
             3,
             3,
-            &[(0, 0, 1.0), (0, 2, 2.0), (1, 1, 3.0), (2, 0, 4.0), (2, 1, 5.0)],
+            &[
+                (0, 0, 1.0),
+                (0, 2, 2.0),
+                (1, 1, 3.0),
+                (2, 0, 4.0),
+                (2, 1, 5.0),
+            ],
         )
         .unwrap();
         let b = DenseMatrix::from_fn(3, 2, |r, c| (r * 2 + c) as f32 + 1.0);
@@ -805,15 +1078,28 @@ mod tests {
             let b = crate::spmm::test_support::random_dense(48, dim, 4);
             let p = kernel.plan(&a, dim);
             let (seq, _) = execute_sequential(&p, &a, &b).unwrap();
-            for path in [DataPath::Auto, DataPath::Scalar, DataPath::Tiled, DataPath::Vector] {
+            for path in [
+                DataPath::Auto,
+                DataPath::Scalar,
+                DataPath::Tiled,
+                DataPath::Vector,
+            ] {
                 let engine = ExecEngine::with_data_path(1, path);
                 let (out, _) = engine.execute(&p, &a, &b).unwrap();
-                assert_eq!(out.max_abs_diff(&seq).unwrap(), 0.0, "path={path:?} dim={dim}");
+                assert_eq!(
+                    out.max_abs_diff(&seq).unwrap(),
+                    0.0,
+                    "path={path:?} dim={dim}"
+                );
                 // Packed-index route (the cached path) must agree too.
                 let (packed, _) = engine
                     .execute_prepared(&PreparedPlan::for_matrix(p.clone(), &a), &a, &b)
                     .unwrap();
-                assert_eq!(packed.max_abs_diff(&seq).unwrap(), 0.0, "packed path={path:?} dim={dim}");
+                assert_eq!(
+                    packed.max_abs_diff(&seq).unwrap(),
+                    0.0,
+                    "packed path={path:?} dim={dim}"
+                );
             }
         }
     }
@@ -881,7 +1167,9 @@ mod tests {
     fn shape_mismatch_is_rejected() {
         let (a, _) = small();
         let bad_b = DenseMatrix::<f32>::zeros(5, 2);
-        assert!(ExecEngine::new(2).execute(&mixed_plan(), &a, &bad_b).is_err());
+        assert!(ExecEngine::new(2)
+            .execute(&mixed_plan(), &a, &bad_b)
+            .is_err());
         assert!(ExecEngine::new(2)
             .spmm_cached(&crate::MergePathSpmm::new(), &a, &bad_b, 0)
             .is_err());
@@ -927,6 +1215,101 @@ mod tests {
         let stats = engine.stats();
         assert_eq!(stats.plan_cache_misses, 2);
         assert_eq!(stats.cached_plans, 2);
+    }
+
+    #[test]
+    fn plan_cache_evicts_least_recently_used_past_capacity() {
+        let (a, b) = small();
+        let engine = ExecEngine::with_plan_capacity(1, DataPath::Auto, 2);
+        assert_eq!(engine.plan_capacity(), 2);
+        let k2 = crate::MergePathSpmm::with_threads(2);
+        let k3 = crate::MergePathSpmm::with_threads(3);
+        let k4 = crate::MergePathSpmm::with_threads(4);
+        engine.spmm_cached(&k2, &a, &b, 0).unwrap();
+        engine.spmm_cached(&k3, &a, &b, 0).unwrap();
+        assert_eq!(engine.stats().plan_cache_evictions, 0);
+        // Touch k2 so k3 becomes the least recently used entry...
+        engine.spmm_cached(&k2, &a, &b, 0).unwrap();
+        // ...then overflow: k3 must be the victim, k2 must survive.
+        engine.spmm_cached(&k4, &a, &b, 0).unwrap();
+        let stats = engine.stats();
+        assert_eq!(stats.plan_cache_evictions, 1);
+        assert_eq!(stats.cached_plans, 2);
+        engine.spmm_cached(&k2, &a, &b, 0).unwrap();
+        assert_eq!(
+            engine.stats().plan_cache_hits,
+            2,
+            "k2 survived the eviction"
+        );
+        engine.spmm_cached(&k3, &a, &b, 0).unwrap();
+        let stats = engine.stats();
+        assert_eq!(stats.plan_cache_misses, 4, "k3 was evicted and re-planned");
+        assert_eq!(stats.plan_cache_evictions, 2);
+        engine.clear_cache();
+        assert_eq!(engine.stats().plan_cache_evictions, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_plan_capacity_panics() {
+        let _ = ExecEngine::with_plan_capacity(1, DataPath::Auto, 0);
+    }
+
+    #[test]
+    fn batched_execution_matches_per_block_execution() {
+        let a = crate::spmm::test_support::random_matrix(40, 40, 220, 21);
+        let kernel = crate::MergePathSpmm::with_threads(7);
+        let p = kernel.plan(&a, 8);
+        let prep = PreparedPlan::for_matrix(p, &a);
+        let blocks: Vec<DenseMatrix<f32>> = [1usize, 4, 3, 16]
+            .iter()
+            .enumerate()
+            .map(|(i, &k)| crate::spmm::test_support::random_dense(40, k, 30 + i as u64))
+            .collect();
+        let refs: Vec<&DenseMatrix<f32>> = blocks.iter().collect();
+        for workers in [1usize, 4] {
+            let engine = ExecEngine::new(workers);
+            let outs = engine.execute_prepared_batch(&prep, &a, &refs).unwrap();
+            assert_eq!(outs.len(), blocks.len());
+            for (block, out) in blocks.iter().zip(&outs) {
+                let (solo, _) = engine.execute_prepared(&prep, &a, block).unwrap();
+                assert_eq!(out.cols(), block.cols());
+                // Column content is independent of its neighbours in the
+                // batch: additions within a column happen in non-zero
+                // order on every data path, so the batched slice is
+                // bit-identical to the solo run at one worker and within
+                // the usual atomic-reassociation tolerance otherwise.
+                if workers == 1 {
+                    assert_eq!(out.max_abs_diff(&solo).unwrap(), 0.0);
+                } else {
+                    assert!(out.approx_eq(&solo, 1e-4).unwrap());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batched_execution_edge_cases() {
+        let (a, b) = small();
+        let engine = ExecEngine::new(2);
+        let prep = PreparedPlan::for_matrix(mixed_plan(), &a);
+        assert!(engine
+            .execute_prepared_batch(&prep, &a, &[])
+            .unwrap()
+            .is_empty());
+        let outs = engine.execute_prepared_batch(&prep, &a, &[&b]).unwrap();
+        assert_eq!(outs.len(), 1);
+        let bad = DenseMatrix::<f32>::zeros(5, 2);
+        assert!(engine
+            .execute_prepared_batch(&prep, &a, &[&b, &bad])
+            .is_err());
+        // Zero-width blocks ride along without disturbing the batch.
+        let empty = DenseMatrix::<f32>::zeros(3, 0);
+        let outs = engine
+            .execute_prepared_batch(&prep, &a, &[&empty, &b])
+            .unwrap();
+        assert_eq!(outs[0].cols(), 0);
+        assert_eq!(outs[1].cols(), 2);
     }
 
     #[test]

@@ -261,7 +261,13 @@ mod tests {
         let a = CsrMatrix::from_triplets(
             3,
             3,
-            &[(0, 0, 1.0), (0, 2, 2.0), (1, 1, 3.0), (2, 0, 4.0), (2, 1, 5.0)],
+            &[
+                (0, 0, 1.0),
+                (0, 2, 2.0),
+                (1, 1, 3.0),
+                (2, 0, 4.0),
+                (2, 1, 5.0),
+            ],
         )
         .unwrap();
         let b = DenseMatrix::from_fn(3, 2, |r, c| (r * 2 + c) as f32 + 1.0);

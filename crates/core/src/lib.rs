@@ -59,7 +59,7 @@ mod stats;
 pub mod tuning;
 
 pub use datapath::{DataPath, LaneWidth};
-pub use engine::{EngineStats, ExecEngine, PreparedPlan};
+pub use engine::{EngineStats, ExecEngine, PreparedPlan, DEFAULT_PLAN_CACHE_CAPACITY};
 pub use merge_path::{merge_path_search, MergeCoord, Schedule, ThreadAssignment};
 pub use plan::{Flush, KernelPlan, PlanError, Segment, ThreadPlan};
 pub use spmm::{

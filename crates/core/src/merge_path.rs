@@ -21,7 +21,6 @@
 //! paper) that MergePath-SpMM uses to decide which output updates need
 //! atomic operations.
 
-
 use mpspmm_sparse::CsrMatrix;
 
 /// A coordinate in the logical 2-D merge grid.
@@ -235,10 +234,7 @@ impl Schedule {
         let row_end_offsets = &matrix.row_ptr()[1..];
         // Boundary b sits at diagonal min(b * items_per_thread, total):
         // there are num_threads + 1 of them, computed independently.
-        let mut boundaries = vec![
-            MergeCoord { row: 0, nnz: 0 };
-            num_threads + 1
-        ];
+        let mut boundaries = vec![MergeCoord { row: 0, nnz: 0 }; num_threads + 1];
         let chunk = (num_threads + 1).div_ceil(workers);
         std::thread::scope(|scope| {
             for (w, slot) in boundaries.chunks_mut(chunk).enumerate() {
@@ -376,7 +372,10 @@ impl Schedule {
         items_per_thread: usize,
         assignments: Vec<ThreadAssignment>,
     ) -> Self {
-        assert!(!assignments.is_empty(), "schedule needs at least one thread");
+        assert!(
+            !assignments.is_empty(),
+            "schedule needs at least one thread"
+        );
         assert_eq!(
             assignments[0].start.diagonal(),
             0,
@@ -571,12 +570,9 @@ mod tests {
     #[test]
     fn gather_bound_fraction_tracks_degree_regime() {
         // All-short rows: every thread is gather-bound at threshold 4.
-        let short = CsrMatrix::from_triplets(
-            8,
-            8,
-            &(0..8).map(|r| (r, r, 1.0f32)).collect::<Vec<_>>(),
-        )
-        .unwrap();
+        let short =
+            CsrMatrix::from_triplets(8, 8, &(0..8).map(|r| (r, r, 1.0f32)).collect::<Vec<_>>())
+                .unwrap();
         let s = Schedule::build(&short, 4);
         assert_eq!(s.gather_bound_fraction(short.row_ptr(), 4), 1.0);
         // One dense evil row split across threads: nobody is gather-bound.

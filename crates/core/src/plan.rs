@@ -10,7 +10,6 @@
 //! ([`crate::executor`]); the GPU and multicore simulators lower plans to
 //! machine traces.
 
-
 use mpspmm_sparse::CsrMatrix;
 
 use crate::stats::WriteStats;
@@ -120,7 +119,10 @@ impl std::fmt::Display for PlanError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             PlanError::BadCoverage { nz, count } => {
-                write!(f, "non-zero {nz} is covered by {count} segments instead of 1")
+                write!(
+                    f,
+                    "non-zero {nz} is covered by {count} segments instead of 1"
+                )
             }
             PlanError::RowRangeMismatch { segment } => write!(
                 f,
@@ -333,7 +335,10 @@ mod tests {
             vec![seg(0, 0, 1, Flush::Regular)],
             vec![seg(0, 1, 2, Flush::Atomic), seg(1, 2, 3, Flush::Regular)],
         ]);
-        assert_eq!(p.validate(&m).unwrap_err(), PlanError::UnsafeSharing { row: 0 });
+        assert_eq!(
+            p.validate(&m).unwrap_err(),
+            PlanError::UnsafeSharing { row: 0 }
+        );
     }
 
     #[test]

@@ -236,7 +236,9 @@ pub fn plan_from_schedule(schedule: &Schedule, a: &CsrMatrix<f32>) -> KernelPlan
 
 #[cfg(test)]
 mod tests {
-    use super::super::test_support::{check_kernel, check_vector_path_bit_identical, random_matrix};
+    use super::super::test_support::{
+        check_kernel, check_vector_path_bit_identical, random_matrix,
+    };
     use super::*;
     use crate::plan::Flush;
 

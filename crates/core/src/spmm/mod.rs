@@ -35,10 +35,12 @@ use crate::stats::WriteStats;
 ///
 /// Resolved once per process and cached: the `MPSPMM_WORKERS` environment
 /// variable (a positive integer) wins if set and valid; an unset variable
-/// uses the machine's available parallelism silently, while an invalid or
-/// zero value falls back to available parallelism with a one-line warning
-/// on stderr. Because the result seeds the global worker pool and engine,
-/// changing the variable after the first call has no effect.
+/// uses the machine's available parallelism, while an invalid or zero
+/// value falls back to available parallelism with a one-line warning on
+/// stderr. The resolved count (and where it came from) is logged once at
+/// first use — i.e. at worker-pool construction — so a serving process
+/// records its parallelism at startup; the environment is never re-read
+/// after that, and changing the variable later has no effect.
 pub fn default_workers() -> usize {
     static WORKERS: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
     *WORKERS.get_or_init(|| {
@@ -47,9 +49,14 @@ pub fn default_workers() -> usize {
             .unwrap_or(1);
         let raw = std::env::var("MPSPMM_WORKERS").ok();
         let (workers, warning) = resolve_workers(raw.as_deref(), available);
+        let source = match (&raw, &warning) {
+            (Some(_), None) => "MPSPMM_WORKERS",
+            _ => "available parallelism",
+        };
         if let Some(msg) = warning {
             eprintln!("{msg}");
         }
+        eprintln!("mpspmm: engine workers = {workers} (from {source})");
         workers
     })
 }
@@ -185,7 +192,10 @@ mod worker_resolution_tests {
             let (workers, warning) = resolve_workers(Some(bad), 4);
             assert_eq!(workers, 4, "input {bad:?}");
             let msg = warning.unwrap_or_else(|| panic!("no warning for {bad:?}"));
-            assert!(msg.contains("MPSPMM_WORKERS"), "warning names the variable: {msg}");
+            assert!(
+                msg.contains("MPSPMM_WORKERS"),
+                "warning names the variable: {msg}"
+            );
             assert!(msg.contains('4'), "warning names the fallback: {msg}");
         }
     }
@@ -240,7 +250,11 @@ pub(crate) mod test_support {
     /// Asserts the vectorized data path is bit-identical to the scalar
     /// oracle for one kernel's plan, both with plain CSR indices and with
     /// the packed `u32` indices the plan cache uses.
-    pub fn check_vector_path_bit_identical(kernel: &dyn SpmmKernel, a: &CsrMatrix<f32>, dim: usize) {
+    pub fn check_vector_path_bit_identical(
+        kernel: &dyn SpmmKernel,
+        a: &CsrMatrix<f32>,
+        dim: usize,
+    ) {
         use crate::datapath::DataPath;
         use crate::engine::{ExecEngine, PreparedPlan};
 

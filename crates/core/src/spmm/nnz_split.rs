@@ -13,7 +13,6 @@ use mpspmm_sparse::CsrMatrix;
 
 use crate::plan::{Flush, KernelPlan, Segment, ThreadPlan};
 
-
 use super::SpmmKernel;
 
 /// GNNAdvisor-style nnz-splitting SpMM: fixed-size neighbor groups, all
@@ -185,7 +184,9 @@ impl NeighborPartitionIndex {
 
 #[cfg(test)]
 mod tests {
-    use super::super::test_support::{check_kernel, check_vector_path_bit_identical, random_matrix};
+    use super::super::test_support::{
+        check_kernel, check_vector_path_bit_identical, random_matrix,
+    };
     use super::*;
 
     #[test]

@@ -90,7 +90,9 @@ impl SpmmKernel for RowSplitSpmm {
 
 #[cfg(test)]
 mod tests {
-    use super::super::test_support::{check_kernel, check_vector_path_bit_identical, random_matrix};
+    use super::super::test_support::{
+        check_kernel, check_vector_path_bit_identical, random_matrix,
+    };
     use super::*;
 
     #[test]

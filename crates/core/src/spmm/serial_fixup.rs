@@ -145,7 +145,11 @@ pub fn plan_with_serial_fixup(schedule: &Schedule, a: &CsrMatrix<f32>) -> Kernel
                         row: i0,
                         nz_start: j0,
                         nz_end: rp[i0 + 1],
-                        flush: if j0 > rp[i0] { Flush::Carry } else { Flush::Regular },
+                        flush: if j0 > rp[i0] {
+                            Flush::Carry
+                        } else {
+                            Flush::Regular
+                        },
                     });
                 }
                 for row in i0 + 1..i1 {
@@ -165,7 +169,11 @@ pub fn plan_with_serial_fixup(schedule: &Schedule, a: &CsrMatrix<f32>) -> Kernel
                         row: i1,
                         nz_start: rp[i1],
                         nz_end: j1,
-                        flush: if j1 < rp[i1 + 1] { Flush::Carry } else { Flush::Regular },
+                        flush: if j1 < rp[i1 + 1] {
+                            Flush::Carry
+                        } else {
+                            Flush::Regular
+                        },
                     });
                 }
             }
@@ -177,7 +185,9 @@ pub fn plan_with_serial_fixup(schedule: &Schedule, a: &CsrMatrix<f32>) -> Kernel
 
 #[cfg(test)]
 mod tests {
-    use super::super::test_support::{check_kernel, check_vector_path_bit_identical, random_matrix};
+    use super::super::test_support::{
+        check_kernel, check_vector_path_bit_identical, random_matrix,
+    };
     use super::*;
 
     #[test]
@@ -245,8 +255,7 @@ mod tests {
             let fixup = plan_with_serial_fixup(&schedule, &a);
             let atomic = crate::spmm::plan_from_schedule(&schedule, &a);
             assert!(
-                fixup.write_stats().serial_row_updates
-                    <= atomic.write_stats().atomic_row_updates,
+                fixup.write_stats().serial_row_updates <= atomic.write_stats().atomic_row_updates,
                 "exact rule must not exceed conservative rule"
             );
         }

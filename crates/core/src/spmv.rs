@@ -115,11 +115,7 @@ mod tests {
         (0..a.rows())
             .map(|r| {
                 let row = a.row(r);
-                row.cols
-                    .iter()
-                    .zip(row.vals)
-                    .map(|(&c, &v)| v * x[c])
-                    .sum()
+                row.cols.iter().zip(row.vals).map(|(&c, &v)| v * x[c]).sum()
             })
             .collect()
     }
@@ -127,7 +123,10 @@ mod tests {
     fn assert_close(a: &[f32], b: &[f32]) {
         assert_eq!(a.len(), b.len());
         for (i, (x, y)) in a.iter().zip(b).enumerate() {
-            assert!((x - y).abs() <= 1e-4 * y.abs().max(1.0), "index {i}: {x} vs {y}");
+            assert!(
+                (x - y).abs() <= 1e-4 * y.abs().max(1.0),
+                "index {i}: {x} vs {y}"
+            );
         }
     }
 
@@ -146,8 +145,7 @@ mod tests {
 
     #[test]
     fn evil_row_spanning_all_threads() {
-        let triplets: Vec<(usize, usize, f32)> =
-            (0..64).map(|c| (0, c, 1.0)).collect();
+        let triplets: Vec<(usize, usize, f32)> = (0..64).map(|c| (0, c, 1.0)).collect();
         let a = CsrMatrix::from_triplets(1, 64, &triplets).unwrap();
         let x = vec![1.0f32; 64];
         let y = merge_path_spmv(&a, &x, 16).unwrap();

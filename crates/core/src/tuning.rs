@@ -7,7 +7,6 @@
 //! logical threads into one warp) — and ties the *merge-path cost* (work
 //! per thread) to the regime via an empirical table (Figure 6).
 
-
 /// Minimum logical-thread floor for small graphs (§III-C1: "When the
 /// computed threads are below a threshold (e.g., 1024), the total thread
 /// count is set to the threshold value").

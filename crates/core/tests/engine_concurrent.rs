@@ -1,0 +1,167 @@
+//! Property test for *concurrent* engine use: one shared [`ExecEngine`]
+//! and shared [`PreparedPlan`]s driven from many threads at once — the
+//! exact shape the serving layer (`mpspmm-serve`) puts the engine in.
+//!
+//! Each thread runs its own request stream against one of several shared
+//! graphs and compares every result to the sequential oracle computed up
+//! front. This pins down that the worker pool, the plan cache, and the
+//! prepared-plan execution path are safe to share: no cross-talk between
+//! interleaved jobs, no torn outputs, and cache hits from racing threads
+//! return plans that compute the same answer.
+
+use std::sync::Arc;
+use std::thread;
+
+use mpspmm_core::executor::execute_sequential;
+use mpspmm_core::{ExecEngine, MergePathSpmm, PreparedPlan, SpmmKernel};
+use mpspmm_sparse::{CsrMatrix, DenseMatrix};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A random square CSR matrix with a heavy first row (to force partial /
+/// atomic segments) and `streams` dense operands derived from `seed`.
+fn random_graph(
+    rows: usize,
+    nnz: usize,
+    dim: usize,
+    streams: usize,
+    seed: u64,
+) -> (CsrMatrix<f32>, Vec<DenseMatrix<f32>>) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut coords = std::collections::BTreeSet::new();
+    for c in 0..(nnz / 3).min(rows) {
+        coords.insert((0usize, c));
+    }
+    while coords.len() < nnz.min(rows * rows) {
+        coords.insert((rng.gen_range(0..rows), rng.gen_range(0..rows)));
+    }
+    let triplets: Vec<(usize, usize, f32)> = coords
+        .into_iter()
+        .map(|(r, c)| (r, c, rng.gen_range(-2.0..2.0)))
+        .collect();
+    let a = CsrMatrix::from_triplets(rows, rows, &triplets).unwrap();
+    let blocks = (0..streams)
+        .map(|s| {
+            let mut frng = SmallRng::seed_from_u64(seed ^ (0x5EED + s as u64));
+            DenseMatrix::from_fn(rows, dim, |_, _| frng.gen_range(-1.0..1.0))
+        })
+        .collect();
+    (a, blocks)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// N threads × M graphs × K requests each, all through ONE engine and
+    /// ONE prepared plan per graph, every answer checked against the
+    /// oracle computed before any thread started.
+    #[test]
+    fn shared_engine_is_correct_under_concurrent_use(
+        rows in 4usize..40,
+        fill in 1usize..5,
+        workers in 1usize..5,
+        seed in any::<u64>(),
+    ) {
+        const THREADS: usize = 6;
+        const GRAPHS: usize = 3;
+        const REQUESTS_PER_THREAD: usize = 4;
+
+        let kernel = MergePathSpmm::with_threads(7);
+        let engine = Arc::new(ExecEngine::new(workers));
+        let nnz = (rows * fill).min(rows * rows);
+
+        // Build the shared graphs, plans, and per-stream oracles.
+        let mut shared = Vec::with_capacity(GRAPHS);
+        for g in 0..GRAPHS {
+            let dim = [3usize, 8, 17][g % 3];
+            let (a, blocks) = random_graph(rows, nnz, dim, THREADS, seed ^ g as u64);
+            let plan = kernel.plan(&a, dim);
+            let oracles: Vec<DenseMatrix<f32>> = blocks
+                .iter()
+                .map(|b| execute_sequential(&plan, &a, b).unwrap().0)
+                .collect();
+            let prep = Arc::new(PreparedPlan::for_matrix(plan, &a));
+            shared.push(Arc::new((a, prep, blocks, oracles)));
+        }
+        let shared = Arc::new(shared);
+
+        let failures: Vec<String> = thread::scope(|scope| {
+            let handles: Vec<_> = (0..THREADS)
+                .map(|t| {
+                    let engine = Arc::clone(&engine);
+                    let shared = Arc::clone(&shared);
+                    scope.spawn(move || -> Result<(), String> {
+                        for r in 0..REQUESTS_PER_THREAD {
+                            // Every thread walks the graphs in a different
+                            // order so distinct plans interleave in the pool.
+                            let g = (t + r) % GRAPHS;
+                            let (a, prep, blocks, oracles) = &*shared[g];
+                            let b = &blocks[t];
+                            let want = &oracles[t];
+                            let (got, _) = engine
+                                .execute_prepared(prep, a, b)
+                                .map_err(|e| format!("thread {t} graph {g}: {e}"))?;
+                            let scale = 1.0f32.max(want.frobenius_norm());
+                            let diff = got.max_abs_diff(want).unwrap();
+                            if diff > 1e-4 * scale {
+                                return Err(format!(
+                                    "thread {t} req {r} graph {g}: diff {diff} \
+                                     exceeds tolerance (scale {scale})"
+                                ));
+                            }
+                        }
+                        Ok(())
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .filter_map(|h| h.join().expect("worker thread panicked").err())
+                .collect()
+        });
+        prop_assert!(failures.is_empty(), "{}", failures.join("\n"));
+    }
+
+    /// Racing threads hammering `plan_cached` for the same key must all
+    /// get functionally identical plans, and the cache must end up with
+    /// exactly one entry per distinct key regardless of interleaving.
+    #[test]
+    fn racing_plan_cache_lookups_converge(
+        rows in 4usize..32,
+        seed in any::<u64>(),
+    ) {
+        const THREADS: usize = 8;
+        let kernel = MergePathSpmm::with_threads(5);
+        let engine = Arc::new(ExecEngine::new(2));
+        let nnz = (rows * 3).min(rows * rows);
+        let (a, blocks) = random_graph(rows, nnz, 9, 1, seed);
+        let b = &blocks[0];
+        let plan = kernel.plan(&a, 9);
+        let (want, _) = execute_sequential(&plan, &a, b).unwrap();
+        let scale = 1.0f32.max(want.frobenius_norm());
+
+        thread::scope(|scope| {
+            for _ in 0..THREADS {
+                let engine = Arc::clone(&engine);
+                let (kernel, a, b, want) = (&kernel, &a, b, &want);
+                scope.spawn(move || {
+                    for _ in 0..3 {
+                        let prep = engine.plan_cached(kernel, a, 9, 0);
+                        let (got, _) = engine.execute_prepared(&prep, a, b).unwrap();
+                        assert!(got.max_abs_diff(want).unwrap() <= 1e-4 * scale);
+                    }
+                });
+            }
+        });
+
+        let stats = engine.stats();
+        prop_assert_eq!(stats.cached_plans, 1, "one key, one resident plan");
+        // Every lookup either hit or raced a miss; all are accounted for.
+        prop_assert_eq!(
+            stats.plan_cache_hits + stats.plan_cache_misses,
+            (THREADS * 3) as u64
+        );
+        prop_assert!(stats.plan_cache_misses >= 1);
+    }
+}

@@ -37,7 +37,9 @@ fn dense_oracle(a: &CsrMatrix<f32>, b: &DenseMatrix<f32>) -> DenseMatrix<f32> {
 }
 
 fn input_for(a: &CsrMatrix<f32>, dim: usize) -> DenseMatrix<f32> {
-    DenseMatrix::from_fn(a.cols(), dim, |r, c| ((r * 7 + c * 3) % 11) as f32 * 0.25 - 1.0)
+    DenseMatrix::from_fn(a.cols(), dim, |r, c| {
+        ((r * 7 + c * 3) % 11) as f32 * 0.25 - 1.0
+    })
 }
 
 proptest! {

@@ -199,7 +199,11 @@ mod tests {
     fn gin_forward_shapes_and_kernel_agreement() {
         let a = graph();
         let op = sum_with_self_loops(&a, 0.3);
-        let layer = GinLayer::new(xavier_init(12, 24, 1), xavier_init(24, 6, 2), Activation::Identity);
+        let layer = GinLayer::new(
+            xavier_init(12, 24, 1),
+            xavier_init(24, 6, 2),
+            Activation::Identity,
+        );
         assert_eq!(layer.in_features(), 12);
         assert_eq!(layer.out_features(), 6);
         let x = random_features(a.rows(), 12, 0.5, 3);

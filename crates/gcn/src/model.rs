@@ -149,7 +149,10 @@ impl GcnModel {
     /// (hidden = the "dimension size" swept in Figures 6–7).
     pub fn two_layer(features: usize, hidden: usize, classes: usize, seed: u64) -> Self {
         Self::new(vec![
-            GcnLayer::new(crate::ops::xavier_init(features, hidden, seed), Activation::Relu),
+            GcnLayer::new(
+                crate::ops::xavier_init(features, hidden, seed),
+                Activation::Relu,
+            ),
             GcnLayer::new(
                 crate::ops::xavier_init(hidden, classes, seed ^ 1),
                 Activation::Identity,
@@ -160,6 +163,31 @@ impl GcnModel {
     /// The model's layers.
     pub fn layers(&self) -> &[GcnLayer] {
         &self.layers
+    }
+
+    /// Input feature width the model expects (first layer's `in_features`).
+    pub fn in_features(&self) -> usize {
+        self.layers[0].in_features()
+    }
+
+    /// Output feature width the model produces (last layer's
+    /// `out_features`).
+    pub fn out_features(&self) -> usize {
+        self.layers[self.layers.len() - 1].out_features()
+    }
+
+    /// Widest layer output — the representative dense dimension a serving
+    /// layer plans this model's aggregation SpMM at (a [`PreparedPlan`]'s
+    /// row classification is width-independent, so one plan serves every
+    /// layer and every batch width).
+    ///
+    /// [`PreparedPlan`]: mpspmm_core::PreparedPlan
+    pub fn max_features(&self) -> usize {
+        self.layers
+            .iter()
+            .map(GcnLayer::out_features)
+            .max()
+            .expect("model has at least one layer")
     }
 
     /// Full forward pass through all layers with one SpMM kernel.
@@ -244,6 +272,73 @@ impl GcnModel {
             h = layer.forward_cached(a_hat, &h, kernel, engine, epoch)?;
         }
         Ok(h)
+    }
+
+    /// Batched forward pass over several independent feature matrices on
+    /// the *same* graph, sharing every aggregation SpMM: per layer, each
+    /// request's dense combination `H_i × W` is computed separately, the
+    /// products are concatenated column-wise, and **one** engine run
+    /// aggregates `Â × [H_0W | H_1W | …]` for the whole batch — the
+    /// dense-column batching of Batched SpMM for GCN serving, valid
+    /// because `Â (H_i W)` only ever reads `H_i W`'s own columns.
+    ///
+    /// `prep` is the graph's prepared aggregation plan (row
+    /// classification is width-independent, so any plan built for `a_hat`
+    /// works at every batch width; [`GcnModel::max_features`] is the
+    /// conventional planning dimension). Returns one output matrix per
+    /// input block, in order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseFormatError::ShapeMismatch`] when `a_hat` or any
+    /// block's shape is inconsistent with the model.
+    pub fn forward_batched_prepared(
+        &self,
+        a_hat: &CsrMatrix<f32>,
+        prep: &mpspmm_core::PreparedPlan,
+        blocks: &[&DenseMatrix<f32>],
+        engine: &ExecEngine,
+    ) -> Result<Vec<DenseMatrix<f32>>, SparseFormatError> {
+        if blocks.is_empty() {
+            return Ok(Vec::new());
+        }
+        let mut hs: Vec<DenseMatrix<f32>> = Vec::new();
+        for (i, layer) in self.layers.iter().enumerate() {
+            let mut products = Vec::with_capacity(blocks.len());
+            for j in 0..blocks.len() {
+                let h = if i == 0 { blocks[j] } else { &hs[j] };
+                products.push(gemm(h, &layer.weight)?);
+            }
+            let refs: Vec<&DenseMatrix<f32>> = products.iter().collect();
+            let mut aggregated = engine.execute_prepared_batch(prep, a_hat, &refs)?;
+            for out in &mut aggregated {
+                layer.activation.apply(out);
+            }
+            hs = aggregated;
+        }
+        Ok(hs)
+    }
+
+    /// [`forward_batched_prepared`](Self::forward_batched_prepared) with
+    /// the plan fetched from (or inserted into) `engine`'s cache at this
+    /// model's [`max_features`](Self::max_features) dimension — the
+    /// convenience entry point for callers that do not hold a graph
+    /// registry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseFormatError::ShapeMismatch`] when shapes are
+    /// inconsistent.
+    pub fn forward_batched(
+        &self,
+        a_hat: &CsrMatrix<f32>,
+        blocks: &[&DenseMatrix<f32>],
+        kernel: &dyn SpmmKernel,
+        engine: &ExecEngine,
+        epoch: u64,
+    ) -> Result<Vec<DenseMatrix<f32>>, SparseFormatError> {
+        let prep = engine.plan_cached(kernel, a_hat, self.max_features(), epoch);
+        self.forward_batched_prepared(a_hat, &prep, blocks, engine)
     }
 }
 
@@ -444,6 +539,80 @@ mod tests {
         let stats = engine.stats();
         assert_eq!(stats.plan_cache_misses, 4);
         assert_eq!(stats.plan_cache_hits, 0);
+    }
+
+    #[test]
+    fn feature_width_accessors() {
+        let model = GcnModel::two_layer(32, 16, 7, 11);
+        assert_eq!(model.in_features(), 32);
+        assert_eq!(model.out_features(), 7);
+        assert_eq!(model.max_features(), 16);
+    }
+
+    #[test]
+    fn batched_forward_matches_per_request_forward() {
+        let a = small_graph();
+        let model = GcnModel::two_layer(16, 12, 5, 8);
+        let kernel = MergePathSpmm::new();
+        let engine = ExecEngine::new(2);
+        let blocks: Vec<_> = (0..4)
+            .map(|i| random_features(100, 16, 0.4, 40 + i))
+            .collect();
+        let refs: Vec<&_> = blocks.iter().collect();
+        let batched = model
+            .forward_batched(&a, &refs, &kernel, &engine, 0)
+            .unwrap();
+        assert_eq!(batched.len(), 4);
+        for (x, out) in blocks.iter().zip(&batched) {
+            let solo = model.forward(&a, x, &kernel).unwrap();
+            assert_eq!(out.rows(), 100);
+            assert_eq!(out.cols(), 5);
+            assert!(out.approx_eq(&solo, 1e-3).unwrap());
+        }
+        // One plan at max_features serves every layer and batch width.
+        assert_eq!(engine.stats().plan_cache_misses, 1);
+    }
+
+    #[test]
+    fn batched_forward_single_worker_is_exact_vs_prepared_path() {
+        let a = small_graph();
+        let model = GcnModel::two_layer(8, 8, 3, 4);
+        let kernel = MergePathSpmm::new();
+        let engine = ExecEngine::new(1);
+        let prep = engine.plan_cached(&kernel, &a, model.max_features(), 0);
+        let blocks: Vec<_> = (0..3)
+            .map(|i| random_features(100, 8, 0.5, 70 + i))
+            .collect();
+        let refs: Vec<&_> = blocks.iter().collect();
+        let batched = model
+            .forward_batched_prepared(&a, &prep, &refs, &engine)
+            .unwrap();
+        // Per-request forward through the same prepared plan: the batch
+        // merely regroups columns, so single-worker results are
+        // bit-identical.
+        for (x, out) in blocks.iter().zip(&batched) {
+            let solo = model
+                .forward_batched_prepared(&a, &prep, &[x], &engine)
+                .unwrap();
+            assert_eq!(out.max_abs_diff(&solo[0]).unwrap(), 0.0);
+        }
+        assert!(model
+            .forward_batched_prepared(&a, &prep, &[], &engine)
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn batched_forward_rejects_bad_block_shape() {
+        let a = small_graph();
+        let model = GcnModel::two_layer(16, 8, 4, 5);
+        let kernel = MergePathSpmm::new();
+        let engine = ExecEngine::new(1);
+        let good = random_features(100, 16, 0.4, 1);
+        let bad = random_features(100, 10, 0.4, 2);
+        assert!(model
+            .forward_batched(&a, &[&good, &bad], &kernel, &engine, 0)
+            .is_err());
     }
 
     #[test]

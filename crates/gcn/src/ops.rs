@@ -14,7 +14,10 @@ use rand::{Rng, SeedableRng};
 /// # Errors
 ///
 /// Returns [`SparseFormatError::ShapeMismatch`] if `a.cols() != b.rows()`.
-pub fn gemm(a: &DenseMatrix<f32>, b: &DenseMatrix<f32>) -> Result<DenseMatrix<f32>, SparseFormatError> {
+pub fn gemm(
+    a: &DenseMatrix<f32>,
+    b: &DenseMatrix<f32>,
+) -> Result<DenseMatrix<f32>, SparseFormatError> {
     if a.cols() != b.rows() {
         return Err(SparseFormatError::ShapeMismatch {
             left: (a.rows(), a.cols()),

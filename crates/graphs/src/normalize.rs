@@ -81,9 +81,7 @@ pub fn gcn_normalize(a: &CsrMatrix<f32>) -> CsrMatrix<f32> {
 pub fn mean_normalize(a: &CsrMatrix<f32>) -> CsrMatrix<f32> {
     let with_loops = add_self_loops(a);
     let n = with_loops.rows();
-    let inv_deg: Vec<f32> = (0..n)
-        .map(|r| 1.0 / with_loops.row_nnz(r) as f32)
-        .collect();
+    let inv_deg: Vec<f32> = (0..n).map(|r| 1.0 / with_loops.row_nnz(r) as f32).collect();
     let (rows, cols, row_ptr, col_indices, mut values) = with_loops.into_raw_parts();
     let mut k = 0usize;
     for r in 0..rows {
@@ -128,12 +126,8 @@ mod tests {
 
     fn path3() -> CsrMatrix<f32> {
         // 0 - 1 - 2 undirected path.
-        CsrMatrix::from_triplets(
-            3,
-            3,
-            &[(0, 1, 1.0), (1, 0, 1.0), (1, 2, 1.0), (2, 1, 1.0)],
-        )
-        .unwrap()
+        CsrMatrix::from_triplets(3, 3, &[(0, 1, 1.0), (1, 0, 1.0), (1, 2, 1.0), (2, 1, 1.0)])
+            .unwrap()
     }
 
     #[test]

@@ -104,10 +104,7 @@ impl DatasetSpec {
         assert!(factor >= 1, "factor must be >= 1");
         let nodes = (self.nodes / factor).max(16);
         let nnz = (self.nnz / factor).max(nodes);
-        let max_degree = self
-            .max_degree
-            .min(nodes - 1)
-            .max(nnz.div_ceil(nodes));
+        let max_degree = self.max_degree.min(nodes - 1).max(nnz.div_ceil(nodes));
         DatasetSpec {
             name: self.name,
             class: self.class,
@@ -132,15 +129,51 @@ pub const TABLE_II: [DatasetSpec; 23] = [
     DatasetSpec::custom("email-Euall", GraphClass::PowerLaw, 265_214, 420_045, 930),
     DatasetSpec::custom("Nell", GraphClass::PowerLaw, 65_755, 251_550, 4_549),
     DatasetSpec::custom("PPI", GraphClass::PowerLaw, 56_944, 818_716, 429),
-    DatasetSpec::custom("soc-SlashDot811", GraphClass::PowerLaw, 77_357, 905_468, 2_508),
+    DatasetSpec::custom(
+        "soc-SlashDot811",
+        GraphClass::PowerLaw,
+        77_357,
+        905_468,
+        2_508,
+    ),
     DatasetSpec::custom("artist", GraphClass::PowerLaw, 50_515, 1_638_396, 1_469),
     DatasetSpec::custom("com-Amazon", GraphClass::PowerLaw, 334_863, 1_851_744, 549),
-    DatasetSpec::custom("coAuthorsDBLP", GraphClass::PowerLaw, 299_067, 1_955_352, 336),
-    DatasetSpec::custom("soc-BlogCatalog", GraphClass::PowerLaw, 88_784, 2_093_195, 2_538),
-    DatasetSpec::custom("amazon0601", GraphClass::PowerLaw, 410_236, 4_878_874, 2_760),
-    DatasetSpec::custom("amazon0505", GraphClass::PowerLaw, 403_394, 5_478_357, 2_760),
+    DatasetSpec::custom(
+        "coAuthorsDBLP",
+        GraphClass::PowerLaw,
+        299_067,
+        1_955_352,
+        336,
+    ),
+    DatasetSpec::custom(
+        "soc-BlogCatalog",
+        GraphClass::PowerLaw,
+        88_784,
+        2_093_195,
+        2_538,
+    ),
+    DatasetSpec::custom(
+        "amazon0601",
+        GraphClass::PowerLaw,
+        410_236,
+        4_878_874,
+        2_760,
+    ),
+    DatasetSpec::custom(
+        "amazon0505",
+        GraphClass::PowerLaw,
+        403_394,
+        5_478_357,
+        2_760,
+    ),
     DatasetSpec::custom("PROTEINS_full", GraphClass::Structured, 43_466, 162_088, 25),
-    DatasetSpec::custom("Twitter-partial", GraphClass::Structured, 580_768, 1_435_116, 12),
+    DatasetSpec::custom(
+        "Twitter-partial",
+        GraphClass::Structured,
+        580_768,
+        1_435_116,
+        12,
+    ),
     DatasetSpec::custom("DD", GraphClass::Structured, 334_925, 1_686_092, 19),
     DatasetSpec::custom("Yeast", GraphClass::Structured, 1_710_902, 3_636_546, 6),
     DatasetSpec::custom("OVCAR-8H", GraphClass::Structured, 1_889_542, 3_946_402, 5),
@@ -154,9 +187,7 @@ pub fn table_ii() -> &'static [DatasetSpec] {
 
 /// Looks up a Table II dataset by (case-insensitive) name.
 pub fn find_dataset(name: &str) -> Option<&'static DatasetSpec> {
-    TABLE_II
-        .iter()
-        .find(|s| s.name.eq_ignore_ascii_case(name))
+    TABLE_II.iter().find(|s| s.name.eq_ignore_ascii_case(name))
 }
 
 #[cfg(test)]

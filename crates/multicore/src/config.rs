@@ -1,6 +1,5 @@
 //! Multicore machine description (Table I of the paper).
 
-
 /// Cache line size in bytes (fixed across the hierarchy).
 pub const LINE_BYTES: usize = 64;
 

@@ -231,7 +231,17 @@ pub fn simulate(plan: &KernelPlan, a: &CsrMatrix<f32>, dim: usize, cfg: &McConfi
         };
         cores[c].next_segment += 1;
         debug_assert_eq!(clock, cores[c].clock);
-        execute_segment(c, &seg, cols, &addr, cfg, &mut cores, &mut fabric, side, links);
+        execute_segment(
+            c,
+            &seg,
+            cols,
+            &addr,
+            cfg,
+            &mut cores,
+            &mut fabric,
+            side,
+            links,
+        );
         if cores[c].next_segment < cores[c].segments.len() {
             heap.push(Reverse((cores[c].clock, c)));
         }
@@ -242,9 +252,8 @@ pub fn simulate(plan: &KernelPlan, a: &CsrMatrix<f32>, dim: usize, cfg: &McConfi
     let barrier = cores.iter().map(|c| c.clock).max().unwrap_or(0);
     let mut completion = barrier;
     if !carries.is_empty() {
-        let per_carry = cfg.l2_latency
-            + 2 * cfg.avg_network_latency()
-            + cfg.simd_cycles_per_nnz(dim);
+        let per_carry =
+            cfg.l2_latency + 2 * cfg.avg_network_latency() + cfg.simd_cycles_per_nnz(dim);
         completion += carries.len() as u64 * per_carry;
     }
 
@@ -288,12 +297,7 @@ fn execute_segment(
     links: f64,
 ) {
     let simd = cfg.simd_cycles_per_nnz(addr.xw_row_bytes as usize / 4);
-    for (nz, &col) in cols
-        .iter()
-        .enumerate()
-        .take(seg.nz_end)
-        .skip(seg.nz_start)
-    {
+    for (nz, &col) in cols.iter().enumerate().take(seg.nz_end).skip(seg.nz_start) {
         // A-stream access (values + indices, sequential).
         let mem = read_line(c, addr.a_line(nz), cfg, cores, fabric, side, links);
         cores[c].memory += mem;
@@ -385,12 +389,9 @@ fn read_line(
         // modeled analytically. Fewer controllers serve the same aggregate
         // bandwidth through wider ports (§V-D), so only utilization
         // matters.
-        let service = LINE_BYTES as f64 / cfg.dram_bytes_per_cycle
-            * cfg.memory_controllers as f64;
-        let rho = (fabric.dram_bytes as f64
-            / clock.max(1) as f64
-            / cfg.dram_bytes_per_cycle)
-            .min(0.95);
+        let service = LINE_BYTES as f64 / cfg.dram_bytes_per_cycle * cfg.memory_controllers as f64;
+        let rho =
+            (fabric.dram_bytes as f64 / clock.max(1) as f64 / cfg.dram_bytes_per_cycle).min(0.95);
         let queue_wait = (service * rho / (1.0 - rho)).round() as u64;
         fabric.dram_bytes += LINE_BYTES as u64;
         fabric.queue_cycles += queue_wait;
@@ -468,7 +469,10 @@ fn write_line(
         }
     }
     let net = network_round_trip(c, line, cfg, fabric, side, links, start);
-    let latency = (start - cores[c].clock) + net + cfg.l2_latency + sharer_cost
+    let latency = (start - cores[c].clock)
+        + net
+        + cfg.l2_latency
+        + sharer_cost
         + if atomic { cfg.atomic_overhead } else { 0 };
     if atomic {
         let entry = fabric.directory.entry(line).or_default();

@@ -1,0 +1,200 @@
+//! The batching scheduler: a dispatcher thread that coalesces queued
+//! requests into dense-column batches.
+//!
+//! # Policy
+//!
+//! A batch is keyed by `(graph name, graph version, workload)` — only
+//! requests that can share one engine run coalesce. The dispatcher takes
+//! the oldest queued request, then *lingers* up to
+//! [`ServeConfig::max_linger`](crate::ServeConfig::max_linger) sweeping
+//! in every matching request until the batch holds
+//! [`ServeConfig::max_batch_cols`](crate::ServeConfig::max_batch_cols)
+//! dense columns. Non-matching requests stay queued in arrival order.
+//!
+//! # Backpressure degradation
+//!
+//! When the queue is deeper than
+//! [`ServeConfig::pressure_threshold`](crate::ServeConfig::pressure_threshold),
+//! the batch closes immediately (no linger — latency is already being
+//! paid in the queue) and its column budget halves, trading peak
+//! coalescing for smaller transient buffers and faster turn-around while
+//! overloaded. Such batches are counted as `degraded_batches`.
+//!
+//! # Deadlines
+//!
+//! Deadlines are checked when the batch is about to execute: expired
+//! requests are shed with
+//! [`ServeError::DeadlineExceeded`](crate::ServeError::DeadlineExceeded)
+//! rather than computed uselessly late, and they release their tenant's
+//! queue slot like any other completion.
+
+use std::collections::VecDeque;
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use mpspmm_core::ExecEngine;
+use mpspmm_sparse::DenseMatrix;
+
+use crate::error::ServeError;
+use crate::registry::ServedGraph;
+use crate::stats::{StatsCollector, TenantState};
+use crate::{ServeConfig, Workload};
+
+/// One admitted request parked in the queue.
+pub(crate) struct Pending {
+    pub graph: Arc<ServedGraph>,
+    pub tenant: Arc<TenantState>,
+    pub workload: Workload,
+    pub features: Arc<DenseMatrix<f32>>,
+    pub submitted: Instant,
+    pub deadline: Option<Instant>,
+    pub reply: std::sync::mpsc::Sender<Result<DenseMatrix<f32>, ServeError>>,
+}
+
+impl Pending {
+    fn batch_key(&self) -> (usize, u64, Workload) {
+        // The Arc pointer identifies the graph *version* (hot swap
+        // allocates a new ServedGraph), so one batch never mixes
+        // versions; name+version would be equivalent but costlier.
+        (
+            Arc::as_ptr(&self.graph) as usize,
+            self.graph.version(),
+            self.workload,
+        )
+    }
+}
+
+/// State shared between the submit path and the dispatcher thread.
+pub(crate) struct Shared {
+    pub config: ServeConfig,
+    pub engine: Arc<ExecEngine>,
+    pub queue: Mutex<VecDeque<Pending>>,
+    pub ready: Condvar,
+    pub shutdown: std::sync::atomic::AtomicBool,
+    pub stats: StatsCollector,
+}
+
+/// Dispatcher body: drains the queue into batches until shutdown is
+/// flagged *and* the queue is empty (already-admitted requests are
+/// always answered).
+pub(crate) fn dispatcher_loop(shared: &Shared) {
+    loop {
+        let first = {
+            let mut queue = shared.queue.lock().unwrap();
+            loop {
+                if let Some(p) = queue.pop_front() {
+                    break p;
+                }
+                if shared.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                queue = shared.ready.wait(queue).unwrap();
+            }
+        };
+        let (batch, degraded) = collect_batch(shared, first);
+        execute_batch(shared, batch, degraded);
+    }
+}
+
+/// Grows a batch around `first` per the policy above. Returns the batch
+/// (arrival order preserved) and whether the degraded policy applied.
+fn collect_batch(shared: &Shared, first: Pending) -> (Vec<Pending>, bool) {
+    let key = first.batch_key();
+    let mut cols = first.features.cols();
+    let mut batch = vec![first];
+    let mut queue = shared.queue.lock().unwrap();
+    let degraded = queue.len() > shared.config.pressure_threshold;
+    let (max_cols, linger) = if degraded {
+        ((shared.config.max_batch_cols / 2).max(1), Duration::ZERO)
+    } else {
+        (shared.config.max_batch_cols, shared.config.max_linger)
+    };
+    let close_at = Instant::now() + linger;
+    loop {
+        // Sweep every currently queued request that matches the key.
+        let mut i = 0;
+        while i < queue.len() && cols < max_cols {
+            if queue[i].batch_key() == key {
+                let p = queue.remove(i).expect("index checked in bounds");
+                cols += p.features.cols();
+                batch.push(p);
+            } else {
+                i += 1;
+            }
+        }
+        if cols >= max_cols || shared.shutdown.load(Ordering::Acquire) {
+            break;
+        }
+        let now = Instant::now();
+        if now >= close_at {
+            break;
+        }
+        // Woken by an arrival (sweep it in next iteration) or by the
+        // linger timeout (one final sweep, then the time check exits).
+        let (q, _timeout) = shared.ready.wait_timeout(queue, close_at - now).unwrap();
+        queue = q;
+    }
+    drop(queue);
+    (batch, degraded)
+}
+
+/// Sheds expired members, runs the survivors as one engine run, and
+/// answers every reply channel.
+fn execute_batch(shared: &Shared, batch: Vec<Pending>, degraded: bool) {
+    let now = Instant::now();
+    let mut live = Vec::with_capacity(batch.len());
+    for p in batch {
+        if p.deadline.is_some_and(|d| now > d) {
+            shared
+                .stats
+                .rejected_deadline
+                .fetch_add(1, Ordering::Relaxed);
+            p.tenant.rejected_deadline.fetch_add(1, Ordering::Relaxed);
+            p.tenant.in_flight.fetch_sub(1, Ordering::Relaxed);
+            let _ = p.reply.send(Err(ServeError::DeadlineExceeded));
+        } else {
+            live.push(p);
+        }
+    }
+    let Some(head) = live.first() else { return };
+    let graph = Arc::clone(&head.graph);
+    let workload = head.workload;
+    let blocks: Vec<&DenseMatrix<f32>> = live.iter().map(|p| p.features.as_ref()).collect();
+    let cols: usize = blocks.iter().map(|b| b.cols()).sum();
+    let result = match workload {
+        Workload::Spmm => {
+            shared
+                .engine
+                .execute_prepared_batch(graph.prep(), graph.adjacency(), &blocks)
+        }
+        Workload::Gcn => {
+            let model = graph
+                .model()
+                .expect("Gcn workload admitted only for graphs with a model");
+            model.forward_batched_prepared(graph.adjacency(), graph.prep(), &blocks, &shared.engine)
+        }
+    };
+    shared.stats.record_batch(live.len(), cols, degraded);
+    match result {
+        Ok(outs) => {
+            debug_assert_eq!(outs.len(), live.len());
+            for (p, out) in live.into_iter().zip(outs) {
+                shared.stats.record_latency(p.submitted.elapsed());
+                shared.stats.completed.fetch_add(1, Ordering::Relaxed);
+                p.tenant.completed.fetch_add(1, Ordering::Relaxed);
+                p.tenant.in_flight.fetch_sub(1, Ordering::Relaxed);
+                let _ = p.reply.send(Ok(out));
+            }
+        }
+        Err(e) => {
+            // Shapes were validated at admission, so this is a bug — but
+            // a serving loop must answer, not unwind.
+            for p in live {
+                shared.stats.internal_errors.fetch_add(1, Ordering::Relaxed);
+                p.tenant.in_flight.fetch_sub(1, Ordering::Relaxed);
+                let _ = p.reply.send(Err(ServeError::Internal(e.to_string())));
+            }
+        }
+    }
+}

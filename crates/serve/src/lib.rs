@@ -1,0 +1,338 @@
+//! `mpspmm-serve` — batched, multi-tenant inference serving over the
+//! MergePath-SpMM execution engine.
+//!
+//! The paper's kernel makes one SpMM fast; a serving process has to make
+//! *millions of small SpMMs from concurrent clients* fast. The dominant
+//! lever (Batched SpMM for GCN, ICASSP 2019; GE-SpMM's row-reuse
+//! argument) is coalescing: many narrow per-request multiplies against
+//! the same graph become one wide dense-column batch, so every non-zero
+//! of the adjacency is fetched once per *batch* instead of once per
+//! request, and the wide-lane data path runs at full SIMD width instead
+//! of scalar tails.
+//!
+//! The subsystem has four parts:
+//!
+//! * [`GraphRegistry`] — named graphs with their plans warmed
+//!   (merge-path schedule, row classification, packed indices) and
+//!   optional [`GcnModel`]s, with **versioned hot swap**: replacing or
+//!   retiring a graph never drains in-flight requests; they complete
+//!   against the version they were admitted with.
+//! * The **batching scheduler** ([`Server`]'s dispatcher thread) —
+//!   coalesces concurrent requests keyed by `(graph, version, workload)`
+//!   into dense-column batches bounded by [`ServeConfig::max_batch_cols`]
+//!   and [`ServeConfig::max_linger`], executed as a *single* engine run
+//!   on the PR-1 worker pool.
+//! * **Admission control & backpressure** — bounded per-tenant in-flight
+//!   queues rejecting with the typed
+//!   [`ServeError::QueueFull`], deadline-aware shedding
+//!   ([`ServeError::DeadlineExceeded`]), and graceful degradation to
+//!   smaller, zero-linger batches when the queue is deep.
+//! * [`ServeStats`] — per-tenant and global counters, batch-size
+//!   histogram, p50/p95/p99 latency, and the engine's plan-cache /
+//!   dispatch counters in one snapshot.
+//!
+//! # Example
+//!
+//! ```
+//! use std::sync::Arc;
+//! use mpspmm_core::{ExecEngine, MergePathSpmm};
+//! use mpspmm_serve::{Request, ServeConfig, Server, Workload};
+//! use mpspmm_sparse::{CsrMatrix, DenseMatrix};
+//!
+//! let engine = Arc::new(ExecEngine::new(1));
+//! let server = Server::start(engine, Box::new(MergePathSpmm::new()), ServeConfig::default());
+//! let a = CsrMatrix::from_triplets(3, 3, &[(0, 1, 1.0f32), (2, 0, 2.0)])?;
+//! server.registry().register("demo", a, None);
+//!
+//! let ticket = server.submit(Request {
+//!     graph: "demo".into(),
+//!     tenant: "t0".into(),
+//!     features: Arc::new(DenseMatrix::from_fn(3, 2, |r, c| (r + c) as f32)),
+//!     workload: Workload::Spmm,
+//!     deadline: None,
+//! })?;
+//! let out = ticket.wait()?;
+//! assert_eq!(out.get(0, 1), 2.0); // row 0 aggregates node 1's features
+//! server.shutdown();
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod batcher;
+mod error;
+mod registry;
+mod stats;
+
+pub use error::ServeError;
+pub use registry::{GraphRegistry, ServedGraph, DEFAULT_PLAN_DIM};
+pub use stats::{LatencySummary, ServeStats, TenantStats, BATCH_HIST_BUCKETS};
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use mpspmm_core::{ExecEngine, SpmmKernel};
+use mpspmm_gcn::GcnModel;
+use mpspmm_sparse::DenseMatrix;
+
+use batcher::{Pending, Shared};
+
+// Referenced by doc comments.
+#[allow(unused_imports)]
+use mpspmm_core::EngineStats;
+
+/// Tunables of the batching scheduler and admission control.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// Dense-column budget per batch: a batch closes once the coalesced
+    /// requests reach this many feature columns. One oversized request
+    /// still runs (as its own batch).
+    pub max_batch_cols: usize,
+    /// How long the dispatcher holds a batch open waiting for more
+    /// matching requests. Zero disables lingering (a batch takes only
+    /// what is already queued).
+    pub max_linger: Duration,
+    /// Per-tenant bound on admitted-but-unanswered requests; submissions
+    /// beyond it are rejected with [`ServeError::QueueFull`].
+    pub tenant_queue_limit: usize,
+    /// Queue depth beyond which the degraded batching policy applies
+    /// (no linger, halved column budget).
+    pub pressure_threshold: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            max_batch_cols: 64,
+            max_linger: Duration::from_micros(200),
+            tenant_queue_limit: 64,
+            pressure_threshold: 256,
+        }
+    }
+}
+
+/// What a request asks the server to compute over its feature block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Workload {
+    /// One aggregation: `Â × features` through the graph's prepared
+    /// plan. Any column width.
+    Spmm,
+    /// A full GCN forward pass through the graph's registered model;
+    /// the block's width must equal the model's input width.
+    Gcn,
+}
+
+/// One inference request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Registered graph name to route to.
+    pub graph: String,
+    /// Tenant identifier for admission control and stats.
+    pub tenant: String,
+    /// Dense feature block, `nodes × k` (for [`Workload::Gcn`], `k` must
+    /// be the model's input width). Shared, not owned: submission is
+    /// zero-copy, so one block can fan out to many requests (or graphs)
+    /// without duplicating a node-count-sized buffer per request.
+    pub features: Arc<DenseMatrix<f32>>,
+    /// What to compute.
+    pub workload: Workload,
+    /// Optional time budget from submission; requests still queued when
+    /// it elapses are shed with [`ServeError::DeadlineExceeded`].
+    pub deadline: Option<Duration>,
+}
+
+/// Handle to one in-flight request's eventual reply.
+#[derive(Debug)]
+pub struct Ticket {
+    rx: mpsc::Receiver<Result<DenseMatrix<f32>, ServeError>>,
+}
+
+impl Ticket {
+    /// Blocks until the server answers.
+    pub fn wait(self) -> Result<DenseMatrix<f32>, ServeError> {
+        self.rx.recv().unwrap_or(Err(ServeError::Disconnected))
+    }
+
+    /// Non-blocking poll; `None` while the request is still in flight.
+    pub fn try_wait(&self) -> Option<Result<DenseMatrix<f32>, ServeError>> {
+        match self.rx.try_recv() {
+            Ok(res) => Some(res),
+            Err(mpsc::TryRecvError::Empty) => None,
+            Err(mpsc::TryRecvError::Disconnected) => Some(Err(ServeError::Disconnected)),
+        }
+    }
+}
+
+/// The serving front end: admission control on the caller's thread, one
+/// dispatcher thread running the batching scheduler.
+pub struct Server {
+    shared: Arc<Shared>,
+    registry: Arc<GraphRegistry>,
+    dispatcher: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Starts a server executing on `engine`, planning registered graphs
+    /// through `kernel`.
+    pub fn start(
+        engine: Arc<ExecEngine>,
+        kernel: Box<dyn SpmmKernel>,
+        config: ServeConfig,
+    ) -> Self {
+        let registry = Arc::new(GraphRegistry::new(Arc::clone(&engine), kernel));
+        let shared = Arc::new(Shared {
+            config,
+            engine,
+            queue: Mutex::new(VecDeque::new()),
+            ready: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            stats: stats::StatsCollector::default(),
+        });
+        let dispatcher = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("mpspmm-serve-dispatch".into())
+                .spawn(move || batcher::dispatcher_loop(&shared))
+                .expect("spawn dispatcher thread")
+        };
+        Self {
+            shared,
+            registry,
+            dispatcher: Some(dispatcher),
+        }
+    }
+
+    /// The graph registry — register/replace/retire graphs here.
+    pub fn registry(&self) -> &GraphRegistry {
+        &self.registry
+    }
+
+    /// The scheduler configuration this server runs with.
+    pub fn config(&self) -> &ServeConfig {
+        &self.shared.config
+    }
+
+    /// Admits `req` (or rejects it with a typed error) and returns the
+    /// [`Ticket`] its reply arrives on.
+    ///
+    /// Admission runs entirely on the caller's thread: graph resolution
+    /// (pinning the *current* version for the request's whole lifetime),
+    /// shape validation, and the per-tenant bounded-queue check.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::ShuttingDown`], [`ServeError::UnknownGraph`],
+    /// [`ServeError::NoModel`], [`ServeError::BadShape`], or the
+    /// backpressure signal [`ServeError::QueueFull`].
+    pub fn submit(&self, req: Request) -> Result<Ticket, ServeError> {
+        if self.shared.shutdown.load(Ordering::Acquire) {
+            return Err(ServeError::ShuttingDown);
+        }
+        let graph = self
+            .registry
+            .get(&req.graph)
+            .ok_or_else(|| ServeError::UnknownGraph(req.graph.clone()))?;
+        let expected_cols = match req.workload {
+            Workload::Spmm => None,
+            Workload::Gcn => Some(
+                graph
+                    .model()
+                    .ok_or_else(|| ServeError::NoModel(req.graph.clone()))?
+                    .in_features(),
+            ),
+        };
+        let got = (req.features.rows(), req.features.cols());
+        if got.0 != graph.nodes() || expected_cols.is_some_and(|c| c != got.1) {
+            return Err(ServeError::BadShape {
+                expected_rows: graph.nodes(),
+                expected_cols,
+                got,
+            });
+        }
+        let tenant = self.shared.stats.tenant(&req.tenant);
+        let limit = self.shared.config.tenant_queue_limit;
+        if tenant.in_flight.fetch_add(1, Ordering::AcqRel) >= limit {
+            tenant.in_flight.fetch_sub(1, Ordering::AcqRel);
+            tenant.rejected_queue_full.fetch_add(1, Ordering::Relaxed);
+            self.shared
+                .stats
+                .rejected_queue_full
+                .fetch_add(1, Ordering::Relaxed);
+            return Err(ServeError::QueueFull {
+                tenant: req.tenant,
+                limit,
+            });
+        }
+        tenant.submitted.fetch_add(1, Ordering::Relaxed);
+        self.shared.stats.submitted.fetch_add(1, Ordering::Relaxed);
+        let submitted = Instant::now();
+        let (tx, rx) = mpsc::channel();
+        let pending = Pending {
+            graph,
+            tenant,
+            workload: req.workload,
+            features: req.features,
+            submitted,
+            deadline: req.deadline.map(|d| submitted + d),
+            reply: tx,
+        };
+        {
+            let mut queue = self.shared.queue.lock().unwrap();
+            queue.push_back(pending);
+        }
+        self.shared.ready.notify_all();
+        Ok(Ticket { rx })
+    }
+
+    /// Convenience: register a graph (optionally with a model) on this
+    /// server's registry. Equivalent to `self.registry().register(...)`.
+    pub fn register(
+        &self,
+        name: &str,
+        adjacency: mpspmm_sparse::CsrMatrix<f32>,
+        model: Option<GcnModel>,
+    ) -> Arc<ServedGraph> {
+        self.registry.register(name, adjacency, model)
+    }
+
+    /// Snapshot of the serving counters, including the engine's.
+    pub fn stats(&self) -> ServeStats {
+        let depth = self.shared.queue.lock().unwrap().len();
+        self.shared
+            .stats
+            .snapshot(depth, self.shared.engine.stats())
+    }
+
+    /// Stops admitting requests, answers everything already queued, and
+    /// joins the dispatcher.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        self.shared.ready.notify_all();
+        if let Some(handle) = self.dispatcher.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server")
+            .field("config", &self.shared.config)
+            .field("registry", &self.registry)
+            .finish()
+    }
+}

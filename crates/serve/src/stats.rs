@@ -1,0 +1,304 @@
+//! Serving metrics: global and per-tenant counters, batch-size
+//! histogram, and latency percentiles.
+//!
+//! Counters are lock-free atomics bumped on the hot path; latencies go
+//! into a bounded ring (oldest overwritten) so a long-lived server keeps
+//! a recent window instead of an unbounded log. Snapshots ([`ServeStats`]
+//! / [`TenantStats`]) are plain data, safe to hold across any amount of
+//! serving.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+use mpspmm_core::EngineStats;
+
+/// Number of batch-size histogram buckets: batch request counts
+/// `1, 2, 3-4, 5-8, 9-16, …, 65+` (powers of two).
+pub const BATCH_HIST_BUCKETS: usize = 8;
+
+/// Latency samples kept for percentile estimation (a ring; oldest
+/// samples are overwritten).
+pub(crate) const LATENCY_WINDOW: usize = 8192;
+
+/// Histogram bucket index for a batch of `requests` requests.
+pub(crate) fn batch_bucket(requests: usize) -> usize {
+    debug_assert!(requests >= 1);
+    let bits = usize::BITS - (requests.max(1) - 1).leading_zeros();
+    (bits as usize).min(BATCH_HIST_BUCKETS - 1)
+}
+
+/// Per-tenant live counters, shared between the submit path and the
+/// dispatcher (the `in_flight` gauge is the admission-control bound).
+#[derive(Debug, Default)]
+pub(crate) struct TenantState {
+    pub in_flight: AtomicUsize,
+    pub submitted: AtomicU64,
+    pub completed: AtomicU64,
+    pub rejected_queue_full: AtomicU64,
+    pub rejected_deadline: AtomicU64,
+}
+
+/// Live collectors owned by the server.
+#[derive(Debug, Default)]
+pub(crate) struct StatsCollector {
+    pub submitted: AtomicU64,
+    pub completed: AtomicU64,
+    pub rejected_queue_full: AtomicU64,
+    pub rejected_deadline: AtomicU64,
+    pub internal_errors: AtomicU64,
+    pub batches: AtomicU64,
+    pub degraded_batches: AtomicU64,
+    pub batched_requests: AtomicU64,
+    pub batched_cols: AtomicU64,
+    batch_hist: [AtomicU64; BATCH_HIST_BUCKETS],
+    latencies: Mutex<LatencyRing>,
+    tenants: Mutex<HashMap<String, Arc<TenantState>>>,
+}
+
+#[derive(Debug, Default)]
+struct LatencyRing {
+    samples_ns: Vec<u64>,
+    next: usize,
+}
+
+impl StatsCollector {
+    /// The shared counter block for `tenant`, created on first sight.
+    pub fn tenant(&self, tenant: &str) -> Arc<TenantState> {
+        let mut tenants = self.tenants.lock().unwrap();
+        match tenants.get(tenant) {
+            Some(t) => Arc::clone(t),
+            None => {
+                let t = Arc::new(TenantState::default());
+                tenants.insert(tenant.to_string(), Arc::clone(&t));
+                t
+            }
+        }
+    }
+
+    /// Records one executed batch of `requests` requests / `cols` total
+    /// dense columns.
+    pub fn record_batch(&self, requests: usize, cols: usize, degraded: bool) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.batched_requests
+            .fetch_add(requests as u64, Ordering::Relaxed);
+        self.batched_cols.fetch_add(cols as u64, Ordering::Relaxed);
+        self.batch_hist[batch_bucket(requests)].fetch_add(1, Ordering::Relaxed);
+        if degraded {
+            self.degraded_batches.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Records one request's submit→reply latency.
+    pub fn record_latency(&self, latency: std::time::Duration) {
+        let ns = latency.as_nanos().min(u128::from(u64::MAX)) as u64;
+        let mut ring = self.latencies.lock().unwrap();
+        if ring.samples_ns.len() < LATENCY_WINDOW {
+            ring.samples_ns.push(ns);
+        } else {
+            let next = ring.next;
+            ring.samples_ns[next] = ns;
+        }
+        ring.next = (ring.next + 1) % LATENCY_WINDOW;
+    }
+
+    /// Snapshot of everything, with `queue_depth` and the engine counters
+    /// supplied by the server (they live outside this collector).
+    pub fn snapshot(&self, queue_depth: usize, engine: EngineStats) -> ServeStats {
+        let latency = {
+            let ring = self.latencies.lock().unwrap();
+            LatencySummary::from_samples(&ring.samples_ns)
+        };
+        let mut tenants: Vec<TenantStats> = self
+            .tenants
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(name, t)| TenantStats {
+                tenant: name.clone(),
+                in_flight: t.in_flight.load(Ordering::Relaxed),
+                submitted: t.submitted.load(Ordering::Relaxed),
+                completed: t.completed.load(Ordering::Relaxed),
+                rejected_queue_full: t.rejected_queue_full.load(Ordering::Relaxed),
+                rejected_deadline: t.rejected_deadline.load(Ordering::Relaxed),
+            })
+            .collect();
+        tenants.sort_by(|a, b| a.tenant.cmp(&b.tenant));
+        let mut batch_size_hist = [0u64; BATCH_HIST_BUCKETS];
+        for (dst, src) in batch_size_hist.iter_mut().zip(&self.batch_hist) {
+            *dst = src.load(Ordering::Relaxed);
+        }
+        let batches = self.batches.load(Ordering::Relaxed);
+        let batched_requests = self.batched_requests.load(Ordering::Relaxed);
+        ServeStats {
+            submitted: self.submitted.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            rejected_queue_full: self.rejected_queue_full.load(Ordering::Relaxed),
+            rejected_deadline: self.rejected_deadline.load(Ordering::Relaxed),
+            internal_errors: self.internal_errors.load(Ordering::Relaxed),
+            batches,
+            degraded_batches: self.degraded_batches.load(Ordering::Relaxed),
+            batched_cols: self.batched_cols.load(Ordering::Relaxed),
+            mean_batch_requests: if batches == 0 {
+                0.0
+            } else {
+                batched_requests as f64 / batches as f64
+            },
+            batch_size_hist,
+            queue_depth,
+            latency,
+            engine,
+            tenants,
+        }
+    }
+}
+
+/// Latency percentiles over the recent sample window, in microseconds.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct LatencySummary {
+    /// Samples the percentiles were computed over (≤ the window size).
+    pub samples: usize,
+    /// Median latency, µs.
+    pub p50_us: f64,
+    /// 95th-percentile latency, µs.
+    pub p95_us: f64,
+    /// 99th-percentile latency, µs.
+    pub p99_us: f64,
+    /// Worst latency in the window, µs.
+    pub max_us: f64,
+}
+
+impl LatencySummary {
+    /// Percentiles of `samples_ns` (nearest-rank on the sorted window).
+    pub(crate) fn from_samples(samples_ns: &[u64]) -> Self {
+        if samples_ns.is_empty() {
+            return Self::default();
+        }
+        let mut sorted: Vec<u64> = samples_ns.to_vec();
+        sorted.sort_unstable();
+        let pick = |q: f64| -> f64 {
+            let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+            sorted[rank - 1] as f64 / 1_000.0
+        };
+        Self {
+            samples: sorted.len(),
+            p50_us: pick(0.50),
+            p95_us: pick(0.95),
+            p99_us: pick(0.99),
+            max_us: *sorted.last().unwrap() as f64 / 1_000.0,
+        }
+    }
+}
+
+/// Point-in-time snapshot of a server's global counters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeStats {
+    /// Requests that passed admission control.
+    pub submitted: u64,
+    /// Requests answered successfully.
+    pub completed: u64,
+    /// Requests rejected at admission because the tenant's bounded queue
+    /// was full (backpressure).
+    pub rejected_queue_full: u64,
+    /// Requests shed because their deadline passed before execution.
+    pub rejected_deadline: u64,
+    /// Requests failed by an engine error after admission (bugs).
+    pub internal_errors: u64,
+    /// Batches executed.
+    pub batches: u64,
+    /// Batches executed under queue pressure with the degraded
+    /// (halved-capacity, zero-linger) policy.
+    pub degraded_batches: u64,
+    /// Total dense columns aggregated across all batches.
+    pub batched_cols: u64,
+    /// Mean requests coalesced per batch.
+    pub mean_batch_requests: f64,
+    /// Batch-size histogram over request counts: buckets
+    /// `1, 2, 3-4, 5-8, …, 65+`.
+    pub batch_size_hist: [u64; BATCH_HIST_BUCKETS],
+    /// Requests queued but not yet executing at snapshot time.
+    pub queue_depth: usize,
+    /// Submit→reply latency percentiles over the recent window.
+    pub latency: LatencySummary,
+    /// The engine's counters (plan-cache hits/misses/evictions,
+    /// gather/stream dispatch), threaded through for one-stop telemetry.
+    pub engine: EngineStats,
+    /// Per-tenant breakdown, sorted by tenant name.
+    pub tenants: Vec<TenantStats>,
+}
+
+/// Per-tenant slice of the snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TenantStats {
+    /// Tenant identifier as passed in requests.
+    pub tenant: String,
+    /// Requests currently admitted but unanswered.
+    pub in_flight: usize,
+    /// Requests that passed admission control.
+    pub submitted: u64,
+    /// Requests answered successfully.
+    pub completed: u64,
+    /// Admission rejections due to the bounded queue.
+    pub rejected_queue_full: u64,
+    /// Requests shed at their deadline.
+    pub rejected_deadline: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batch_buckets_are_powers_of_two() {
+        assert_eq!(batch_bucket(1), 0);
+        assert_eq!(batch_bucket(2), 1);
+        assert_eq!(batch_bucket(3), 2);
+        assert_eq!(batch_bucket(4), 2);
+        assert_eq!(batch_bucket(5), 3);
+        assert_eq!(batch_bucket(8), 3);
+        assert_eq!(batch_bucket(64), 6);
+        assert_eq!(batch_bucket(65), 7);
+        assert_eq!(batch_bucket(1 << 20), 7);
+    }
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        let ns: Vec<u64> = (1..=100).map(|i| i * 1_000).collect();
+        let s = LatencySummary::from_samples(&ns);
+        assert_eq!(s.samples, 100);
+        assert_eq!(s.p50_us, 50.0);
+        assert_eq!(s.p95_us, 95.0);
+        assert_eq!(s.p99_us, 99.0);
+        assert_eq!(s.max_us, 100.0);
+        assert_eq!(LatencySummary::from_samples(&[]), LatencySummary::default());
+    }
+
+    #[test]
+    fn latency_ring_is_bounded() {
+        let c = StatsCollector::default();
+        for i in 0..(LATENCY_WINDOW + 10) {
+            c.record_latency(std::time::Duration::from_nanos(i as u64));
+        }
+        let snap = c.snapshot(0, EngineStats::default());
+        assert_eq!(snap.latency.samples, LATENCY_WINDOW);
+    }
+
+    #[test]
+    fn snapshot_aggregates_batches_and_tenants() {
+        let c = StatsCollector::default();
+        let t = c.tenant("a");
+        t.submitted.fetch_add(3, Ordering::Relaxed);
+        assert!(Arc::ptr_eq(&t, &c.tenant("a")), "tenant state is shared");
+        c.record_batch(4, 16, false);
+        c.record_batch(2, 8, true);
+        let snap = c.snapshot(5, EngineStats::default());
+        assert_eq!(snap.batches, 2);
+        assert_eq!(snap.degraded_batches, 1);
+        assert_eq!(snap.batched_cols, 24);
+        assert_eq!(snap.mean_batch_requests, 3.0);
+        assert_eq!(snap.batch_size_hist[batch_bucket(4)], 1);
+        assert_eq!(snap.queue_depth, 5);
+        assert_eq!(snap.tenants.len(), 1);
+        assert_eq!(snap.tenants[0].submitted, 3);
+    }
+}

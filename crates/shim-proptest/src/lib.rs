@@ -230,7 +230,10 @@ pub mod collection {
     impl From<Range<usize>> for SizeRange {
         fn from(r: Range<usize>) -> Self {
             assert!(r.start < r.end, "empty collection size range");
-            SizeRange { lo: r.start, hi_inclusive: r.end - 1 }
+            SizeRange {
+                lo: r.start,
+                hi_inclusive: r.end - 1,
+            }
         }
     }
 
@@ -238,13 +241,19 @@ pub mod collection {
         fn from(r: RangeInclusive<usize>) -> Self {
             let (lo, hi) = r.into_inner();
             assert!(lo <= hi, "empty collection size range");
-            SizeRange { lo, hi_inclusive: hi }
+            SizeRange {
+                lo,
+                hi_inclusive: hi,
+            }
         }
     }
 
     impl From<usize> for SizeRange {
         fn from(n: usize) -> Self {
-            SizeRange { lo: n, hi_inclusive: n }
+            SizeRange {
+                lo: n,
+                hi_inclusive: n,
+            }
         }
     }
 
@@ -264,7 +273,10 @@ pub mod collection {
 
     /// `vec(element, size)` — a vector with length drawn from `size`.
     pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
-        VecStrategy { element, size: size.into() }
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
     }
 
     pub struct BTreeSetStrategy<S> {
@@ -303,7 +315,10 @@ pub mod collection {
         S: Strategy,
         S::Value: Ord,
     {
-        BTreeSetStrategy { element, size: size.into() }
+        BTreeSetStrategy {
+            element,
+            size: size.into(),
+        }
     }
 }
 
@@ -338,7 +353,9 @@ pub mod test_runner {
             h ^= b as u64;
             h = h.wrapping_mul(0x0000_0100_0000_01b3);
         }
-        TestRng(SmallRng::seed_from_u64(h ^ ((case as u64) << 32 | 0x5bd1_e995)))
+        TestRng(SmallRng::seed_from_u64(
+            h ^ ((case as u64) << 32 | 0x5bd1_e995),
+        ))
     }
 }
 
@@ -346,7 +363,9 @@ pub mod prelude {
     pub use crate::arbitrary::any;
     pub use crate::strategy::{Just, Strategy};
     pub use crate::test_runner::ProptestConfig;
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
 }
 
 /// Declares property tests. Each argument is drawn from its strategy for
@@ -464,8 +483,8 @@ macro_rules! prop_oneof {
 
 #[cfg(test)]
 mod tests {
-    use crate::prelude::*;
     use crate::collection::{btree_set, vec};
+    use crate::prelude::*;
 
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(32))]

@@ -87,9 +87,8 @@ pub fn analytic_micros(stats: &DegreeStats, dim: usize, cfg: &AwbGcnConfig) -> f
     let macs = stats.nnz as f64 * dim as f64;
     let row_slots = stats.rows as f64 * dim as f64;
     let imbalance = 1.0 + (stats.evil_row_ratio() / cfg.imbalance_scale).min(cfg.imbalance_cap);
-    let cycles = cfg.overhead_cycles
-        + row_slots / cfg.pes * cfg.row_factor
-        + macs / cfg.pes * imbalance;
+    let cycles =
+        cfg.overhead_cycles + row_slots / cfg.pes * cfg.row_factor + macs / cfg.pes * imbalance;
     cycles / (cfg.clock_ghz * 1000.0)
 }
 
@@ -113,9 +112,17 @@ mod tests {
     #[test]
     fn published_values_are_quoted() {
         let cora = stats(2_708, 10_556, 168);
-        assert_eq!(awbgcn_micros("Cora", &cora, 16, &AwbGcnConfig::paper()), 4.3);
         assert_eq!(
-            awbgcn_micros("citeseer", &stats(3_327, 9_228, 99), 16, &AwbGcnConfig::paper()),
+            awbgcn_micros("Cora", &cora, 16, &AwbGcnConfig::paper()),
+            4.3
+        );
+        assert_eq!(
+            awbgcn_micros(
+                "citeseer",
+                &stats(3_327, 9_228, 99),
+                16,
+                &AwbGcnConfig::paper()
+            ),
             6.3
         );
     }

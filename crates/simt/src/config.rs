@@ -1,6 +1,5 @@
 //! GPU machine description.
 
-
 /// Parameters of the simulated SIMT (GPU) machine.
 ///
 /// Defaults model the paper's evaluation GPU, an NVidia Quadro RTX 6000:

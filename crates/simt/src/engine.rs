@@ -20,7 +20,6 @@
 //! A shared DRAM-bandwidth bound covers the streaming traffic, with a
 //! skew-aware cache model for the scattered `XW` row reads.
 
-
 use crate::config::GpuConfig;
 use crate::warp::KernelRun;
 
@@ -132,17 +131,19 @@ pub fn simulate(run: &KernelRun, cfg: &GpuConfig) -> SimReport {
         // Independent RMWs from one warp overlap partially in the memory
         // system: charge the slowest in full and half of the rest.
         let atomic_chain = {
-            let mut lats: Vec<f64> = w.atomic_rows.iter().map(|&r| contended_latency(r)).collect();
+            let mut lats: Vec<f64> = w
+                .atomic_rows
+                .iter()
+                .map(|&r| contended_latency(r))
+                .collect();
             lats.sort_unstable_by(|a, b| b.partial_cmp(a).expect("latencies are finite"));
             match lats.split_first() {
                 Some((max, rest)) => max + 0.5 * rest.iter().sum::<f64>(),
                 None => 0.0,
             }
         };
-        let chain = instr
-            + cfg.warp_overhead
-            + w.steps as f64 * eff_latency * divergence
-            + atomic_chain;
+        let chain =
+            instr + cfg.warp_overhead + w.steps as f64 * eff_latency * divergence + atomic_chain;
         sm_instr[s] += instr;
         sm_chain[s] += chain;
         sm_count[s] += 1;
@@ -310,7 +311,10 @@ mod tests {
         }
         let with_carries = simulate(&run_with(warps, 16, 1_000), &cfg);
         let without = simulate(&run_with(uniform_warps(100, 10), 16, 1_000), &cfg);
-        assert_eq!(with_carries.serial_cycles, 100.0 * (1.0 + cfg.serial_fixup_latency));
+        assert_eq!(
+            with_carries.serial_cycles,
+            100.0 * (1.0 + cfg.serial_fixup_latency)
+        );
         assert_eq!(without.serial_cycles, 0.0);
         assert!(with_carries.cycles > without.cycles);
     }

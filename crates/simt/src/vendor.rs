@@ -104,7 +104,13 @@ pub fn simulate_vendor(a: &CsrMatrix<f32>, dim: usize, cfg: &GpuConfig) -> Vendo
 
     // Candidate 1: row-wise with long-row chunking.
     let row_plan = row_wise_plan(a);
-    let row_run = lower_with_policy(&row_plan, dim, cfg.lanes, LoweringPolicy::merge_path(), a.cols());
+    let row_run = lower_with_policy(
+        &row_plan,
+        dim,
+        cfg.lanes,
+        LoweringPolicy::merge_path(),
+        a.cols(),
+    );
     let mut best = VendorReport {
         report: simulate(&row_run, cfg),
         selected: VendorKernel::RowWise,
@@ -170,16 +176,15 @@ mod tests {
         // With even row lengths, row-wise and balanced are both fine; the
         // point is that the vendor never needs atomics here, so either
         // non-adaptive candidate may win.
-        let a =
-            DatasetSpec::custom("s", GraphClass::Structured, 20_000, 60_000, 8).synthesize(1);
+        let a = DatasetSpec::custom("s", GraphClass::Structured, 20_000, 60_000, 8).synthesize(1);
         let v = simulate_vendor(&a, 16, &GpuConfig::rtx6000());
         assert_ne!(v.selected, VendorKernel::Adaptive);
     }
 
     #[test]
     fn twitter_like_inputs_select_adaptive() {
-        let a = DatasetSpec::custom("tw", GraphClass::Structured, 500_000, 1_250_000, 12)
-            .synthesize(1);
+        let a =
+            DatasetSpec::custom("tw", GraphClass::Structured, 500_000, 1_250_000, 12).synthesize(1);
         let v = simulate_vendor(&a, 16, &GpuConfig::rtx6000());
         assert_eq!(v.selected, VendorKernel::Adaptive);
     }

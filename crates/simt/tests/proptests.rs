@@ -1,6 +1,8 @@
 //! Property-based tests for the SIMT lowering and timing engine.
 
-use mpspmm_core::{Flush, KernelPlan, MergePathSpmm, NnzSplitSpmm, Segment, SpmmKernel, ThreadPlan};
+use mpspmm_core::{
+    Flush, KernelPlan, MergePathSpmm, NnzSplitSpmm, Segment, SpmmKernel, ThreadPlan,
+};
 use mpspmm_simt::{engine, lower_with_policy, GpuConfig, GpuKernel, LoweringPolicy};
 use mpspmm_sparse::CsrMatrix;
 use proptest::collection::vec;

@@ -1,4 +1,3 @@
-
 use crate::SparseFormatError;
 
 /// A sparse matrix in coordinate (COO / triplet) format.

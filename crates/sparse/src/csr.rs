@@ -1,4 +1,3 @@
-
 use crate::{CooMatrix, DenseMatrix, SparseFormatError};
 
 /// A sparse matrix in compressed sparse row (CSR) format.
@@ -179,7 +178,10 @@ impl<T> CsrMatrix<T> {
 
     /// Iterates over all rows in order.
     pub fn iter_rows(&self) -> CsrRowIter<'_, T> {
-        CsrRowIter { matrix: self, next: 0 }
+        CsrRowIter {
+            matrix: self,
+            next: 0,
+        }
     }
 
     /// The length of the merge path for this matrix: `rows + nnz`.
@@ -416,14 +418,7 @@ mod tests {
         // 0: [., 1, .]
         // 1: [2, ., 3]
         // 2: [., ., .]
-        CsrMatrix::new(
-            3,
-            3,
-            vec![0, 1, 3, 3],
-            vec![1, 0, 2],
-            vec![1.0, 2.0, 3.0],
-        )
-        .unwrap()
+        CsrMatrix::new(3, 3, vec![0, 1, 3, 3], vec![1, 0, 2], vec![1.0, 2.0, 3.0]).unwrap()
     }
 
     #[test]
@@ -445,8 +440,7 @@ mod tests {
 
     #[test]
     fn rejects_nonzero_start() {
-        let err =
-            CsrMatrix::<f32>::new(1, 2, vec![1, 1], vec![], vec![]).unwrap_err();
+        let err = CsrMatrix::<f32>::new(1, 2, vec![1, 1], vec![], vec![]).unwrap_err();
         assert_eq!(err, SparseFormatError::RowPointerStart { first: 1 });
     }
 
@@ -464,8 +458,7 @@ mod tests {
 
     #[test]
     fn rejects_index_value_length_mismatch() {
-        let err =
-            CsrMatrix::<f32>::new(1, 2, vec![0, 1], vec![0, 1], vec![1.0]).unwrap_err();
+        let err = CsrMatrix::<f32>::new(1, 2, vec![0, 1], vec![0, 1], vec![1.0]).unwrap_err();
         assert_eq!(
             err,
             SparseFormatError::IndexValueLength {
@@ -490,26 +483,32 @@ mod tests {
 
     #[test]
     fn rejects_unsorted_row() {
-        let err =
-            CsrMatrix::<f32>::new(1, 3, vec![0, 2], vec![2, 0], vec![1.0, 1.0]).unwrap_err();
-        assert_eq!(err, SparseFormatError::UnsortedRow { row: 0, position: 1 });
+        let err = CsrMatrix::<f32>::new(1, 3, vec![0, 2], vec![2, 0], vec![1.0, 1.0]).unwrap_err();
+        assert_eq!(
+            err,
+            SparseFormatError::UnsortedRow {
+                row: 0,
+                position: 1
+            }
+        );
     }
 
     #[test]
     fn rejects_duplicate_column_in_row() {
-        let err =
-            CsrMatrix::<f32>::new(1, 3, vec![0, 2], vec![1, 1], vec![1.0, 1.0]).unwrap_err();
-        assert_eq!(err, SparseFormatError::UnsortedRow { row: 0, position: 1 });
+        let err = CsrMatrix::<f32>::new(1, 3, vec![0, 2], vec![1, 1], vec![1.0, 1.0]).unwrap_err();
+        assert_eq!(
+            err,
+            SparseFormatError::UnsortedRow {
+                row: 0,
+                position: 1
+            }
+        );
     }
 
     #[test]
     fn from_triplets_sorts_and_matches_dense() {
-        let m = CsrMatrix::<f32>::from_triplets(
-            2,
-            3,
-            &[(1, 2, 3.0), (0, 1, 1.0), (1, 0, 2.0)],
-        )
-        .unwrap();
+        let m = CsrMatrix::<f32>::from_triplets(2, 3, &[(1, 2, 3.0), (0, 1, 1.0), (1, 0, 2.0)])
+            .unwrap();
         assert_eq!(m.row(1).cols, &[0, 2]);
         assert_eq!(m.row(1).vals, &[2.0, 3.0]);
     }
@@ -523,7 +522,10 @@ mod tests {
     #[test]
     fn from_triplets_rejects_out_of_bounds_row() {
         let err = CsrMatrix::<f32>::from_triplets(2, 2, &[(7, 0, 1.0)]).unwrap_err();
-        assert!(matches!(err, SparseFormatError::RowOutOfBounds { row: 7, .. }));
+        assert!(matches!(
+            err,
+            SparseFormatError::RowOutOfBounds { row: 7, .. }
+        ));
     }
 
     #[test]

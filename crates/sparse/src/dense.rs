@@ -1,4 +1,3 @@
-
 use crate::SparseFormatError;
 
 /// A dense matrix in row-major storage.

@@ -173,7 +173,10 @@ mod tests {
         let mut buf = Vec::new();
         write_csr(&mut buf, &sample()).unwrap();
         buf[4] = 99; // bump the version field
-        assert!(matches!(read_csr(buf.as_slice()).unwrap_err(), IoError::BadVersion(99)));
+        assert!(matches!(
+            read_csr(buf.as_slice()).unwrap_err(),
+            IoError::BadVersion(99)
+        ));
     }
 
     #[test]
@@ -181,7 +184,10 @@ mod tests {
         let mut buf = Vec::new();
         write_csr(&mut buf, &sample()).unwrap();
         buf.truncate(buf.len() - 3);
-        assert!(matches!(read_csr(buf.as_slice()).unwrap_err(), IoError::Io(_)));
+        assert!(matches!(
+            read_csr(buf.as_slice()).unwrap_err(),
+            IoError::Io(_)
+        ));
     }
 
     #[test]

@@ -194,7 +194,13 @@ mod tests {
         CsrMatrix::from_triplets(
             4,
             5,
-            &[(0, 1, 1.5), (0, 4, -2.0), (1, 0, 3.0), (3, 2, 0.25), (3, 3, 4.0)],
+            &[
+                (0, 1, 1.5),
+                (0, 4, -2.0),
+                (1, 0, 3.0),
+                (3, 2, 0.25),
+                (3, 3, 4.0),
+            ],
         )
         .unwrap()
     }
@@ -208,7 +214,11 @@ mod tests {
             if len > 0 {
                 assert!(v.is_cache_aligned(), "len={len}");
             }
-            assert!(v.as_slice().iter().enumerate().all(|(i, &x)| x == i as f32 * 0.5));
+            assert!(v
+                .as_slice()
+                .iter()
+                .enumerate()
+                .all(|(i, &x)| x == i as f32 * 0.5));
             let u = AlignedVec::<u32>::from_fn(len, |i| i as u32 * 3);
             if len > 0 {
                 assert!(u.is_cache_aligned(), "len={len}");

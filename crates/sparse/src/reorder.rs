@@ -108,7 +108,11 @@ pub fn permute_rows<T: Copy>(a: &CsrMatrix<T>, perm: &Permutation) -> CsrMatrix<
 ///
 /// Panics if `a` is not square or `perm.len() != a.rows()`.
 pub fn permute_symmetric<T: Copy>(a: &CsrMatrix<T>, perm: &Permutation) -> CsrMatrix<T> {
-    assert_eq!(a.rows(), a.cols(), "symmetric permutation needs a square matrix");
+    assert_eq!(
+        a.rows(),
+        a.cols(),
+        "symmetric permutation needs a square matrix"
+    );
     assert_eq!(perm.len(), a.rows(), "permutation length must match rows");
     let inverse = perm.inverse();
     let mut row_ptr = Vec::with_capacity(a.rows() + 1);
@@ -119,7 +123,12 @@ pub fn permute_symmetric<T: Copy>(a: &CsrMatrix<T>, perm: &Permutation) -> CsrMa
     for &old in perm.forward() {
         let row = a.row(old);
         scratch.clear();
-        scratch.extend(row.cols.iter().map(|&c| inverse[c]).zip(row.vals.iter().copied()));
+        scratch.extend(
+            row.cols
+                .iter()
+                .map(|&c| inverse[c])
+                .zip(row.vals.iter().copied()),
+        );
         scratch.sort_unstable_by_key(|&(c, _)| c);
         for &(c, v) in &scratch {
             col_indices.push(c);

@@ -7,7 +7,6 @@
 //! skew measures (Gini coefficient, tail CCDF) used by the generators'
 //! verification tests and the Figure 1 harness.
 
-
 use crate::CsrMatrix;
 
 /// Summary statistics of a sparse matrix's row lengths.

@@ -7,16 +7,14 @@ use proptest::prelude::*;
 /// Strategy producing an arbitrary valid CSR matrix (as unique triplets).
 fn arb_csr(max_dim: usize, max_nnz: usize) -> impl Strategy<Value = CsrMatrix<f32>> {
     (1..=max_dim, 1..=max_dim).prop_flat_map(move |(rows, cols)| {
-        btree_set((0..rows, 0..cols), 0..=max_nnz.min(rows * cols)).prop_map(
-            move |coords| {
-                let triplets: Vec<(usize, usize, f32)> = coords
-                    .into_iter()
-                    .enumerate()
-                    .map(|(k, (r, c))| (r, c, (k % 7) as f32 + 1.0))
-                    .collect();
-                CsrMatrix::from_triplets(rows, cols, &triplets).expect("unique coords are valid")
-            },
-        )
+        btree_set((0..rows, 0..cols), 0..=max_nnz.min(rows * cols)).prop_map(move |coords| {
+            let triplets: Vec<(usize, usize, f32)> = coords
+                .into_iter()
+                .enumerate()
+                .map(|(k, (r, c))| (r, c, (k % 7) as f32 + 1.0))
+                .collect();
+            CsrMatrix::from_triplets(rows, cols, &triplets).expect("unique coords are valid")
+        })
     })
 }
 

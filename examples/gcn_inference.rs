@@ -10,8 +10,8 @@
 
 use std::time::Instant;
 
-use merge_path_spmm::core::{plan_from_schedule, MergePathSpmm};
 use merge_path_spmm::core::executor::execute_parallel;
+use merge_path_spmm::core::{plan_from_schedule, MergePathSpmm};
 use merge_path_spmm::gcn::{online_inference, ops, GcnModel};
 use merge_path_spmm::graphs::{find_dataset, gcn_normalize};
 use merge_path_spmm::sparse::DenseMatrix;

@@ -40,7 +40,10 @@ fn main() {
             let r = simulate(&plan, &a, 16, &cfg);
             println!(
                 "{name:<16} {cores:>6} {:>10} {:>9} {:>9} {:>12} {:>11}",
-                r.cycles, r.critical_compute, r.critical_memory, r.atomic_wait_cycles,
+                r.cycles,
+                r.critical_compute,
+                r.critical_memory,
+                r.atomic_wait_cycles,
                 r.directory_evictions,
             );
         }

@@ -4,11 +4,13 @@
 # benchmark artifacts.
 #
 # Usage: scripts/tier1.sh
-# Emits BENCH_engine.json (register-tiled baseline) and BENCH_simd.json
-# (vectorized data path vs that baseline) in the repository root.
+# Emits BENCH_engine.json (register-tiled baseline), BENCH_simd.json
+# (vectorized data path vs that baseline), and BENCH_serve.json (serving
+# layer, smoke shape) in the repository root.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+cargo fmt --all -- --check
 cargo build --release
 cargo clippy --workspace --all-targets -- -D warnings
 cargo test -q
@@ -21,3 +23,4 @@ cargo test -q -p mpspmm-core --test engine_oracle
 cargo test -q -p mpspmm-core --features force-scalar
 cargo run --release -p mpspmm-bench --bin bench_engine
 cargo run --release -p mpspmm-bench --bin bench_simd
+cargo run --release -p mpspmm-bench --bin bench_serve -- --smoke

@@ -9,6 +9,9 @@
 //! * [`simt`] — GPU (SIMT) machine model, AWB-GCN and vendor-library models.
 //! * [`multicore`] — Graphite-like 1000-core multicore simulator (Table I).
 //! * [`gcn`] — graph convolutional network substrate.
+//! * [`serve`] — batched multi-tenant inference serving layer over the
+//!   execution engine (graph registry, coalescing scheduler, admission
+//!   control, serving stats).
 //!
 //! # Quickstart
 //!
@@ -31,5 +34,6 @@ pub use mpspmm_core as core;
 pub use mpspmm_gcn as gcn;
 pub use mpspmm_graphs as graphs;
 pub use mpspmm_multicore as multicore;
+pub use mpspmm_serve as serve;
 pub use mpspmm_simt as simt;
 pub use mpspmm_sparse as sparse;

@@ -31,7 +31,9 @@ fn gnn(a: &CsrMatrix<f32>, dim: usize, cfg: &GpuConfig) -> f64 {
 }
 
 fn mp(a: &CsrMatrix<f32>, dim: usize, cfg: &GpuConfig) -> f64 {
-    GpuKernel::MergePath { cost: None }.simulate(a, dim, cfg).micros
+    GpuKernel::MergePath { cost: None }
+        .simulate(a, dim, cfg)
+        .micros
 }
 
 #[test]
@@ -45,7 +47,9 @@ fn figure2_orderings_hold() {
         let stats = DegreeStats::compute(&a);
         let awb = awbgcn::awbgcn_micros(name, &stats, 16, &awb_cfg);
         let g = gnn(&a, 16, &cfg);
-        let serial = GpuKernel::SerialFixup { threads: None }.simulate(&a, 16, &cfg).micros;
+        let serial = GpuKernel::SerialFixup { threads: None }
+            .simulate(&a, 16, &cfg)
+            .micros;
         let rows = GpuKernel::RowSplit.simulate(&a, 16, &cfg).micros;
         assert!(awb < g, "{name}: AWB {awb:.1} must beat GNNAdvisor {g:.1}");
         assert!(awb < serial && awb < rows, "{name}: AWB must be fastest");
@@ -67,9 +71,15 @@ fn figure2_orderings_hold() {
     let stats = DegreeStats::compute(&nell);
     let awb = awbgcn::awbgcn_micros("Nell", &stats, 64, &awb_cfg);
     let g = gnn(&nell, 64, &cfg);
-    let serial = GpuKernel::SerialFixup { threads: None }.simulate(&nell, 64, &cfg).micros;
+    let serial = GpuKernel::SerialFixup { threads: None }
+        .simulate(&nell, 64, &cfg)
+        .micros;
     let rows = GpuKernel::RowSplit.simulate(&nell, 64, &cfg).micros;
-    assert!(awb / g > 3.0, "Nell: GNNAdvisor must win by several x (got {:.1})", awb / g);
+    assert!(
+        awb / g > 3.0,
+        "Nell: GNNAdvisor must win by several x (got {:.1})",
+        awb / g
+    );
     assert!(serial < awb, "Nell: merge-path must still beat AWB-GCN");
     assert!(rows > awb, "Nell: row-splitting must be the worst");
 }
@@ -80,10 +90,19 @@ fn figure4_relations_hold() {
     // MergePath-SpMM beats GNNAdvisor on every mid/large graph; geometric
     // mean advantage is material.
     let mut speedups = Vec::new();
-    for name in ["Pubmed", "Wiki-Vote", "email-Enron", "email-Euall", "Nell", "PPI"] {
+    for name in [
+        "Pubmed",
+        "Wiki-Vote",
+        "email-Enron",
+        "email-Euall",
+        "Nell",
+        "PPI",
+    ] {
         let a = graph(name);
         let s = gnn(&a, 16, &cfg)
-            / GpuKernel::MergePath { cost: Some(20) }.simulate(&a, 16, &cfg).micros;
+            / GpuKernel::MergePath { cost: Some(20) }
+                .simulate(&a, 16, &cfg)
+                .micros;
         assert!(s >= 1.0, "{name}: MergePath must not lose (got {s:.2})");
         speedups.push(s.ln());
     }
@@ -100,7 +119,10 @@ fn figure4_relations_hold() {
         vendor::simulate_vendor(&cora, 16, &cfg).report.micros > gnn(&cora, 16, &cfg),
         "Cora: cuSPARSE must lose to GNNAdvisor"
     );
-    let twitter = find_dataset("Twitter-partial").expect("in Table II").scaled_down(4).synthesize(SEED);
+    let twitter = find_dataset("Twitter-partial")
+        .expect("in Table II")
+        .scaled_down(4)
+        .synthesize(SEED);
     let cu = vendor::simulate_vendor(&twitter, 16, &cfg).report.micros;
     assert!(
         gnn(&twitter, 16, &cfg) / cu > 2.0,
@@ -125,7 +147,10 @@ fn figure5_relations_hold() {
     );
     for name in ["Yeast", "PROTEINS_full"] {
         let s = share(name);
-        assert!(s < 0.25, "{name}: structured graphs are mostly regular writes (got {s:.2})");
+        assert!(
+            s < 0.25,
+            "{name}: structured graphs are mostly regular writes (got {s:.2})"
+        );
     }
 }
 
@@ -138,16 +163,25 @@ fn figure7_orderings_hold() {
     let g32 = gnn(&a, 32, &cfg);
     let g16 = gnn(&a, 16, &cfg);
     let g8 = gnn(&a, 8, &cfg);
-    assert!((g16 - g8).abs() / g16 < 0.05, "GNNAdvisor must saturate below 32");
+    assert!(
+        (g16 - g8).abs() / g16 < 0.05,
+        "GNNAdvisor must saturate below 32"
+    );
     assert!(g32 > g8 * 0.999, "dimension shrink cannot hurt GNNAdvisor");
     for dim in [16usize, 8, 4] {
         let base = gnn(&a, dim, &cfg);
-        let opt = GpuKernel::GnnAdvisor { opt: true, ng_size: None }
-            .simulate(&a, dim, &cfg)
-            .micros;
+        let opt = GpuKernel::GnnAdvisor {
+            opt: true,
+            ng_size: None,
+        }
+        .simulate(&a, dim, &cfg)
+        .micros;
         let mpt = mp(&a, dim, &cfg);
         assert!(opt <= base * 1.001, "dim {dim}: opt must not lose to base");
-        assert!(mpt <= opt * 1.001, "dim {dim}: MergePath must not lose to opt");
+        assert!(
+            mpt <= opt * 1.001,
+            "dim {dim}: MergePath must not lose to opt"
+        );
     }
 }
 
@@ -191,7 +225,10 @@ fn figure9_scaling_shapes_hold() {
 
     // §V-D: at 1024 cores only Cora's merge-path cost drops below 25;
     // the other evaluated graphs stay above 100.
-    assert!(a.merge_items().div_ceil(1024) < 25, "Cora cost must be small");
+    assert!(
+        a.merge_items().div_ceil(1024) < 25,
+        "Cora cost must be small"
+    );
     for name in ["Pubmed", "Nell"] {
         let g = graph(name);
         assert!(

@@ -34,7 +34,10 @@ fn parallel_execution_stays_within_tolerance_of_sequential() {
     for workers in [1usize, 2, 4, 8] {
         let (par, par_stats) = execute_parallel(&plan, &a, &b, workers).expect("parallel");
         assert!(par.approx_eq(&seq, 1e-3).expect("same shape"));
-        assert_eq!(par_stats, seq_stats, "stats are execution-order independent");
+        assert_eq!(
+            par_stats, seq_stats,
+            "stats are execution-order independent"
+        );
     }
 }
 

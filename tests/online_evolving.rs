@@ -6,8 +6,8 @@ use merge_path_spmm::core::{
     MergePathSpmm, NeighborPartitionIndex, NnzSplitSpmm, SerialSpmm, SpmmKernel,
 };
 use merge_path_spmm::gcn::ops::random_features;
-use merge_path_spmm::gcn::{GcnModel, GinLayer, SageMeanLayer, Activation};
 use merge_path_spmm::gcn::ops::xavier_init;
+use merge_path_spmm::gcn::{Activation, GcnModel, GinLayer, SageMeanLayer};
 use merge_path_spmm::graphs::{
     gcn_normalize, mean_normalize, sum_with_self_loops, DatasetSpec, GraphClass, GraphStream,
 };
@@ -53,8 +53,16 @@ fn gnn_zoo_runs_on_each_snapshot() {
     let mut stream = GraphStream::new(&spec(), 13);
     let kernel = MergePathSpmm::with_threads(24);
     let gcn_model = GcnModel::two_layer(12, 16, 4, 2);
-    let gin = GinLayer::new(xavier_init(12, 16, 3), xavier_init(16, 4, 4), Activation::Relu);
-    let sage = SageMeanLayer::new(xavier_init(12, 4, 5), xavier_init(12, 4, 6), Activation::Relu);
+    let gin = GinLayer::new(
+        xavier_init(12, 16, 3),
+        xavier_init(16, 4, 4),
+        Activation::Relu,
+    );
+    let sage = SageMeanLayer::new(
+        xavier_init(12, 4, 5),
+        xavier_init(12, 4, 6),
+        Activation::Relu,
+    );
     let x = random_features(400, 12, 0.5, 7);
 
     for _ in 0..3 {
@@ -85,7 +93,9 @@ fn gnnadvisor_also_stays_correct_under_churn() {
     for _ in 0..3 {
         let a = stream.step(15, 15).clone();
         let (want, _) = SerialSpmm.spmm_sequential(&a, &x).expect("serial");
-        let (got, stats) = NnzSplitSpmm::new().spmm_with_stats(&a, &x).expect("gnnadvisor");
+        let (got, stats) = NnzSplitSpmm::new()
+            .spmm_with_stats(&a, &x)
+            .expect("gnnadvisor");
         assert!(got.approx_eq(&want, 1e-3).expect("same shape"));
         assert_eq!(stats.atomic_nnz, a.nnz(), "GNNAdvisor is all-atomic");
     }
