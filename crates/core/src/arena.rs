@@ -1,0 +1,292 @@
+//! Per-engine buffer arena: pooled output / scratch buffers so
+//! steady-state inference performs no heap allocation.
+//!
+//! Every [`crate::ExecEngine`] execution needs a dense output buffer
+//! (`rows × dim` f32s), the pooled path additionally an atomic
+//! side buffer for shared rows, and the batch path an interleaved
+//! combined buffer plus per-block outputs. Before this arena each run
+//! allocated (and dropped) all of them; under serving traffic that is
+//! pure allocator churn on buffers whose sizes repeat forever, because
+//! the graph and feature dimensions of a tenant are stationary. The
+//! arena keeps a small pool of retired buffers per kind and hands them
+//! back out by best capacity fit, so the steady state is 100% reuse.
+//!
+//! Alignment: fresh f32 buffers are allocated with capacities rounded up
+//! to whole 64-byte cache lines, so the allocator serves them from
+//! stable size classes (large ones page-aligned) and reuse preserves the
+//! original placement run over run. The atomic side buffers never leave
+//! the engine, so they get the full [`AlignedVec`]-style treatment: the
+//! payload is offset inside an over-allocated `Vec` to start exactly on
+//! a cache-line boundary, keeping the CAS traffic of different shared
+//! rows out of each other's lines.
+//!
+//! Ownership of outputs *leaves* the engine as [`DenseMatrix`] values
+//! (which demand a plain `Vec<f32>`), so reuse of those is cooperative:
+//! callers that are done with a result hand it back via
+//! [`crate::ExecEngine::recycle`]. The GCN forward pass uses exactly
+//! this to ping-pong two inter-layer activation buffers.
+//!
+//! [`AlignedVec`]: mpspmm_sparse::AlignedVec
+//! [`DenseMatrix`]: mpspmm_sparse::DenseMatrix
+
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Retired buffers kept per pool; beyond this the smallest is dropped.
+/// Serving batches split into at most a handful of per-tenant blocks, so
+/// eight covers every concurrent shape seen in practice.
+const MAX_POOLED: usize = 8;
+
+/// f32 elements per 64-byte cache line.
+const LINE_F32: usize = 16;
+
+/// An atomic side buffer whose payload starts on a 64-byte boundary.
+///
+/// Same offset trick as [`mpspmm_sparse::AlignedVec`], reimplemented
+/// here because `AtomicU32` is neither `Copy` nor `Clone` and interior
+/// mutability is the whole point. The offset is computed once at
+/// allocation; `clear` + `extend` reuse never reallocates, so the
+/// alignment survives recycling.
+#[derive(Debug, Default)]
+pub(crate) struct SideBuf {
+    buf: Vec<AtomicU32>,
+    offset: usize,
+    len: usize,
+}
+
+impl SideBuf {
+    fn with_len(len: usize) -> Self {
+        let mut buf: Vec<AtomicU32> = Vec::with_capacity(len + LINE_F32);
+        let misalign = (buf.as_ptr() as usize) % 64;
+        let offset = if misalign == 0 {
+            0
+        } else {
+            (64 - misalign) / std::mem::size_of::<AtomicU32>()
+        };
+        buf.extend((0..offset + len).map(|_| AtomicU32::new(0)));
+        Self { buf, offset, len }
+    }
+
+    /// Re-zeroes for `len` payload elements without reallocating.
+    /// Returns `false` (buffer untouched) if the capacity is too small.
+    fn reuse_for(&mut self, len: usize) -> bool {
+        if self.buf.capacity() < self.offset + len {
+            return false;
+        }
+        self.buf.clear();
+        self.buf
+            .extend((0..self.offset + len).map(|_| AtomicU32::new(0)));
+        self.len = len;
+        true
+    }
+
+    fn payload_capacity(&self) -> usize {
+        self.buf.capacity() - self.offset
+    }
+
+    /// The zeroed, cache-line-aligned payload.
+    pub(crate) fn as_slice(&self) -> &[AtomicU32] {
+        &self.buf[self.offset..self.offset + self.len]
+    }
+}
+
+/// The engine's buffer pool. See the module docs for the design; all
+/// methods are `&self` and internally locked, matching the engine's
+/// share-one-instance concurrency model. Lock hold times are O(pool
+/// size) scans — zeroing happens outside the lock.
+#[derive(Debug, Default)]
+pub(crate) struct BufferArena {
+    outputs: Mutex<Vec<Vec<f32>>>,
+    sides: Mutex<Vec<SideBuf>>,
+    reuses: AtomicU64,
+    misses: AtomicU64,
+}
+
+/// Pops the best (smallest sufficient) capacity fit from `pool`, or the
+/// overall smallest entry (to be dropped by the caller) when nothing
+/// fits and the pool is full.
+fn pop_fit<T>(pool: &mut Vec<T>, capacity: impl Fn(&T) -> usize, need: usize) -> Option<(T, bool)> {
+    let mut best: Option<(usize, usize)> = None; // (index, capacity)
+    let mut smallest: Option<(usize, usize)> = None;
+    for (i, item) in pool.iter().enumerate() {
+        let cap = capacity(item);
+        if cap >= need && best.is_none_or(|(_, c)| cap < c) {
+            best = Some((i, cap));
+        }
+        if smallest.is_none_or(|(_, c)| cap < c) {
+            smallest = Some((i, cap));
+        }
+    }
+    if let Some((i, _)) = best {
+        return Some((pool.swap_remove(i), true));
+    }
+    // Nothing fits: evict the smallest if the pool is at capacity so it
+    // self-corrects toward the sizes actually in use.
+    if pool.len() >= MAX_POOLED {
+        let (i, _) = smallest?;
+        return Some((pool.swap_remove(i), false));
+    }
+    None
+}
+
+impl BufferArena {
+    /// Checks out a zeroed `Vec<f32>` of exactly `len` elements, reusing
+    /// a pooled buffer when one is large enough.
+    pub(crate) fn take_zeroed(&self, len: usize) -> Vec<f32> {
+        let popped = pop_fit(&mut self.outputs.lock().unwrap(), Vec::capacity, len);
+        match popped {
+            Some((mut buf, true)) => {
+                self.reuses.fetch_add(1, Ordering::Relaxed);
+                buf.clear();
+                buf.resize(len, 0.0);
+                buf
+            }
+            _ => {
+                // `popped` may hold an evicted too-small buffer; drop it.
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                let mut buf = Vec::with_capacity(len.next_multiple_of(LINE_F32));
+                buf.resize(len, 0.0);
+                buf
+            }
+        }
+    }
+
+    /// Returns an output buffer to the pool (dropped if the pool is full
+    /// and every pooled buffer is at least as large).
+    pub(crate) fn put(&self, buf: Vec<f32>) {
+        if buf.capacity() == 0 {
+            return;
+        }
+        let mut pool = self.outputs.lock().unwrap();
+        if pool.len() >= MAX_POOLED {
+            // Keep the MAX_POOLED largest buffers.
+            if let Some((i, _)) = pool
+                .iter()
+                .enumerate()
+                .map(|(i, b)| (i, b.capacity()))
+                .min_by_key(|&(_, c)| c)
+            {
+                if pool[i].capacity() < buf.capacity() {
+                    pool[i] = buf;
+                }
+                return;
+            }
+        }
+        pool.push(buf);
+    }
+
+    /// Checks out a zeroed, 64-byte-aligned atomic side buffer of `len`
+    /// elements.
+    pub(crate) fn take_side(&self, len: usize) -> SideBuf {
+        let popped = pop_fit(
+            &mut self.sides.lock().unwrap(),
+            SideBuf::payload_capacity,
+            len,
+        );
+        if let Some((mut side, true)) = popped {
+            if side.reuse_for(len) {
+                self.reuses.fetch_add(1, Ordering::Relaxed);
+                return side;
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        SideBuf::with_len(len)
+    }
+
+    /// Returns a side buffer to the pool.
+    pub(crate) fn put_side(&self, side: SideBuf) {
+        let mut pool = self.sides.lock().unwrap();
+        if pool.len() < MAX_POOLED {
+            pool.push(side);
+        }
+    }
+
+    /// Executions served from the pool without allocating.
+    pub(crate) fn reuses(&self) -> u64 {
+        self.reuses.load(Ordering::Relaxed)
+    }
+
+    /// Executions that had to allocate a fresh buffer.
+    pub(crate) fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Drops all pooled buffers and zeroes the counters.
+    pub(crate) fn clear(&self) {
+        self.outputs.lock().unwrap().clear();
+        self.sides.lock().unwrap().clear();
+        self.reuses.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn output_roundtrip_reuses_capacity() {
+        let arena = BufferArena::default();
+        let a = arena.take_zeroed(100);
+        assert_eq!(arena.misses(), 1);
+        arena.put(a);
+        let b = arena.take_zeroed(80);
+        assert_eq!(arena.reuses(), 1, "smaller request reuses the buffer");
+        assert_eq!(b.len(), 80);
+        assert!(b.iter().all(|&v| v == 0.0));
+        arena.put(b);
+        let c = arena.take_zeroed(200);
+        assert_eq!(arena.misses(), 2, "larger request allocates fresh");
+        assert_eq!(c.len(), 200);
+    }
+
+    #[test]
+    fn take_zeroed_clears_dirty_recycled_buffers() {
+        let arena = BufferArena::default();
+        let mut a = arena.take_zeroed(16);
+        a.iter_mut().for_each(|v| *v = 7.0);
+        arena.put(a);
+        let b = arena.take_zeroed(16);
+        assert!(b.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn side_buffers_are_aligned_and_zeroed() {
+        let arena = BufferArena::default();
+        let s = arena.take_side(33);
+        assert_eq!(s.as_slice().len(), 33);
+        assert_eq!(s.as_slice().as_ptr() as usize % 64, 0);
+        s.as_slice()[5].store(9, Ordering::Relaxed);
+        arena.put_side(s);
+        let t = arena.take_side(20);
+        assert_eq!(arena.reuses(), 1);
+        assert_eq!(t.as_slice().as_ptr() as usize % 64, 0);
+        assert!(t.as_slice().iter().all(|v| v.load(Ordering::Relaxed) == 0));
+    }
+
+    #[test]
+    fn pool_is_bounded_and_prefers_large_buffers() {
+        let arena = BufferArena::default();
+        for len in 1..=(2 * MAX_POOLED) {
+            arena.put(vec![0.0; len * 16]);
+        }
+        let pooled = arena.outputs.lock().unwrap().len();
+        assert_eq!(pooled, MAX_POOLED);
+        // The survivors are the largest ones: a request for the largest
+        // size must hit.
+        let _ = arena.take_zeroed(2 * MAX_POOLED * 16);
+        assert_eq!(arena.reuses(), 1);
+    }
+
+    #[test]
+    fn clear_resets_pools_and_counters() {
+        let arena = BufferArena::default();
+        arena.put(vec![0.0; 64]);
+        let _ = arena.take_zeroed(8);
+        arena.clear();
+        assert_eq!(arena.reuses(), 0);
+        assert_eq!(arena.misses(), 0);
+        let _ = arena.take_zeroed(8);
+        assert_eq!(arena.misses(), 1);
+    }
+}

@@ -37,6 +37,21 @@
 //!   (kernel name, kernel configuration fingerprint, graph epoch, shape,
 //!   dense dimension) and reused across calls until the graph mutates.
 //!   Hit/miss counters are exposed via [`EngineStats`].
+//! * **Work stealing over chunk descriptors** ([`crate::steal`]): under
+//!   [`SchedPolicy::Stealing`] the plan is pre-split into several
+//!   nnz-balanced chunks per worker and idle workers steal from the top
+//!   of loaded workers' deques, so a statically imbalanced plan (the
+//!   power-law hub rows of a row-split plan, say) no longer serializes
+//!   on one span. [`SchedPolicy::Auto`] (the default) inspects the
+//!   static partition's nnz skew and only pays for stealing when the
+//!   skew warrants it — balanced merge-path plans keep the static path,
+//!   and its results, bit for bit.
+//! * **Buffer arena** ([`crate::arena`]): output, batch-interleave, and
+//!   atomic side buffers are pooled per engine and checked out per
+//!   execution, so steady-state inference allocates nothing. Outputs
+//!   leave the engine as [`DenseMatrix`] values; callers hand them back
+//!   with [`ExecEngine::recycle`] to close the loop (the GCN forward
+//!   pass ping-pongs its activations this way).
 //!
 //! # Correctness envelope
 //!
@@ -68,15 +83,17 @@ use std::sync::{Arc, Mutex, OnceLock};
 
 use mpspmm_sparse::{AlignedVec, CsrMatrix, DenseMatrix, SparseFormatError};
 
+use crate::arena::BufferArena;
 use crate::datapath::{
     accumulate_segment_dispatch, prefetch_segment_rows, DataPath, PathKind, ResolvedPath,
 };
 use crate::executor::{atomic_add_f32, check_shapes};
-use crate::plan::{Flush, KernelPlan};
+use crate::plan::{chunk_threads, static_span_skew, ChunkDesc, Flush, KernelPlan};
 use crate::pool::{ScopedJob, WorkerPool};
 use crate::spmm::{default_workers, SpmmKernel};
 use crate::stats::WriteStats;
-use crate::tuning::GATHER_MAX_NNZ;
+use crate::steal::run_stealing;
+use crate::tuning::{GATHER_MAX_NNZ, STEAL_CHUNKS_PER_WORKER, STEAL_SKEW_THRESHOLD};
 
 /// Default bound on plans cached per engine. A single GNN inference
 /// workload touches a handful of (kernel, dim) combinations per graph
@@ -105,7 +122,7 @@ struct PlanCache {
 
 /// How the engine writes a given output row.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum RowKind {
+pub(crate) enum RowKind {
     /// No regular or atomic segment targets the row (it may still receive
     /// post-join carry adds, which need no synchronization).
     Untouched,
@@ -130,10 +147,14 @@ enum RowKind {
 /// shape tripwire as before).
 #[derive(Debug, Clone)]
 pub struct PreparedPlan {
-    plan: KernelPlan,
-    row_kind: Vec<RowKind>,
+    pub(crate) plan: KernelPlan,
+    pub(crate) row_kind: Vec<RowKind>,
     /// Row index of each side-buffer slot, in slot order.
     shared_rows: Vec<u32>,
+    /// Cumulative nnz end offset per logical thread (`ends[t]` = total
+    /// non-zeros owned by threads `0..=t`) — the input to the chunk
+    /// splitter and the static-span skew metric.
+    thread_nnz_ends: Vec<usize>,
     stats: WriteStats,
     /// Non-empty segments at/below and above [`GATHER_MAX_NNZ`] — the
     /// degree-adaptive dispatch split, precomputed so the engine bumps
@@ -194,10 +215,17 @@ impl PreparedPlan {
             })
             .collect();
         let dispatch = plan.dispatch_profile(GATHER_MAX_NNZ);
+        let mut thread_nnz_ends = Vec::with_capacity(plan.threads.len());
+        let mut cum = 0usize;
+        for tp in &plan.threads {
+            cum += tp.nnz();
+            thread_nnz_ends.push(cum);
+        }
         Self {
             plan,
             row_kind,
             shared_rows,
+            thread_nnz_ends,
             stats,
             dispatch,
             cols32: None,
@@ -263,6 +291,40 @@ impl PreparedPlan {
             .filter(|k| matches!(k, RowKind::Direct { .. }))
             .count()
     }
+
+    /// Splits this plan's logical threads into at most `target`
+    /// contiguous, nnz-balanced stealable chunks (see
+    /// [`chunk_threads`]).
+    pub fn chunk_descriptors(&self, target: usize) -> Vec<ChunkDesc> {
+        chunk_threads(&self.thread_nnz_ends, target)
+    }
+
+    /// Non-zero skew (max/mean) of the static per-worker span partition
+    /// the engine would use for this plan at `workers` workers — the
+    /// imbalance work stealing can recover, and the signal
+    /// [`SchedPolicy::Auto`] thresholds on.
+    pub fn static_span_skew(&self, workers: usize) -> f64 {
+        static_span_skew(&self.thread_nnz_ends, workers)
+    }
+}
+
+/// How the engine maps a prepared plan onto its pool workers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SchedPolicy {
+    /// One contiguous, equal-thread-count span per worker (the original
+    /// engine scheduler). Near-optimal for merge-path plans, which are
+    /// nnz-balanced per logical thread by construction.
+    Static,
+    /// Work stealing over fine-grained chunk descriptors
+    /// ([`crate::steal`]): pay a little scheduling traffic to bound the
+    /// critical path on statically imbalanced plans.
+    Stealing,
+    /// Per-run choice: stealing when the static partition's nnz skew
+    /// ([`PreparedPlan::static_span_skew`]) exceeds
+    /// [`STEAL_SKEW_THRESHOLD`], else the static path — so balanced
+    /// graphs keep the static scheduler's output bit for bit.
+    #[default]
+    Auto,
 }
 
 /// Snapshot of an engine's plan-cache and data-path counters.
@@ -286,6 +348,19 @@ pub struct EngineStats {
     /// Segments routed to the streaming panel kernel (vectorized data
     /// path only), cumulative over runs.
     pub stream_segments: u64,
+    /// Chunks executed by a worker other than the one they were dealt
+    /// to (stealing scheduler only), cumulative over runs.
+    pub steals: u64,
+    /// Steal probes that found the victim's deque empty (stealing
+    /// scheduler only), cumulative over runs.
+    pub steal_fails: u64,
+    /// Chunk descriptors executed by the stealing scheduler, cumulative
+    /// over runs. Zero means every run so far took the static path.
+    pub chunks_executed: u64,
+    /// Buffer checkouts served from the arena pool without allocating.
+    pub arena_reuses: u64,
+    /// Buffer checkouts that had to allocate a fresh buffer.
+    pub arena_misses: u64,
 }
 
 impl EngineStats {
@@ -319,13 +394,21 @@ struct PlanKey {
 pub struct ExecEngine {
     workers: usize,
     data_path: DataPath,
+    sched_policy: SchedPolicy,
     plan_capacity: usize,
     cache: Mutex<PlanCache>,
+    arena: BufferArena,
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
     gather: AtomicU64,
     stream: AtomicU64,
+    steals: AtomicU64,
+    steal_fails: AtomicU64,
+    chunks_executed: AtomicU64,
+    /// Cumulative non-zeros executed per worker slot, for the busy-
+    /// fraction report of the stealing benchmark.
+    worker_nnz: Mutex<Vec<u64>>,
 }
 
 impl ExecEngine {
@@ -369,14 +452,33 @@ impl ExecEngine {
         Self {
             workers,
             data_path,
+            sched_policy: SchedPolicy::default(),
             plan_capacity,
             cache: Mutex::new(PlanCache::default()),
+            arena: BufferArena::default(),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
             gather: AtomicU64::new(0),
             stream: AtomicU64::new(0),
+            steals: AtomicU64::new(0),
+            steal_fails: AtomicU64::new(0),
+            chunks_executed: AtomicU64::new(0),
+            worker_nnz: Mutex::new(vec![0; workers]),
         }
+    }
+
+    /// An engine pinned to a specific [`SchedPolicy`] — benchmarks and
+    /// tests compare the static and stealing schedulers on one binary;
+    /// everything else should keep the [`SchedPolicy::Auto`] default.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers == 0`.
+    pub fn with_sched_policy(workers: usize, data_path: DataPath, policy: SchedPolicy) -> Self {
+        let mut engine = Self::with_data_path(workers, data_path);
+        engine.sched_policy = policy;
+        engine
     }
 
     /// The plan-cache capacity bound this engine evicts at.
@@ -387,6 +489,26 @@ impl ExecEngine {
     /// The inner data path this engine executes segments through.
     pub fn data_path(&self) -> DataPath {
         self.data_path
+    }
+
+    /// The scheduling policy this engine maps plans to workers with.
+    pub fn sched_policy(&self) -> SchedPolicy {
+        self.sched_policy
+    }
+
+    /// Whether a run of `prep` on this engine would take the stealing
+    /// scheduler — the [`SchedPolicy::Auto`] decision, exposed so
+    /// benchmarks and tests can assert on the policy choice.
+    pub fn selects_stealing(&self, prep: &PreparedPlan) -> bool {
+        let eff_workers = self.workers.min(prep.plan.threads.len());
+        if eff_workers <= 1 {
+            return false;
+        }
+        match self.sched_policy {
+            SchedPolicy::Static => false,
+            SchedPolicy::Stealing => true,
+            SchedPolicy::Auto => prep.static_span_skew(eff_workers) > STEAL_SKEW_THRESHOLD,
+        }
     }
 
     /// The process-wide engine, sized by [`default_workers`] (which honors
@@ -571,14 +693,17 @@ impl ExecEngine {
                         .map(|_| DenseMatrix::zeros(a.rows(), 0))
                         .collect());
                 }
-                let combined = concat_col_blocks(blocks, a.cols(), total);
+                let combined = concat_col_blocks(&self.arena, blocks, a.cols(), total);
                 let (out, _) = self.execute_prepared(prep, a, &combined)?;
-                Ok(split_col_blocks(&out, blocks, a.rows(), total))
+                self.arena.put(combined.into_vec());
+                let outs = split_col_blocks(&self.arena, &out, blocks, a.rows(), total);
+                self.arena.put(out.into_vec());
+                Ok(outs)
             }
         }
     }
 
-    /// Current cache and dispatch counters.
+    /// Current cache, dispatch, stealing, and arena counters.
     pub fn stats(&self) -> EngineStats {
         EngineStats {
             plan_cache_hits: self.hits.load(Ordering::Relaxed),
@@ -588,21 +713,50 @@ impl ExecEngine {
             workers: self.workers,
             gather_segments: self.gather.load(Ordering::Relaxed),
             stream_segments: self.stream.load(Ordering::Relaxed),
+            steals: self.steals.load(Ordering::Relaxed),
+            steal_fails: self.steal_fails.load(Ordering::Relaxed),
+            chunks_executed: self.chunks_executed.load(Ordering::Relaxed),
+            arena_reuses: self.arena.reuses(),
+            arena_misses: self.arena.misses(),
         }
     }
 
-    /// Drops every cached plan and zeroes the hit/miss and dispatch
-    /// counters.
+    /// Cumulative non-zeros executed per worker slot (length =
+    /// [`workers`](Self::workers)) — the load distribution realized by
+    /// the scheduler, whichever policy ran. The stealing benchmark
+    /// derives per-worker busy fractions from this.
+    pub fn worker_loads(&self) -> Vec<u64> {
+        self.worker_nnz.lock().unwrap().clone()
+    }
+
+    /// Returns a result matrix's buffer to the engine's arena so a
+    /// later execution of the same shape allocates nothing. Purely an
+    /// optimization — dropping the matrix instead is always correct.
+    pub fn recycle(&self, m: DenseMatrix<f32>) {
+        self.arena.put(m.into_vec());
+    }
+
+    /// Drops every cached plan and pooled buffer and zeroes the
+    /// hit/miss, dispatch, stealing, arena, and worker-load counters.
     pub fn clear_cache(&self) {
         let mut cache = self.cache.lock().unwrap();
         cache.map.clear();
         cache.tick = 0;
         drop(cache);
+        self.arena.clear();
         self.hits.store(0, Ordering::Relaxed);
         self.misses.store(0, Ordering::Relaxed);
         self.evictions.store(0, Ordering::Relaxed);
         self.gather.store(0, Ordering::Relaxed);
         self.stream.store(0, Ordering::Relaxed);
+        self.steals.store(0, Ordering::Relaxed);
+        self.steal_fails.store(0, Ordering::Relaxed);
+        self.chunks_executed.store(0, Ordering::Relaxed);
+        self.worker_nnz
+            .lock()
+            .unwrap()
+            .iter_mut()
+            .for_each(|w| *w = 0);
     }
 
     /// Dispatches to the inline or pooled path. Shapes are already checked.
@@ -631,14 +785,54 @@ impl ExecEngine {
         }
         let cols32 = prep.cols32.as_ref().map(AlignedVec::as_slice);
         let eff_workers = self.workers.min(logical);
-        let out = if eff_workers <= 1 {
-            run_inline(prep, a, b, dim, &rp, cols32)
+        let mut out = self.arena.take_zeroed(rows * dim);
+        if eff_workers <= 1 {
+            run_inline(prep, a, b, dim, &rp, cols32, &mut out);
+            self.add_worker_load(0, *prep.thread_nnz_ends.last().unwrap_or(&0) as u64);
+        } else if self.selects_stealing(prep) {
+            let target = (eff_workers * STEAL_CHUNKS_PER_WORKER).min(logical);
+            let chunks = prep.chunk_descriptors(target);
+            let outcome =
+                run_stealing(prep, a, b, dim, eff_workers, &rp, cols32, &chunks, &mut out);
+            self.steals.fetch_add(outcome.steals, Ordering::Relaxed);
+            self.steal_fails
+                .fetch_add(outcome.steal_fails, Ordering::Relaxed);
+            self.chunks_executed
+                .fetch_add(outcome.chunks, Ordering::Relaxed);
+            let mut loads = self.worker_nnz.lock().unwrap();
+            for (slot, nnz) in outcome.worker_nnz.iter().enumerate() {
+                loads[slot] += nnz;
+            }
         } else {
-            run_pooled(prep, a, b, dim, eff_workers, &rp, cols32)
-        };
+            run_pooled(
+                prep,
+                a,
+                b,
+                dim,
+                eff_workers,
+                &rp,
+                cols32,
+                &self.arena,
+                &mut out,
+            );
+            // The static span nnz per worker is a plan property.
+            let per_worker = logical.div_ceil(eff_workers);
+            let mut lo = 0usize;
+            let mut loads = self.worker_nnz.lock().unwrap();
+            for (w, load) in loads.iter_mut().enumerate().take(eff_workers) {
+                let hi_t = ((w + 1) * per_worker).min(logical);
+                let hi = prep.thread_nnz_ends[hi_t - 1];
+                *load += (hi - lo) as u64;
+                lo = hi;
+            }
+        }
         let out = DenseMatrix::from_vec(rows, dim, out)
             .expect("output buffer has exactly rows*dim elements");
         (out, prep.stats)
+    }
+
+    fn add_worker_load(&self, slot: usize, nnz: u64) {
+        self.worker_nnz.lock().unwrap()[slot] += nnz;
     }
 }
 
@@ -736,8 +930,15 @@ fn deinterleave_unit_cols(src: &[f32], outs: &mut [Vec<f32>], rows: usize) {
 /// dominant shape — many single-column blocks — with the tiled 8-wide
 /// transpose micro-kernel above; mixed-width batches take a row-major
 /// `copy_from_slice` walk instead.
-fn concat_col_blocks(blocks: &[&DenseMatrix<f32>], rows: usize, total: usize) -> DenseMatrix<f32> {
-    let mut combined = DenseMatrix::zeros(rows, total);
+fn concat_col_blocks(
+    arena: &BufferArena,
+    blocks: &[&DenseMatrix<f32>],
+    rows: usize,
+    total: usize,
+) -> DenseMatrix<f32> {
+    let buf = arena.take_zeroed(rows * total);
+    let mut combined =
+        DenseMatrix::from_vec(rows, total, buf).expect("arena buffer sized to rows x total");
     let dst = combined.as_mut_slice();
     if blocks.iter().all(|b| b.cols() == 1) {
         let srcs: Vec<&[f32]> = blocks.iter().map(|b| b.as_slice()).collect();
@@ -758,6 +959,7 @@ fn concat_col_blocks(blocks: &[&DenseMatrix<f32>], rows: usize, total: usize) ->
 /// Inverse of [`concat_col_blocks`]: splits the batched output back into
 /// one matrix per input block, in order.
 fn split_col_blocks(
+    arena: &BufferArena,
     out: &DenseMatrix<f32>,
     blocks: &[&DenseMatrix<f32>],
     rows: usize,
@@ -766,7 +968,7 @@ fn split_col_blocks(
     let src = out.as_slice();
     let mut bufs: Vec<Vec<f32>> = blocks
         .iter()
-        .map(|b| vec![0.0f32; rows * b.cols()])
+        .map(|b| arena.take_zeroed(rows * b.cols()))
         .collect();
     if blocks.iter().all(|b| b.cols() == 1) {
         deinterleave_unit_cols(src, &mut bufs, rows);
@@ -790,7 +992,8 @@ fn split_col_blocks(
 
 /// Single-worker path: no pool, no atomics anywhere. Accumulation order
 /// equals [`crate::executor::execute_sequential`]'s, so the result is
-/// bit-identical to the oracle.
+/// bit-identical to the oracle. Writes into the caller's zeroed `out`.
+#[allow(clippy::too_many_arguments)]
 fn run_inline(
     prep: &PreparedPlan,
     a: &CsrMatrix<f32>,
@@ -798,8 +1001,8 @@ fn run_inline(
     dim: usize,
     rp: &ResolvedPath,
     cols32: Option<&[u32]>,
-) -> Vec<f32> {
-    let mut out = vec![0.0f32; prep.row_kind.len() * dim];
+    out: &mut [f32],
+) {
     let mut acc = vec![0.0f32; dim];
     let mut carries: Vec<(usize, Vec<f32>)> = Vec::new();
     for tp in &prep.plan.threads {
@@ -843,15 +1046,16 @@ fn run_inline(
             *dst += v;
         }
     }
-    out
 }
 
-/// Multi-worker path: logical threads are partitioned into `eff_workers`
-/// contiguous, equal-size ranges (merge-path plans are equal-work by
-/// construction, so a static partition balances). Direct rows are written
-/// through moved `&mut` slices; shared rows through the atomic side
-/// buffer; carries are added serially after the join in logical
-/// (thread, segment) order, matching the baseline executor.
+/// Multi-worker static path: logical threads are partitioned into
+/// `eff_workers` contiguous, equal-size ranges (merge-path plans are
+/// equal-work by construction, so a static partition balances). Direct
+/// rows are written through moved `&mut` slices; shared rows through the
+/// atomic side buffer (checked out of `arena`); carries are added
+/// serially after the join in logical (thread, segment) order, matching
+/// the baseline executor. Writes into the caller's zeroed `out`.
+#[allow(clippy::too_many_arguments)]
 fn run_pooled(
     prep: &PreparedPlan,
     a: &CsrMatrix<f32>,
@@ -860,13 +1064,13 @@ fn run_pooled(
     eff_workers: usize,
     rp: &ResolvedPath,
     cols32: Option<&[u32]>,
-) -> Vec<f32> {
+    arena: &BufferArena,
+    out: &mut [f32],
+) {
     let logical = prep.plan.threads.len();
     let per_worker = logical.div_ceil(eff_workers);
-    let mut out = vec![0.0f32; prep.row_kind.len() * dim];
-    let side: Vec<AtomicU32> = (0..prep.shared_rows.len() * dim)
-        .map(|_| AtomicU32::new(0))
-        .collect();
+    let side_buf = arena.take_side(prep.shared_rows.len() * dim);
+    let side: &[AtomicU32] = side_buf.as_slice();
     let all_carries = Mutex::new(Vec::<(usize, usize, usize, Vec<f32>)>::new());
 
     // Hand each direct row's slice to the worker that executes its owning
@@ -971,7 +1175,7 @@ fn run_pooled(
             *dst += v;
         }
     }
-    out
+    arena.put_side(side_buf);
 }
 
 #[cfg(test)]
@@ -1310,6 +1514,108 @@ mod tests {
             .unwrap();
         assert_eq!(outs[0].cols(), 0);
         assert_eq!(outs[1].cols(), 2);
+    }
+
+    #[test]
+    fn stealing_policy_is_bit_identical_to_sequential() {
+        let a = crate::spmm::test_support::random_matrix(64, 64, 400, 11);
+        let b = crate::spmm::test_support::random_dense(64, 19, 12);
+        let p = crate::MergePathSpmm::with_threads(13).plan(&a, 19);
+        let (seq, _) = execute_sequential(&p, &a, &b).unwrap();
+        let prep = PreparedPlan::for_matrix(p, &a);
+        for workers in [2usize, 4, 16] {
+            let engine =
+                ExecEngine::with_sched_policy(workers, DataPath::Auto, SchedPolicy::Stealing);
+            assert_eq!(engine.sched_policy(), SchedPolicy::Stealing);
+            let (out, _) = engine.execute_prepared(&prep, &a, &b).unwrap();
+            // Unlike the static path's atomic adds, the stealing path
+            // defers every shared flush to a serial, (thread, segment)-
+            // ordered phase — exact equality holds at any worker count.
+            assert_eq!(out.max_abs_diff(&seq).unwrap(), 0.0, "workers={workers}");
+            let stats = engine.stats();
+            assert!(stats.chunks_executed > 0, "stealing path must run");
+            let loads = engine.worker_loads();
+            assert_eq!(loads.len(), workers);
+            assert_eq!(loads.iter().sum::<u64>(), a.nnz() as u64);
+        }
+    }
+
+    #[test]
+    fn auto_policy_routes_by_static_span_skew() {
+        // Wide matrix so the evil row 0 really holds a third of the
+        // non-zeros (test_support caps it at `cols`).
+        let a = crate::spmm::test_support::random_matrix(64, 256, 600, 5);
+        let b = crate::spmm::test_support::random_dense(256, 8, 6);
+        // Merge-path plans are nnz-balanced: Auto must keep them static.
+        let mp = PreparedPlan::for_matrix(crate::MergePathSpmm::with_threads(16).plan(&a, 8), &a);
+        let engine = ExecEngine::new(4);
+        assert!(mp.static_span_skew(4) <= STEAL_SKEW_THRESHOLD);
+        assert!(!engine.selects_stealing(&mp));
+        engine.execute_prepared(&mp, &a, &b).unwrap();
+        assert_eq!(
+            engine.stats().chunks_executed,
+            0,
+            "balanced plan stays static"
+        );
+        // A row-split plan on an evil-row matrix statically piles the
+        // heavy rows into worker 0's span: Auto must switch to stealing.
+        let rs = PreparedPlan::for_matrix(crate::RowSplitSpmm::with_threads(64).plan(&a, 8), &a);
+        assert!(rs.static_span_skew(4) > STEAL_SKEW_THRESHOLD);
+        assert!(engine.selects_stealing(&rs));
+        let (out, _) = engine.execute_prepared(&rs, &a, &b).unwrap();
+        assert!(engine.stats().chunks_executed > 0, "skewed plan steals");
+        let (seq, _) =
+            execute_sequential(&crate::RowSplitSpmm::with_threads(64).plan(&a, 8), &a, &b).unwrap();
+        assert_eq!(out.max_abs_diff(&seq).unwrap(), 0.0);
+        // Static pinning overrides Auto's choice.
+        let pinned = ExecEngine::with_sched_policy(4, DataPath::Auto, SchedPolicy::Static);
+        assert!(!pinned.selects_stealing(&rs));
+    }
+
+    #[test]
+    fn arena_recycling_eliminates_output_allocations() {
+        let (a, b) = small();
+        let engine = ExecEngine::new(2);
+        let prep = PreparedPlan::for_matrix(mixed_plan(), &a);
+        let (out, _) = engine.execute_prepared(&prep, &a, &b).unwrap();
+        let misses_after_first = engine.stats().arena_misses;
+        assert!(misses_after_first > 0, "first run allocates");
+        engine.recycle(out);
+        let (out, _) = engine.execute_prepared(&prep, &a, &b).unwrap();
+        let stats = engine.stats();
+        assert!(stats.arena_reuses > 0, "second run reuses the buffer");
+        assert_eq!(
+            stats.arena_misses, misses_after_first,
+            "no new allocations once warm"
+        );
+        engine.recycle(out);
+        engine.clear_cache();
+        assert_eq!(engine.stats().arena_reuses, 0);
+        assert_eq!(engine.stats().arena_misses, 0);
+    }
+
+    #[test]
+    fn batch_path_reuses_arena_buffers_when_recycled() {
+        let a = crate::spmm::test_support::random_matrix(40, 40, 220, 21);
+        let p = crate::MergePathSpmm::with_threads(7).plan(&a, 8);
+        let prep = PreparedPlan::for_matrix(p, &a);
+        let blocks: Vec<DenseMatrix<f32>> = (0..3)
+            .map(|i| crate::spmm::test_support::random_dense(40, 1, 30 + i as u64))
+            .collect();
+        let refs: Vec<&DenseMatrix<f32>> = blocks.iter().collect();
+        let engine = ExecEngine::new(1);
+        let outs = engine.execute_prepared_batch(&prep, &a, &refs).unwrap();
+        let misses_warm = engine.stats().arena_misses;
+        for out in outs {
+            engine.recycle(out);
+        }
+        let outs = engine.execute_prepared_batch(&prep, &a, &refs).unwrap();
+        assert_eq!(outs.len(), 3);
+        assert_eq!(
+            engine.stats().arena_misses,
+            misses_warm,
+            "steady-state batch allocates nothing"
+        );
     }
 
     #[test]

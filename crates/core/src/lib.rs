@@ -40,13 +40,16 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
-// `deny` rather than `forbid`: the worker pool (`pool.rs`) is the single
-// module allowed to opt back in, for one lifetime-erasure transmute with a
-// documented completion-barrier argument. Everything else stays safe.
+// `deny` rather than `forbid`: exactly two modules opt back in — the
+// worker pool (`pool.rs`), for one lifetime-erasure transmute with a
+// documented completion-barrier argument, and the stealing scheduler
+// (`steal.rs`), for the raw-pointer output view whose row-exclusivity
+// argument is documented there. Everything else stays safe.
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod analysis;
+mod arena;
 mod datapath;
 pub mod engine;
 pub mod executor;
@@ -56,12 +59,15 @@ mod pool;
 pub mod spmm;
 pub mod spmv;
 mod stats;
+mod steal;
 pub mod tuning;
 
 pub use datapath::{DataPath, LaneWidth};
-pub use engine::{EngineStats, ExecEngine, PreparedPlan, DEFAULT_PLAN_CACHE_CAPACITY};
+pub use engine::{EngineStats, ExecEngine, PreparedPlan, SchedPolicy, DEFAULT_PLAN_CACHE_CAPACITY};
 pub use merge_path::{merge_path_search, MergeCoord, Schedule, ThreadAssignment};
-pub use plan::{Flush, KernelPlan, PlanError, Segment, ThreadPlan};
+pub use plan::{
+    chunk_threads, static_span_skew, ChunkDesc, Flush, KernelPlan, PlanError, Segment, ThreadPlan,
+};
 pub use spmm::{
     default_workers, plan_from_schedule, CostPolicy, MergePathSerialFixup, MergePathSpmm,
     NeighborPartitionIndex, NnzSplitSpmm, RowSplitSpmm, SerialSpmm, SpmmKernel,
@@ -69,5 +75,5 @@ pub use spmm::{
 pub use stats::WriteStats;
 pub use tuning::{
     default_cost_for_dim, panel_cols, thread_count, CacheModel, SimdMapping, GATHER_MAX_NNZ,
-    GPU_SIMD_LANES, MIN_THREADS,
+    GPU_SIMD_LANES, MIN_THREADS, STEAL_CHUNKS_PER_WORKER, STEAL_SKEW_THRESHOLD,
 };

@@ -12,6 +12,7 @@
 
 use mpspmm_sparse::CsrMatrix;
 
+use crate::merge_path::merge_path_search;
 use crate::stats::WriteStats;
 
 /// How a segment's accumulated partial result reaches the output row.
@@ -252,6 +253,122 @@ impl KernelPlan {
     }
 }
 
+/// A unit of stealable work: a contiguous block of *logical threads* of a
+/// [`KernelPlan`], plus the non-zeros it covers.
+///
+/// The work-stealing engine ([`crate::ExecEngine`] with
+/// [`crate::SchedPolicy::Stealing`]) does not schedule logical threads
+/// individually — a plan routinely has thousands — nor whole static worker
+/// spans, which is exactly the coarse assignment stealing is meant to fix.
+/// Instead the plan is pre-split into ~4–8× more chunks than workers, each
+/// nnz-balanced by running the *same* merge-path search that balances the
+/// plan itself, one level up: list A becomes the per-thread cumulative nnz
+/// end offsets ("finish a logical thread"), list B the non-zeros. Chunk
+/// boundaries therefore always land on logical-thread boundaries, so every
+/// chunk inherits the plan's flush annotations unchanged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChunkDesc {
+    /// First logical thread of the chunk (inclusive).
+    pub thread_start: u32,
+    /// One-past-last logical thread of the chunk (exclusive).
+    pub thread_end: u32,
+    /// Non-zeros covered by the chunk's logical threads.
+    pub nnz: usize,
+}
+
+impl ChunkDesc {
+    /// Number of logical threads in the chunk.
+    pub fn threads(&self) -> usize {
+        (self.thread_end - self.thread_start) as usize
+    }
+}
+
+/// Splits `thread_nnz_ends` (per-logical-thread cumulative nnz end
+/// offsets, i.e. `ends[t]` = total non-zeros owned by threads `0..=t`)
+/// into at most `target` contiguous, nnz-balanced [`ChunkDesc`]s.
+///
+/// This is the merge-path decomposition applied to the plan itself (see
+/// [`ChunkDesc`]): balance is on merge items `threads + nnz`, so a run of
+/// empty logical threads still costs something and cannot pile into one
+/// chunk. Chunks never split a logical thread; a single thread heavier
+/// than the budget becomes its own over-budget chunk. Empty chunk ranges
+/// are dropped, so fewer than `target` chunks may be returned. Returns an
+/// empty vector when there are no logical threads.
+pub fn chunk_threads(thread_nnz_ends: &[usize], target: usize) -> Vec<ChunkDesc> {
+    let threads = thread_nnz_ends.len();
+    if threads == 0 {
+        return Vec::new();
+    }
+    let total_nnz = *thread_nnz_ends.last().unwrap();
+    let target = target.clamp(1, threads);
+    let items = threads + total_nnz;
+    let per_chunk = items.div_ceil(target).max(1);
+    let mut chunks = Vec::with_capacity(target);
+    let mut start = 0usize;
+    let mut lo_nnz = 0usize;
+    for k in 1..=target {
+        let diag = (k * per_chunk).min(items);
+        // `row` = number of logical threads fully consumed at `diag`.
+        let end = merge_path_search(diag, thread_nnz_ends, total_nnz)
+            .row
+            .clamp(start, threads);
+        if end > start {
+            let hi_nnz = thread_nnz_ends[end - 1];
+            chunks.push(ChunkDesc {
+                thread_start: start as u32,
+                thread_end: end as u32,
+                nnz: hi_nnz - lo_nnz,
+            });
+            start = end;
+            lo_nnz = hi_nnz;
+        }
+        if start == threads {
+            break;
+        }
+    }
+    if start < threads {
+        chunks.push(ChunkDesc {
+            thread_start: start as u32,
+            thread_end: threads as u32,
+            nnz: total_nnz - lo_nnz,
+        });
+    }
+    chunks
+}
+
+/// Non-zero skew of the **static** per-worker partition the engine would
+/// use for this plan: max span nnz over ideal (mean) span nnz, where the
+/// spans are the `ceil(threads / workers)`-sized contiguous logical-thread
+/// blocks of the static scheduler.
+///
+/// This is the imbalance the work-stealing scheduler can recover, and the
+/// signal [`crate::SchedPolicy::Auto`] thresholds on: merge-path plans are
+/// nnz-balanced per *logical thread*, so their static spans stay near 1.0
+/// and keep the bit-identical static fast path, while row-split plans on
+/// power-law graphs can concentrate hub rows into one span and push the
+/// skew far above it. Returns 1.0 (no skew) for degenerate inputs (≤ 1
+/// worker, no threads, no non-zeros).
+pub fn static_span_skew(thread_nnz_ends: &[usize], workers: usize) -> f64 {
+    let threads = thread_nnz_ends.len();
+    let total = thread_nnz_ends.last().copied().unwrap_or(0);
+    if workers <= 1 || threads == 0 || total == 0 {
+        return 1.0;
+    }
+    let workers = workers.min(threads);
+    let per = threads.div_ceil(workers);
+    let mut max_nnz = 0usize;
+    let mut lo = 0usize;
+    let mut start = 0usize;
+    while start < threads {
+        let end = (start + per).min(threads);
+        let hi = thread_nnz_ends[end - 1];
+        max_nnz = max_nnz.max(hi - lo);
+        lo = hi;
+        start = end;
+    }
+    max_nnz as f64 / (total as f64 / workers as f64)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -390,6 +507,67 @@ mod tests {
             vec![seg(0, 1, 2, Flush::Carry), seg(1, 2, 3, Flush::Regular)],
         ]);
         p.validate(&m).unwrap();
+    }
+
+    #[test]
+    fn chunk_threads_tiles_and_balances() {
+        // 8 logical threads, one heavy (thread 2 owns 40 nnz of 54).
+        let nnz = [2usize, 3, 40, 1, 0, 5, 2, 1];
+        let ends: Vec<usize> = nnz
+            .iter()
+            .scan(0usize, |acc, &n| {
+                *acc += n;
+                Some(*acc)
+            })
+            .collect();
+        for target in 1..=8 {
+            let chunks = chunk_threads(&ends, target);
+            assert!(!chunks.is_empty() && chunks.len() <= target);
+            // Chunks tile the logical threads contiguously.
+            assert_eq!(chunks[0].thread_start, 0);
+            assert_eq!(chunks.last().unwrap().thread_end as usize, nnz.len());
+            for w in chunks.windows(2) {
+                assert_eq!(w[0].thread_end, w[1].thread_start);
+            }
+            // Reported nnz matches the covered threads, summing to total.
+            let total: usize = chunks.iter().map(|c| c.nnz).sum();
+            assert_eq!(total, 54);
+            for c in &chunks {
+                let want: usize = nnz[c.thread_start as usize..c.thread_end as usize]
+                    .iter()
+                    .sum();
+                assert_eq!(c.nnz, want);
+            }
+        }
+        // The heavy thread is isolated once the budget is small enough.
+        let chunks = chunk_threads(&ends, 8);
+        assert!(chunks.iter().any(|c| c.threads() == 1 && c.nnz == 40));
+    }
+
+    #[test]
+    fn chunk_threads_handles_degenerate_inputs() {
+        assert!(chunk_threads(&[], 4).is_empty());
+        // All-empty threads still form chunks (merge items = threads).
+        let chunks = chunk_threads(&[0, 0, 0, 0], 2);
+        assert_eq!(chunks.last().unwrap().thread_end, 4);
+        assert_eq!(chunks.iter().map(|c| c.nnz).sum::<usize>(), 0);
+        // target larger than threads clamps to one thread per chunk.
+        let chunks = chunk_threads(&[1, 2], 16);
+        assert_eq!(chunks.len(), 2);
+    }
+
+    #[test]
+    fn static_span_skew_flags_clustered_heavy_spans() {
+        // Balanced: every thread owns the same nnz → skew 1.0.
+        let ends: Vec<usize> = (1..=8).map(|t| t * 4).collect();
+        assert!((static_span_skew(&ends, 4) - 1.0).abs() < 1e-12);
+        // All the work in the first span of 2 threads → skew = workers.
+        let ends = [16usize, 32, 32, 32, 32, 32, 32, 32];
+        assert!((static_span_skew(&ends, 4) - 4.0).abs() < 1e-12);
+        // Degenerate cases report no skew.
+        assert_eq!(static_span_skew(&[], 4), 1.0);
+        assert_eq!(static_span_skew(&[0, 0], 4), 1.0);
+        assert_eq!(static_span_skew(&ends, 1), 1.0);
     }
 
     #[test]

@@ -1,0 +1,283 @@
+//! Work-stealing execution over merge-path chunk descriptors.
+//!
+//! The static pooled path ([`crate::engine`]) carves the plan's logical
+//! threads into one contiguous span per worker. Merge-path plans are
+//! nnz-balanced per logical thread, so that is near-optimal — but the
+//! engine also executes row-split and GNNAdvisor plans, where a span that
+//! draws the power-law hub rows becomes the critical path while every
+//! other worker idles (the §III pathology, one level up). This module is
+//! the dynamic alternative: the plan is pre-split into several
+//! nnz-balanced [`ChunkDesc`]s per worker ([`crate::chunk_threads`]),
+//! each worker drains its own deque from the bottom, and on exhaustion
+//! steals from the *top* of a victim's deque — the classic Arora-style
+//! split that keeps owners on their cache-warm, locality-ordered chunks
+//! while thieves take the work farthest from the owner's current
+//! position.
+//!
+//! # Why non-atomic stores stay legal
+//!
+//! The static path's safety story is the borrow checker: each `Direct`
+//! row's `&mut` slice is moved into exactly one worker closure. Under
+//! stealing the executing worker is not known in advance, so that story
+//! is replaced by a short `unsafe` argument localized to [`SharedOut`]
+//! (this is, with [`crate::pool`], one of the two modules allowed to opt
+//! out of `deny(unsafe_code)`):
+//!
+//! * a `Direct` row has exactly one `Regular` segment and no `Atomic`
+//!   segment (the engine's row classification);
+//! * that segment belongs to exactly one logical thread, and chunks
+//!   partition logical threads ([`crate::chunk_threads`] boundaries are
+//!   thread boundaries), so it lives in exactly one chunk;
+//! * each chunk index is handed out exactly once — deque pops are
+//!   mutex-serialized and a popped index never re-enters any deque;
+//! * therefore at most one worker ever touches a `Direct` row's slice,
+//!   and the pool's completion barrier orders all such writes before the
+//!   caller reads the output.
+//!
+//! Rows that are *not* exclusively owned never see a parallel write at
+//! all here: their flushes (shared regular stores, atomic adds, carries)
+//! are computed into thread-local accumulators and applied **serially
+//! after the join, sorted by (logical thread, segment)** — the same
+//! order [`crate::executor::execute_sequential`] applies them in. That
+//! buys more than safety: unlike the static path's CAS loop, the
+//! stealing path performs *no* floating-point accumulation in
+//! nondeterministic order, so its output is bit-identical to the
+//! sequential oracle at any worker count, steal pattern regardless.
+
+#![allow(unsafe_code)]
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use mpspmm_sparse::{CsrMatrix, DenseMatrix};
+
+use crate::datapath::{accumulate_segment_dispatch, prefetch_segment_rows, ResolvedPath};
+use crate::engine::{PreparedPlan, RowKind};
+use crate::plan::{ChunkDesc, Flush};
+use crate::pool::{ScopedJob, WorkerPool};
+
+/// What one stealing run did, for [`crate::EngineStats`] and the
+/// benchmark's busy-fraction report.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct StealOutcome {
+    /// Chunks executed by a worker other than the one they were dealt to.
+    pub steals: u64,
+    /// Steal probes that found the victim's deque empty.
+    pub steal_fails: u64,
+    /// Total chunks executed.
+    pub chunks: u64,
+    /// Non-zeros executed per worker (index = worker slot).
+    pub worker_nnz: Vec<u64>,
+}
+
+/// Raw-pointer view of the output buffer for the duration of the
+/// parallel phase. See the module docs for the aliasing argument.
+struct SharedOut {
+    ptr: *mut f32,
+    len: usize,
+}
+
+// SAFETY: `SharedOut` only exposes rows through `row_mut`, whose caller
+// contract (exactly one worker per Direct row, see module docs) makes
+// concurrent use race-free; the pointer itself is plain data.
+unsafe impl Send for SharedOut {}
+unsafe impl Sync for SharedOut {}
+
+impl SharedOut {
+    /// The `dim`-wide slice of output row `row`.
+    ///
+    /// # Safety
+    ///
+    /// The caller must be the only thread accessing row `row` until the
+    /// pool barrier — guaranteed when `row` is `Direct` and the caller
+    /// executes its owning chunk (each chunk is popped exactly once).
+    // The `&self -> &mut` shape is the point: `SharedOut` is an
+    // `UnsafeCell`-style shared-writer view, and the exclusivity clippy
+    // cannot see is exactly the caller contract above.
+    #[allow(clippy::mut_from_ref)]
+    unsafe fn row_mut(&self, row: usize, dim: usize) -> &mut [f32] {
+        debug_assert!((row + 1) * dim <= self.len, "row slice within output");
+        // SAFETY: in-bounds by the assert; exclusive by the caller
+        // contract above.
+        unsafe { std::slice::from_raw_parts_mut(self.ptr.add(row * dim), dim) }
+    }
+}
+
+/// A deferred output update: `(logical thread, segment index, row,
+/// flush, dim-wide accumulated values)`. Sorting by the first two fields
+/// recovers the sequential executor's application order.
+type Fixup = (u32, u32, usize, Flush, Vec<f32>);
+
+/// Executes `prep` over `chunks` with `eff_workers` stealing workers,
+/// writing `Direct` rows into `out` in place. Caller guarantees
+/// `out.len() == rows * dim`, zeroed, and `eff_workers >= 2`.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_stealing(
+    prep: &PreparedPlan,
+    a: &CsrMatrix<f32>,
+    b: &DenseMatrix<f32>,
+    dim: usize,
+    eff_workers: usize,
+    rp: &ResolvedPath,
+    cols32: Option<&[u32]>,
+    chunks: &[ChunkDesc],
+    out: &mut [f32],
+) -> StealOutcome {
+    // Deal contiguous chunk blocks so an undisturbed run visits logical
+    // threads in the same order as the static partition (same locality).
+    let per_worker = chunks.len().div_ceil(eff_workers).max(1);
+    let deques: Vec<Mutex<VecDeque<u32>>> = (0..eff_workers)
+        .map(|w| {
+            let lo = (w * per_worker).min(chunks.len());
+            let hi = ((w + 1) * per_worker).min(chunks.len());
+            Mutex::new((lo as u32..hi as u32).collect())
+        })
+        .collect();
+    let steals = AtomicU64::new(0);
+    let steal_fails = AtomicU64::new(0);
+    let executed = AtomicU64::new(0);
+    let worker_nnz: Vec<AtomicU64> = (0..eff_workers).map(|_| AtomicU64::new(0)).collect();
+    let all_fixups = Mutex::new(Vec::<Fixup>::new());
+    let shared = SharedOut {
+        ptr: out.as_mut_ptr(),
+        len: out.len(),
+    };
+
+    let jobs: Vec<ScopedJob<'_>> = (0..eff_workers)
+        .map(|w| {
+            let deques = &deques;
+            let steals = &steals;
+            let steal_fails = &steal_fails;
+            let executed = &executed;
+            let worker_nnz = &worker_nnz;
+            let all_fixups = &all_fixups;
+            let shared = &shared;
+            Box::new(move || {
+                let mut acc = vec![0.0f32; dim];
+                let mut local_fixups: Vec<Fixup> = Vec::new();
+                let mut local_nnz = 0u64;
+                let mut local_chunks = 0u64;
+                let mut local_steals = 0u64;
+                let mut local_fails = 0u64;
+                loop {
+                    // Own work first, oldest chunk first (deque bottom).
+                    let mut next = deques[w].lock().unwrap().pop_front();
+                    if next.is_none() {
+                        // Exhausted: probe victims' tops. A full empty
+                        // scan terminates the worker — chunks never
+                        // re-enter a deque, so nothing can appear later.
+                        for i in 1..eff_workers {
+                            let victim = (w + i) % eff_workers;
+                            match deques[victim].lock().unwrap().pop_back() {
+                                Some(c) => {
+                                    local_steals += 1;
+                                    next = Some(c);
+                                    break;
+                                }
+                                None => local_fails += 1,
+                            }
+                        }
+                    }
+                    let Some(chunk_idx) = next else { break };
+                    let chunk = &chunks[chunk_idx as usize];
+                    local_chunks += 1;
+                    local_nnz += chunk.nnz as u64;
+                    run_chunk(
+                        chunk,
+                        prep,
+                        a,
+                        b,
+                        dim,
+                        rp,
+                        cols32,
+                        shared,
+                        &mut acc,
+                        &mut local_fixups,
+                    );
+                }
+                worker_nnz[w].fetch_add(local_nnz, Ordering::Relaxed);
+                executed.fetch_add(local_chunks, Ordering::Relaxed);
+                steals.fetch_add(local_steals, Ordering::Relaxed);
+                steal_fails.fetch_add(local_fails, Ordering::Relaxed);
+                if !local_fixups.is_empty() {
+                    all_fixups.lock().unwrap().append(&mut local_fixups);
+                }
+            }) as ScopedJob<'_>
+        })
+        .collect();
+    WorkerPool::global().scope_run(jobs);
+
+    // Serial fixup in the sequential executor's order: parallel-phase
+    // flushes (shared regular stores, atomic adds) by (thread, segment)
+    // first, then all carries by (thread, segment).
+    let mut fixups = all_fixups.into_inner().unwrap();
+    fixups.sort_unstable_by_key(|&(t, s, _, _, _)| (t, s));
+    for (_, _, row, flush, vals) in &fixups {
+        let dst = &mut out[row * dim..][..dim];
+        match flush {
+            Flush::Regular => dst.copy_from_slice(vals),
+            Flush::Atomic => {
+                for (d, v) in dst.iter_mut().zip(vals) {
+                    *d += v;
+                }
+            }
+            Flush::Carry => {}
+        }
+    }
+    for (_, _, row, flush, vals) in &fixups {
+        if *flush == Flush::Carry {
+            for (d, v) in out[row * dim..][..dim].iter_mut().zip(vals) {
+                *d += v;
+            }
+        }
+    }
+
+    StealOutcome {
+        steals: steals.into_inner(),
+        steal_fails: steal_fails.into_inner(),
+        chunks: executed.into_inner(),
+        worker_nnz: worker_nnz.into_iter().map(AtomicU64::into_inner).collect(),
+    }
+}
+
+/// Executes every segment of one chunk: `Direct` regular segments store
+/// straight into the output; everything else accumulates locally and is
+/// deferred to the serial fixup.
+#[allow(clippy::too_many_arguments)]
+fn run_chunk(
+    chunk: &ChunkDesc,
+    prep: &PreparedPlan,
+    a: &CsrMatrix<f32>,
+    b: &DenseMatrix<f32>,
+    dim: usize,
+    rp: &ResolvedPath,
+    cols32: Option<&[u32]>,
+    shared: &SharedOut,
+    acc: &mut Vec<f32>,
+    fixups: &mut Vec<Fixup>,
+) {
+    for t in chunk.thread_start..chunk.thread_end {
+        let segments = &prep.plan().threads[t as usize].segments;
+        for (s, seg) in segments.iter().enumerate() {
+            if seg.is_empty() {
+                continue;
+            }
+            prefetch_segment_rows(rp, segments.get(s + 1), a, cols32, b);
+            let direct = seg.flush == Flush::Regular
+                && matches!(prep.row_kind[seg.row], RowKind::Direct { .. });
+            if direct {
+                // SAFETY: `seg.row` is Direct and this worker holds its
+                // only Regular segment's chunk (see module docs).
+                let dst = unsafe { shared.row_mut(seg.row, dim) };
+                accumulate_segment_dispatch(rp, seg, a, cols32, b, dst);
+            } else {
+                if acc.len() != dim {
+                    acc.resize(dim, 0.0);
+                }
+                accumulate_segment_dispatch(rp, seg, a, cols32, b, acc);
+                fixups.push((t, s as u32, seg.row, seg.flush, std::mem::take(acc)));
+            }
+        }
+    }
+}

@@ -19,6 +19,24 @@ pub const MIN_THREADS: usize = 1024;
 /// where per-panel loop restarts cost more than the segment's arithmetic.
 pub const GATHER_MAX_NNZ: usize = 4;
 
+/// Stealable chunks carved per worker by the work-stealing scheduler.
+///
+/// The plan is pre-split into `workers × this` nnz-balanced
+/// [`ChunkDesc`](crate::ChunkDesc)s (capped at one logical thread per
+/// chunk): enough granularity that an idle worker can always relieve the
+/// critical path, few enough that deque traffic stays negligible next to
+/// a chunk's arithmetic. 4–8 is the classic work-stealing sweet spot; 6
+/// measured best on the power-law suite.
+pub const STEAL_CHUNKS_PER_WORKER: usize = 6;
+
+/// Static-span nnz skew (max/mean, see
+/// [`static_span_skew`](crate::static_span_skew)) above which
+/// [`SchedPolicy::Auto`](crate::SchedPolicy) switches from the static
+/// scheduler to work stealing. Merge-path plans sit at ~1.0–1.13 and stay
+/// on the bit-identical static fast path; clustered row-split plans on
+/// power-law graphs exceed this by multiples.
+pub const STEAL_SKEW_THRESHOLD: f64 = 1.25;
+
 /// Tiny CPU cache model the plan uses to size feature-dimension panels.
 ///
 /// Only order-of-magnitude accuracy matters: the panel must keep a

@@ -1,0 +1,204 @@
+//! Property tests pinning the work-stealing scheduler to the sequential
+//! oracle: stealing defers every order-sensitive flush (shared regular
+//! stores, atomic adds, carries) to a serial fixup applied in the
+//! oracle's (thread, segment) order, so its output must be **bit-equal**
+//! to [`mpspmm_core::executor::execute_sequential`] — at any worker
+//! count, for any steal interleaving, on any data path.
+
+use mpspmm_core::executor::execute_sequential;
+use mpspmm_core::{
+    default_workers, DataPath, ExecEngine, MergePathSerialFixup, MergePathSpmm, NnzSplitSpmm,
+    PreparedPlan, RowSplitSpmm, SchedPolicy, SpmmKernel, STEAL_SKEW_THRESHOLD,
+};
+use mpspmm_sparse::{CsrMatrix, DenseMatrix};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// An adversarially skewed rectangular CSR matrix: row 0 holds **more
+/// than half** of all non-zeros (the matrix is wide enough to fit them
+/// in one row), a band of rows stays completely empty, and the rest is
+/// uniform noise. This is the §III evil-row pathology, one level up:
+/// any contiguous static span containing row 0 becomes the critical
+/// path.
+fn skewed_inputs(
+    rows: usize,
+    nnz: usize,
+    dim: usize,
+    seed: u64,
+) -> (CsrMatrix<f32>, DenseMatrix<f32>) {
+    let cols = nnz + 4; // wide: the evil row fits without capping
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut coords = std::collections::BTreeSet::new();
+    for c in 0..nnz / 2 + 1 {
+        coords.insert((0usize, c));
+    }
+    // Rows in the back quarter stay empty; the rest get the leftovers.
+    let live_rows = (rows * 3 / 4).max(2);
+    while coords.len() < nnz {
+        coords.insert((rng.gen_range(1..live_rows), rng.gen_range(0..cols)));
+    }
+    let triplets: Vec<(usize, usize, f32)> = coords
+        .into_iter()
+        .map(|(r, c)| (r, c, rng.gen_range(-2.0..2.0)))
+        .collect();
+    let a = CsrMatrix::from_triplets(rows, cols, &triplets).unwrap();
+    let mut feat_rng = SmallRng::seed_from_u64(seed ^ 0x5EED);
+    let b = DenseMatrix::from_fn(cols, dim, |_, _| feat_rng.gen_range(-1.0..1.0));
+    (a, b)
+}
+
+/// The four parallel kernels with small decompositions, so plans mix
+/// regular, atomic, and carry flushes and chunking has threads to split.
+fn kernels() -> Vec<Box<dyn SpmmKernel>> {
+    vec![
+        Box::new(MergePathSpmm::with_threads(13)),
+        Box::new(MergePathSerialFixup::with_threads(12)),
+        Box::new(NnzSplitSpmm::with_ng_size(3)),
+        Box::new(RowSplitSpmm::with_threads(11)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Stealing is bit-identical to the sequential oracle for every
+    /// kernel family, data path, and worker count on skewed inputs.
+    #[test]
+    fn stealing_bit_matches_oracle_on_skewed_graphs(
+        rows in 4usize..40,
+        fill in 2usize..6,
+        seed in any::<u64>(),
+    ) {
+        let nnz = rows * fill;
+        for kernel in kernels() {
+            for &dim in &[1usize, 5, 16, 33] {
+                let (a, b) = skewed_inputs(rows, nnz, dim, seed);
+                let plan = kernel.plan(&a, dim);
+                let (want, _) = execute_sequential(&plan, &a, &b).unwrap();
+                let prep = PreparedPlan::for_matrix(plan, &a);
+                for path in [DataPath::Scalar, DataPath::Tiled, DataPath::Vector] {
+                    for &workers in &[2usize, 3, 8] {
+                        let engine =
+                            ExecEngine::with_sched_policy(workers, path, SchedPolicy::Stealing);
+                        let (got, _) = engine.execute_prepared(&prep, &a, &b).unwrap();
+                        prop_assert_eq!(
+                            got.max_abs_diff(&want).unwrap(),
+                            0.0,
+                            "kernel={} path={:?} workers={} dim={}",
+                            kernel.name(),
+                            path,
+                            workers,
+                            dim
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// `Auto` must agree with the oracle bit-for-bit whichever side of
+    /// the skew threshold it lands on.
+    #[test]
+    fn auto_policy_bit_matches_oracle(
+        rows in 4usize..40,
+        dim in 1usize..=67,
+        seed in any::<u64>(),
+    ) {
+        let (a, b) = skewed_inputs(rows, rows * 4, dim, seed);
+        for kernel in kernels() {
+            let plan = kernel.plan(&a, dim);
+            let (want, _) = execute_sequential(&plan, &a, &b).unwrap();
+            let prep = PreparedPlan::for_matrix(plan, &a);
+            let engine = ExecEngine::with_sched_policy(4, DataPath::Vector, SchedPolicy::Auto);
+            let stealing = engine.selects_stealing(&prep);
+            let (got, _) = engine.execute_prepared(&prep, &a, &b).unwrap();
+            // The static multi-worker path CAS-accumulates shared rows in
+            // nondeterministic order; only the stealing side promises bit
+            // equality. Both must be within fp-accumulation tolerance.
+            if stealing {
+                prop_assert_eq!(
+                    got.max_abs_diff(&want).unwrap(),
+                    0.0,
+                    "kernel={} dim={}",
+                    kernel.name(),
+                    dim
+                );
+            } else {
+                let scale = want.frobenius_norm().max(1.0);
+                prop_assert!(got.max_abs_diff(&want).unwrap() <= 1e-4 * scale);
+            }
+        }
+    }
+}
+
+/// Stealing runs are deterministic: the serial fixup replays every
+/// order-sensitive flush in plan order, so repeated executions are
+/// bit-equal no matter how the chunks migrated between workers.
+#[test]
+fn stealing_is_deterministic_across_runs() {
+    let (a, b) = skewed_inputs(48, 400, 19, 99);
+    let kernel = RowSplitSpmm::with_threads(24);
+    let plan = SpmmKernel::plan(&kernel, &a, 19);
+    let prep = PreparedPlan::for_matrix(plan, &a);
+    let engine = ExecEngine::with_sched_policy(8, DataPath::Vector, SchedPolicy::Stealing);
+    let (first, _) = engine.execute_prepared(&prep, &a, &b).unwrap();
+    for run in 0..5 {
+        let (again, _) = engine.execute_prepared(&prep, &a, &b).unwrap();
+        assert_eq!(
+            again.max_abs_diff(&first).unwrap(),
+            0.0,
+            "run {run} diverged"
+        );
+    }
+    let stats = engine.stats();
+    assert!(stats.chunks_executed > 0, "stealing path actually ran");
+}
+
+/// Auto routes by measured span skew: a merge-path plan (nnz-balanced
+/// per logical thread) stays on the static path, a row-split plan over
+/// the same skewed graph exceeds the threshold and steals.
+#[test]
+fn auto_selection_follows_span_skew() {
+    let (a, _) = skewed_inputs(64, 600, 8, 5);
+    let engine = ExecEngine::with_sched_policy(4, DataPath::Vector, SchedPolicy::Auto);
+
+    let mp = MergePathSpmm::with_threads(64);
+    let mp_prep = PreparedPlan::for_matrix(SpmmKernel::plan(&mp, &a, 8), &a);
+    assert!(mp_prep.static_span_skew(4) <= STEAL_SKEW_THRESHOLD);
+    assert!(!engine.selects_stealing(&mp_prep));
+
+    let rs = RowSplitSpmm::with_threads(64);
+    let rs_prep = PreparedPlan::for_matrix(SpmmKernel::plan(&rs, &a, 8), &a);
+    assert!(rs_prep.static_span_skew(4) > STEAL_SKEW_THRESHOLD);
+    assert!(engine.selects_stealing(&rs_prep));
+}
+
+/// The engine at the resolved worker count (honouring `MPSPMM_WORKERS`,
+/// which the tier-1 script sweeps over 1/2/8) stays bit-identical to the
+/// oracle under both pinned-stealing and `Auto`.
+#[test]
+fn resolved_worker_count_bit_matches_oracle() {
+    let workers = default_workers();
+    let (a, b) = skewed_inputs(40, 320, 23, 7);
+    for kernel in kernels() {
+        let plan = kernel.plan(&a, 23);
+        let (want, _) = execute_sequential(&plan, &a, &b).unwrap();
+        let prep = PreparedPlan::for_matrix(plan, &a);
+        let engine =
+            ExecEngine::with_sched_policy(workers, DataPath::Vector, SchedPolicy::Stealing);
+        let (got, _) = engine.execute_prepared(&prep, &a, &b).unwrap();
+        assert_eq!(
+            got.max_abs_diff(&want).unwrap(),
+            0.0,
+            "kernel={} workers={}",
+            kernel.name(),
+            workers
+        );
+        if workers > 1 {
+            let loads = engine.worker_loads();
+            assert_eq!(loads.len(), workers);
+            assert_eq!(loads.iter().sum::<u64>(), a.nnz() as u64);
+        }
+    }
+}

@@ -56,6 +56,10 @@ impl GcnLayer {
     /// once per graph `epoch` and reused on every subsequent call —
     /// the offline setting of the paper's Figure 8, made automatic.
     ///
+    /// The dense product `H × W` is recycled into the engine's buffer
+    /// arena once the aggregation has consumed it, so after warm-up the
+    /// per-layer scratch comes from the pool instead of the allocator.
+    ///
     /// `epoch` must change whenever `a_hat`'s sparsity pattern does
     /// (`GraphStream::generation` in `mpspmm-graphs` is the intended
     /// source).
@@ -74,6 +78,7 @@ impl GcnLayer {
     ) -> Result<DenseMatrix<f32>, SparseFormatError> {
         let hw = gemm(h, &self.weight)?;
         let (mut out, _) = engine.spmm_cached(kernel, a_hat, &hw, epoch)?;
+        engine.recycle(hw);
         self.activation.apply(&mut out);
         Ok(out)
     }
@@ -255,6 +260,11 @@ impl GcnModel {
     /// [`GcnLayer::forward_cached`]): after the first inference on a graph
     /// epoch, every layer's SpMM skips planning entirely.
     ///
+    /// Inter-layer activations ping-pong through the engine's buffer
+    /// arena: each layer's input is recycled as soon as the next
+    /// activation exists, so a steady-state forward pass allocates no
+    /// fresh activation buffers regardless of depth.
+    ///
     /// # Errors
     ///
     /// Returns [`SparseFormatError::ShapeMismatch`] when shapes are
@@ -269,7 +279,8 @@ impl GcnModel {
     ) -> Result<DenseMatrix<f32>, SparseFormatError> {
         let mut h = self.layers[0].forward_cached(a_hat, x, kernel, engine, epoch)?;
         for layer in &self.layers[1..] {
-            h = layer.forward_cached(a_hat, &h, kernel, engine, epoch)?;
+            let next = layer.forward_cached(a_hat, &h, kernel, engine, epoch)?;
+            engine.recycle(std::mem::replace(&mut h, next));
         }
         Ok(h)
     }
@@ -311,10 +322,19 @@ impl GcnModel {
             }
             let refs: Vec<&DenseMatrix<f32>> = products.iter().collect();
             let mut aggregated = engine.execute_prepared_batch(prep, a_hat, &refs)?;
+            drop(refs);
             for out in &mut aggregated {
                 layer.activation.apply(out);
             }
-            hs = aggregated;
+            // The per-request products and the previous layer's
+            // activations are dead now: hand both back to the arena so
+            // the next layer (and the next batch) reuse them.
+            for p in products {
+                engine.recycle(p);
+            }
+            for old in std::mem::replace(&mut hs, aggregated) {
+                engine.recycle(old);
+            }
         }
         Ok(hs)
     }
@@ -495,6 +515,36 @@ mod tests {
         assert_eq!(stats.plan_cache_misses, 2);
         assert_eq!(stats.plan_cache_hits, 18);
         assert!(stats.hit_rate() >= 0.9);
+    }
+
+    #[test]
+    fn cached_forward_reaches_zero_allocation_steady_state() {
+        let a = small_graph();
+        let model = GcnModel::two_layer(16, 16, 4, 2);
+        let x = random_features(100, 16, 0.4, 3);
+        let kernel = MergePathSpmm::new();
+        let engine = ExecEngine::new(2);
+        // Warm up: first passes populate the arena with the activation
+        // and H×W scratch shapes this model cycles through.
+        let mut outs = Vec::new();
+        for _ in 0..2 {
+            outs.push(model.forward_cached(&a, &x, &kernel, &engine, 0).unwrap());
+        }
+        for out in outs.drain(..) {
+            engine.recycle(out);
+        }
+        let warm_misses = engine.stats().arena_misses;
+        let warm_reuses = engine.stats().arena_reuses;
+        for _ in 0..5 {
+            let out = model.forward_cached(&a, &x, &kernel, &engine, 0).unwrap();
+            engine.recycle(out);
+        }
+        let stats = engine.stats();
+        assert_eq!(
+            stats.arena_misses, warm_misses,
+            "steady-state inference must not allocate fresh engine buffers"
+        );
+        assert!(stats.arena_reuses > warm_reuses);
     }
 
     #[test]

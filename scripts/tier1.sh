@@ -5,8 +5,9 @@
 #
 # Usage: scripts/tier1.sh
 # Emits BENCH_engine.json (register-tiled baseline), BENCH_simd.json
-# (vectorized data path vs that baseline), and BENCH_serve.json (serving
-# layer, smoke shape) in the repository root.
+# (vectorized data path vs that baseline), BENCH_serve.json (serving
+# layer, smoke shape), and BENCH_steal.json (scheduler comparison, smoke
+# shape) in the repository root.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -21,6 +22,13 @@ cargo test --workspace -q
 # to the scalar oracle via the force-scalar feature.
 cargo test -q -p mpspmm-core --test engine_oracle
 cargo test -q -p mpspmm-core --features force-scalar
+# The work-stealing scheduler promises bit-identical output at any worker
+# count: pin the resolved count to a matrix of values and re-run its
+# property tests (debug build, invariant asserts live).
+for w in 1 2 8; do
+  MPSPMM_WORKERS=$w cargo test -q -p mpspmm-core --test engine_stealing
+done
 cargo run --release -p mpspmm-bench --bin bench_engine
 cargo run --release -p mpspmm-bench --bin bench_simd
 cargo run --release -p mpspmm-bench --bin bench_serve -- --smoke
+cargo run --release -p mpspmm-bench --bin bench_steal -- --smoke
