@@ -123,7 +123,8 @@ fn main() {
     );
 
     let json = format!(
-        "{{\n  \"results\": [\n{}\n  ],\n  \"geomean_speedup\": {:.3},\n  \"gcn_plan_cache_hit_rate\": {:.3}\n}}\n",
+        "{{\n  \"baseline\": \"seed SpmmExecutor, 1 worker\",\n  \"speedup\": {:.3},\n  \"results\": [\n{}\n  ],\n  \"geomean_speedup\": {:.3},\n  \"gcn_plan_cache_hit_rate\": {:.3}\n}}\n",
+        g,
         records.join(",\n"),
         g,
         stats.hit_rate()

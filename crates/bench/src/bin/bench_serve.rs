@@ -371,8 +371,10 @@ fn main() {
         })
         .collect();
     let json = format!(
-        "{{\n  \"smoke\": {},\n  \"request_cols\": {},\n  \"closed_loop\": [\n{}\n  ],\n  \
+        "{{\n  \"baseline\": \"unbatched per-request serving, same engine\",\n  \
+         \"speedup\": {:.3},\n  \"smoke\": {},\n  \"request_cols\": {},\n  \"closed_loop\": [\n{}\n  ],\n  \
          \"open_loop\": [\n{}\n  ],\n  \"batching_speedup\": {:.3}\n}}\n",
+        speedup,
         smoke,
         REQUEST_COLS,
         closed_json.join(",\n"),

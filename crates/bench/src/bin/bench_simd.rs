@@ -149,7 +149,8 @@ fn main() {
     );
 
     let json = format!(
-        "{{\n  \"results\": [\n{}\n  ],\n  \"geomean_vs_tiled\": {:.3},\n  \"geomean_vs_baseline\": {},\n  \"gather_bound_fraction_pubmed\": {:.3}\n}}\n",
+        "{{\n  \"baseline\": \"PR-1 tiled scalar data path, same engine\",\n  \"speedup\": {:.3},\n  \"results\": [\n{}\n  ],\n  \"geomean_vs_tiled\": {:.3},\n  \"geomean_vs_baseline\": {},\n  \"gather_bound_fraction_pubmed\": {:.3}\n}}\n",
+        g_tiled,
         records.join(",\n"),
         g_tiled,
         if vs_baseline_all.is_empty() {

@@ -293,13 +293,16 @@ fn main() {
 
     let json = format!(
         concat!(
-            "{{\n  \"results\": [\n{}\n  ],\n",
+            "{{\n  \"baseline\": \"static contiguous-span schedule, same engine\",\n",
+            "  \"speedup\": {:.3},\n",
+            "  \"results\": [\n{}\n  ],\n",
             "  \"acceptance\": {{\n",
             "    \"skewed_speedup_at_4_workers\": {:.3},\n",
             "    \"uniform_auto_policy\": \"{}\",\n",
             "    \"uniform_auto_regression_pct\": {:.3}\n",
             "  }}\n}}\n"
         ),
+        skewed_speedup_4w,
         records.join(",\n"),
         skewed_speedup_4w,
         uniform_auto_policy,

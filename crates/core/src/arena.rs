@@ -2,8 +2,8 @@
 //! steady-state inference performs no heap allocation.
 //!
 //! Every [`crate::ExecEngine`] execution needs a dense output buffer
-//! (`rows × dim` f32s), the pooled path additionally an atomic
-//! side buffer for shared rows, and the batch path an interleaved
+//! (`rows × dim` f32s), the pooled path additionally per-worker
+//! shared-row scratch strips, and the batch path an interleaved
 //! combined buffer plus per-block outputs. Before this arena each run
 //! allocated (and dropped) all of them; under serving traffic that is
 //! pure allocator churn on buffers whose sizes repeat forever, because
@@ -14,11 +14,7 @@
 //! Alignment: fresh f32 buffers are allocated with capacities rounded up
 //! to whole 64-byte cache lines, so the allocator serves them from
 //! stable size classes (large ones page-aligned) and reuse preserves the
-//! original placement run over run. The atomic side buffers never leave
-//! the engine, so they get the full [`AlignedVec`]-style treatment: the
-//! payload is offset inside an over-allocated `Vec` to start exactly on
-//! a cache-line boundary, keeping the CAS traffic of different shared
-//! rows out of each other's lines.
+//! original placement run over run.
 //!
 //! Ownership of outputs *leaves* the engine as [`DenseMatrix`] values
 //! (which demand a plain `Vec<f32>`), so reuse of those is cooperative:
@@ -26,10 +22,9 @@
 //! [`crate::ExecEngine::recycle`]. The GCN forward pass uses exactly
 //! this to ping-pong two inter-layer activation buffers.
 //!
-//! [`AlignedVec`]: mpspmm_sparse::AlignedVec
 //! [`DenseMatrix`]: mpspmm_sparse::DenseMatrix
 
-use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 /// Retired buffers kept per pool; beyond this the smallest is dropped.
@@ -40,56 +35,6 @@ const MAX_POOLED: usize = 8;
 /// f32 elements per 64-byte cache line.
 const LINE_F32: usize = 16;
 
-/// An atomic side buffer whose payload starts on a 64-byte boundary.
-///
-/// Same offset trick as [`mpspmm_sparse::AlignedVec`], reimplemented
-/// here because `AtomicU32` is neither `Copy` nor `Clone` and interior
-/// mutability is the whole point. The offset is computed once at
-/// allocation; `clear` + `extend` reuse never reallocates, so the
-/// alignment survives recycling.
-#[derive(Debug, Default)]
-pub(crate) struct SideBuf {
-    buf: Vec<AtomicU32>,
-    offset: usize,
-    len: usize,
-}
-
-impl SideBuf {
-    fn with_len(len: usize) -> Self {
-        let mut buf: Vec<AtomicU32> = Vec::with_capacity(len + LINE_F32);
-        let misalign = (buf.as_ptr() as usize) % 64;
-        let offset = if misalign == 0 {
-            0
-        } else {
-            (64 - misalign) / std::mem::size_of::<AtomicU32>()
-        };
-        buf.extend((0..offset + len).map(|_| AtomicU32::new(0)));
-        Self { buf, offset, len }
-    }
-
-    /// Re-zeroes for `len` payload elements without reallocating.
-    /// Returns `false` (buffer untouched) if the capacity is too small.
-    fn reuse_for(&mut self, len: usize) -> bool {
-        if self.buf.capacity() < self.offset + len {
-            return false;
-        }
-        self.buf.clear();
-        self.buf
-            .extend((0..self.offset + len).map(|_| AtomicU32::new(0)));
-        self.len = len;
-        true
-    }
-
-    fn payload_capacity(&self) -> usize {
-        self.buf.capacity() - self.offset
-    }
-
-    /// The zeroed, cache-line-aligned payload.
-    pub(crate) fn as_slice(&self) -> &[AtomicU32] {
-        &self.buf[self.offset..self.offset + self.len]
-    }
-}
-
 /// The engine's buffer pool. See the module docs for the design; all
 /// methods are `&self` and internally locked, matching the engine's
 /// share-one-instance concurrency model. Lock hold times are O(pool
@@ -97,7 +42,6 @@ impl SideBuf {
 #[derive(Debug, Default)]
 pub(crate) struct BufferArena {
     outputs: Mutex<Vec<Vec<f32>>>,
-    sides: Mutex<Vec<SideBuf>>,
     reuses: AtomicU64,
     misses: AtomicU64,
 }
@@ -175,32 +119,6 @@ impl BufferArena {
         pool.push(buf);
     }
 
-    /// Checks out a zeroed, 64-byte-aligned atomic side buffer of `len`
-    /// elements.
-    pub(crate) fn take_side(&self, len: usize) -> SideBuf {
-        let popped = pop_fit(
-            &mut self.sides.lock().unwrap(),
-            SideBuf::payload_capacity,
-            len,
-        );
-        if let Some((mut side, true)) = popped {
-            if side.reuse_for(len) {
-                self.reuses.fetch_add(1, Ordering::Relaxed);
-                return side;
-            }
-        }
-        self.misses.fetch_add(1, Ordering::Relaxed);
-        SideBuf::with_len(len)
-    }
-
-    /// Returns a side buffer to the pool.
-    pub(crate) fn put_side(&self, side: SideBuf) {
-        let mut pool = self.sides.lock().unwrap();
-        if pool.len() < MAX_POOLED {
-            pool.push(side);
-        }
-    }
-
     /// Executions served from the pool without allocating.
     pub(crate) fn reuses(&self) -> u64 {
         self.reuses.load(Ordering::Relaxed)
@@ -214,7 +132,6 @@ impl BufferArena {
     /// Drops all pooled buffers and zeroes the counters.
     pub(crate) fn clear(&self) {
         self.outputs.lock().unwrap().clear();
-        self.sides.lock().unwrap().clear();
         self.reuses.store(0, Ordering::Relaxed);
         self.misses.store(0, Ordering::Relaxed);
     }
@@ -248,20 +165,6 @@ mod tests {
         arena.put(a);
         let b = arena.take_zeroed(16);
         assert!(b.iter().all(|&v| v == 0.0));
-    }
-
-    #[test]
-    fn side_buffers_are_aligned_and_zeroed() {
-        let arena = BufferArena::default();
-        let s = arena.take_side(33);
-        assert_eq!(s.as_slice().len(), 33);
-        assert_eq!(s.as_slice().as_ptr() as usize % 64, 0);
-        s.as_slice()[5].store(9, Ordering::Relaxed);
-        arena.put_side(s);
-        let t = arena.take_side(20);
-        assert_eq!(arena.reuses(), 1);
-        assert_eq!(t.as_slice().as_ptr() as usize % 64, 0);
-        assert!(t.as_slice().iter().all(|v| v.load(Ordering::Relaxed) == 0));
     }
 
     #[test]

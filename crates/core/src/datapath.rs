@@ -56,7 +56,7 @@
 use mpspmm_sparse::{CsrMatrix, DenseMatrix};
 
 use crate::plan::Segment;
-use crate::tuning::{panel_cols, CacheModel, GATHER_MAX_NNZ};
+use crate::tuning::{panel_cols, CacheModel, GATHER_MAX_NNZ, GEMM_MR};
 
 /// Which inner data path an [`crate::ExecEngine`] drives its segments
 /// through.
@@ -109,6 +109,40 @@ impl LaneWidth {
     }
 }
 
+/// Widest x86 vector extension the GEMM microkernel may be *compiled*
+/// for, proven present at runtime. [`LaneWidth`] only sizes accumulator
+/// blocks for the baseline autovectorizer; this goes further and selects
+/// a `#[target_feature]` clone of the same kernel body, so the identical
+/// scalar arithmetic (separate multiply and add, `k` ascending — never
+/// FMA-contracted, which would change rounding) is emitted with 256- or
+/// 512-bit instructions. Results stay bit-equal across all variants
+/// because every vector lane is an independent output column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WideIsa {
+    /// Baseline codegen (also all non-x86_64 targets).
+    Portable,
+    /// AVX2 proven by `is_x86_feature_detected!`.
+    Avx2,
+    /// AVX-512F proven by `is_x86_feature_detected!`.
+    Avx512f,
+}
+
+impl WideIsa {
+    /// Detects the widest ISA clone the running CPU supports.
+    pub fn detect() -> Self {
+        #[cfg(target_arch = "x86_64")]
+        {
+            if is_x86_feature_detected!("avx512f") {
+                return WideIsa::Avx512f;
+            }
+            if is_x86_feature_detected!("avx2") {
+                return WideIsa::Avx2;
+            }
+        }
+        WideIsa::Portable
+    }
+}
+
 /// Concrete kernel family after [`DataPath`] resolution.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub(crate) enum PathKind {
@@ -124,6 +158,7 @@ pub(crate) enum PathKind {
 pub(crate) struct ResolvedPath {
     pub kind: PathKind,
     pub lanes: LaneWidth,
+    pub wide_isa: WideIsa,
     pub panel: usize,
     pub gather_max: usize,
     pub prefetch: bool,
@@ -149,6 +184,7 @@ impl DataPath {
         ResolvedPath {
             kind,
             lanes,
+            wide_isa: WideIsa::detect(),
             panel: panel_cols(dim, lanes.lanes(), &CacheModel::default()),
             gather_max: env_gather_max(),
             prefetch: env_prefetch(),
@@ -429,6 +465,228 @@ pub(crate) fn accumulate_segment_dispatch(
     }
 }
 
+/// Dense GEMM band kernel for [`crate::ExecEngine::gemm`]: computes the
+/// `dst.len() / b.cols()` output rows starting at `row_start` of
+/// `C = A · B` into the zeroed row-major slice `dst`. Returns the number
+/// of column panels executed (the [`crate::EngineStats::gemm_panels`]
+/// unit; the scalar path counts one panel per band).
+///
+/// The blocked path register-tiles [`GEMM_MR`] `A` rows against the same
+/// wide-lane cascade as the streaming SpMM kernel (16-lane blocks when
+/// [`LaneWidth::W16`], then 8/4/scalar tails), sweeping the output width
+/// in [`panel_cols`]-sized panels. `k` is streamed innermost, ascending
+/// and unblocked, so every output element accumulates its products in
+/// exactly the naive `ikj` loop's order — results are bit-equal to that
+/// loop up to the sign of zeros (this kernel has **no** per-element
+/// `a == 0.0` skip; skipping is worthwhile only for sparse feature
+/// inputs, which the GCN layer-0 path keeps on the naive loop).
+pub(crate) fn gemm_band(
+    a: &DenseMatrix<f32>,
+    b: &DenseMatrix<f32>,
+    row_start: usize,
+    rp: &ResolvedPath,
+    dst: &mut [f32],
+) -> u64 {
+    let n = b.cols();
+    if n == 0 || dst.is_empty() {
+        return 0;
+    }
+    if rp.kind == PathKind::Scalar {
+        for (r, crow) in dst.chunks_exact_mut(n).enumerate() {
+            for (p, &av) in a.row(row_start + r).iter().enumerate() {
+                for (c, &bv) in crow.iter_mut().zip(b.row(p)) {
+                    *c += av * bv;
+                }
+            }
+        }
+        return 1;
+    }
+    let mut panels = 0u64;
+    let mut r = 0usize;
+    let mut quads = dst.chunks_exact_mut(GEMM_MR * n);
+    for quad in quads.by_ref() {
+        let arows: [&[f32]; GEMM_MR] = std::array::from_fn(|i| a.row(row_start + r + i));
+        let mut rows = quad.chunks_exact_mut(n);
+        let mut crows: [&mut [f32]; GEMM_MR] =
+            std::array::from_fn(|_| rows.next().expect("quad holds GEMM_MR rows"));
+        panels += gemm_rows(arows, b, n, rp, &mut crows);
+        r += GEMM_MR;
+    }
+    for crow in quads.into_remainder().chunks_exact_mut(n) {
+        panels += gemm_rows([a.row(row_start + r)], b, n, rp, &mut [crow]);
+        r += 1;
+    }
+    panels
+}
+
+/// Sweeps the full output width for one register tile of `MR` rows
+/// through the widest kernel clone the CPU proved it supports (see
+/// [`WideIsa`]) — every clone runs the same [`gemm_rows_body`], so the
+/// choice affects instruction encoding only, never results.
+#[inline]
+fn gemm_rows<const MR: usize>(
+    arows: [&[f32]; MR],
+    b: &DenseMatrix<f32>,
+    n: usize,
+    rp: &ResolvedPath,
+    crows: &mut [&mut [f32]; MR],
+) -> u64 {
+    #[cfg(target_arch = "x86_64")]
+    if rp.wide_isa != WideIsa::Portable {
+        return wide::gemm_rows_wide(arows, b, n, rp, crows);
+    }
+    gemm_rows_body(arows, b, n, rp, crows)
+}
+
+/// The `#[target_feature]` clones of [`gemm_rows_body`]. This is one of
+/// the three modules allowed out of the crate's `deny(unsafe_code)`
+/// (with [`crate::pool`] and [`crate::steal`]): calling a
+/// `#[target_feature]` function is `unsafe` because executing it on a
+/// CPU without the feature is undefined behavior — here each call is
+/// gated on the matching `is_x86_feature_detected!` proof captured in
+/// [`ResolvedPath::wide_isa`] at path-resolution time.
+#[cfg(target_arch = "x86_64")]
+mod wide {
+    #![allow(unsafe_code)]
+
+    use super::{gemm_rows_body, DenseMatrix, ResolvedPath, WideIsa};
+
+    /// Dispatches one register tile to the AVX-512F or AVX2 clone.
+    #[inline]
+    pub(super) fn gemm_rows_wide<const MR: usize>(
+        arows: [&[f32]; MR],
+        b: &DenseMatrix<f32>,
+        n: usize,
+        rp: &ResolvedPath,
+        crows: &mut [&mut [f32]; MR],
+    ) -> u64 {
+        match rp.wide_isa {
+            // SAFETY: `wide_isa` is only ever set to a non-`Portable`
+            // variant by `WideIsa::detect` after the corresponding
+            // `is_x86_feature_detected!` check succeeded on this CPU.
+            WideIsa::Avx512f => unsafe { gemm_rows_avx512f(arows, b, n, rp, crows) },
+            WideIsa::Avx2 => unsafe { gemm_rows_avx2(arows, b, n, rp, crows) },
+            WideIsa::Portable => gemm_rows_body(arows, b, n, rp, crows),
+        }
+    }
+
+    /// [`gemm_rows_body`] compiled with 256-bit codegen. No FMA: the
+    /// body's separate multiply and add must stay separate instructions
+    /// for bit-equality with the portable clone.
+    #[target_feature(enable = "avx2")]
+    unsafe fn gemm_rows_avx2<const MR: usize>(
+        arows: [&[f32]; MR],
+        b: &DenseMatrix<f32>,
+        n: usize,
+        rp: &ResolvedPath,
+        crows: &mut [&mut [f32]; MR],
+    ) -> u64 {
+        gemm_rows_body(arows, b, n, rp, crows)
+    }
+
+    /// [`gemm_rows_body`] compiled with 512-bit codegen (a W16 block is
+    /// exactly one `zmm` register).
+    #[target_feature(enable = "avx512f")]
+    unsafe fn gemm_rows_avx512f<const MR: usize>(
+        arows: [&[f32]; MR],
+        b: &DenseMatrix<f32>,
+        n: usize,
+        rp: &ResolvedPath,
+        crows: &mut [&mut [f32]; MR],
+    ) -> u64 {
+        gemm_rows_body(arows, b, n, rp, crows)
+    }
+}
+
+/// The actual panel sweep for one register tile of `MR` rows: panel loop
+/// outside, wide-lane cascade inside — the GEMM analogue of
+/// [`stream_segment`]'s panel sweep. `inline(always)` so each
+/// `#[target_feature]` clone in [`wide`] absorbs the whole body (and the
+/// microkernels below) under its own codegen features.
+#[inline(always)]
+fn gemm_rows_body<const MR: usize>(
+    arows: [&[f32]; MR],
+    b: &DenseMatrix<f32>,
+    n: usize,
+    rp: &ResolvedPath,
+    crows: &mut [&mut [f32]; MR],
+) -> u64 {
+    let panel = rp.panel.max(1);
+    let mut panels = 0u64;
+    let mut p0 = 0;
+    while p0 < n {
+        let p1 = (p0 + panel).min(n);
+        let mut d = p0;
+        if rp.lanes == LaneWidth::W16 {
+            while d + 16 <= p1 {
+                gemm_micro::<MR, 16>(arows, b, d, crows);
+                d += 16;
+            }
+        }
+        while d + 8 <= p1 {
+            gemm_micro::<MR, 8>(arows, b, d, crows);
+            d += 8;
+        }
+        if d + 4 <= p1 {
+            gemm_micro::<MR, 4>(arows, b, d, crows);
+            d += 4;
+        }
+        gemm_tail(arows, b, d..p1, crows);
+        p0 = p1;
+        panels += 1;
+    }
+    panels
+}
+
+/// `MR × W` register microkernel: `MR * W` f32 accumulators live across
+/// the whole `k` sweep, each loaded `B` block feeds all `MR` rows, and
+/// the (zeroed) destination is written once per tile. No zero-skip
+/// branch — the dense inner loop stays straight-line mul/add code
+/// (separate instructions, so rounding matches the naive oracle even
+/// under the FMA-capable [`wide`] clones).
+#[inline(always)]
+fn gemm_micro<const MR: usize, const W: usize>(
+    arows: [&[f32]; MR],
+    b: &DenseMatrix<f32>,
+    d: usize,
+    crows: &mut [&mut [f32]; MR],
+) {
+    let mut acc = [[0.0f32; W]; MR];
+    let k = arows[0].len();
+    for p in 0..k {
+        let row = b.row(p);
+        let blk: &[f32; W] = row[d..d + W].try_into().expect("block inside dense row");
+        for (accr, arow) in acc.iter_mut().zip(&arows) {
+            let av = arow[p];
+            for (s, &bv) in accr.iter_mut().zip(blk) {
+                *s += av * bv;
+            }
+        }
+    }
+    for (accr, crow) in acc.iter().zip(crows.iter_mut()) {
+        crow[d..d + W].copy_from_slice(accr);
+    }
+}
+
+/// Scalar remainder columns of a GEMM panel, still `k`-ascending.
+#[inline(always)]
+fn gemm_tail<const MR: usize>(
+    arows: [&[f32]; MR],
+    b: &DenseMatrix<f32>,
+    range: std::ops::Range<usize>,
+    crows: &mut [&mut [f32]; MR],
+) {
+    for d in range {
+        for (arow, crow) in arows.iter().zip(crows.iter_mut()) {
+            let mut s = 0.0f32;
+            for (p, &av) in arow.iter().enumerate() {
+                s += av * b.row(p)[d];
+            }
+            crow[d] = s;
+        }
+    }
+}
+
 /// How many of the next segment's gathered rows to touch ahead of time.
 const PREFETCH_ROWS: usize = 4;
 
@@ -498,6 +756,7 @@ mod tests {
         ResolvedPath {
             kind,
             lanes,
+            wide_isa: WideIsa::detect(),
             panel,
             gather_max: GATHER_MAX_NNZ,
             prefetch: true,

@@ -16,10 +16,12 @@
 //!   are classified `Direct` and handed to their owning worker as plain
 //!   disjoint `&mut [f32]` slices of the output buffer. Safety is a
 //!   borrow-checker fact, not an `unsafe` claim: each row slice is moved
-//!   into exactly one worker's closure. Only the (few, per the paper's
-//!   central argument) rows with shared updates go through a compact
-//!   atomic side buffer; `Flush::Carry` segments stay thread-local and
-//!   are added serially after the join, exactly like the baseline.
+//!   into exactly one worker's closure. The (few, per the paper's
+//!   central argument) rows with shared updates accumulate into compact
+//!   per-worker private strips folded serially after the join — the
+//!   static path performs no atomic operations at all; `Flush::Carry`
+//!   segments stay thread-local and are added serially after the join,
+//!   exactly like the baseline.
 //! * **Vectorized, cache-blocked data path** ([`crate::datapath`]): each
 //!   segment runs through a [`DataPath`]-selected inner kernel — by
 //!   default the wide-lane streaming kernels (16/8 f32 register
@@ -47,7 +49,7 @@
 //!   skew warrants it — balanced merge-path plans keep the static path,
 //!   and its results, bit for bit.
 //! * **Buffer arena** ([`crate::arena`]): output, batch-interleave, and
-//!   atomic side buffers are pooled per engine and checked out per
+//!   shared-row scratch buffers are pooled per engine and checked out per
 //!   execution, so steady-state inference allocates nothing. Outputs
 //!   leave the engine as [`DenseMatrix`] values; callers hand them back
 //!   with [`ExecEngine::recycle`] to close the loop (the GCN forward
@@ -63,9 +65,11 @@
 //! path; the single representational deviation is the sign of a zero out
 //! of the vectorized gather microkernel (a 0-ulp difference; see the
 //! `datapath` module docs). With several
-//! workers, rows updated atomically by multiple logical threads may
-//! accumulate in a different order and differ by rounding — the same
-//! tolerance contract `execute_parallel` has always had.
+//! workers under the static scheduler, rows shared between workers fold
+//! their per-worker partials in worker order — a fixed association that
+//! is reproducible run to run for a given worker count but may differ
+//! from the serial order by rounding — the same tolerance contract
+//! `execute_parallel` has always had.
 //!
 //! # Staleness
 //!
@@ -78,7 +82,7 @@
 //! [`GraphStream::generation`]: https://docs.rs/mpspmm-graphs
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
 use mpspmm_sparse::{AlignedVec, CsrMatrix, DenseMatrix, SparseFormatError};
@@ -87,7 +91,8 @@ use crate::arena::BufferArena;
 use crate::datapath::{
     accumulate_segment_dispatch, prefetch_segment_rows, DataPath, PathKind, ResolvedPath,
 };
-use crate::executor::{atomic_add_f32, check_shapes};
+use crate::epilogue::Epilogue;
+use crate::executor::check_shapes;
 use crate::plan::{chunk_threads, static_span_skew, ChunkDesc, Flush, KernelPlan};
 use crate::pool::{ScopedJob, WorkerPool};
 use crate::spmm::{default_workers, SpmmKernel};
@@ -162,6 +167,27 @@ pub struct PreparedPlan {
     dispatch: (usize, usize),
     /// Cache-aligned `u32` column indices for the vectorized path.
     cols32: Option<AlignedVec<u32>>,
+    /// Per row: the row is finalized entirely by its single parallel-phase
+    /// `Regular` store (`Direct` *and* no `Carry` segment targets it), so
+    /// a fused [`Epilogue`] may be applied at store time while the row is
+    /// register-hot.
+    pub(crate) fused_ok: Vec<bool>,
+    /// Rows whose epilogue must wait for the serial replay phase —
+    /// shared/atomic rows, carry-receiving rows, and untouched rows (a
+    /// bias changes even all-zero rows) — ascending.
+    deferred_rows: Vec<u32>,
+    /// Target rows of the plan's parallel-phase writes (`Regular` and
+    /// `Atomic` segments; carries merge serially and don't count) are
+    /// non-decreasing in `(thread, segment)` order. True for every
+    /// kernel planner in the tree — merge-path, row-split, and nnz-split
+    /// all walk rows forward — and it lets the static scheduler route
+    /// each worker's `Direct` rows through one contiguous output span
+    /// instead of a per-row hash map.
+    write_rows_monotonic: bool,
+    /// First row each logical thread writes in the parallel phase
+    /// (`u32::MAX` for threads with no `Regular`/`Atomic` segment) — the
+    /// span boundaries for monotonic static routing.
+    thread_first_write_row: Vec<u32>,
 }
 
 impl PreparedPlan {
@@ -178,8 +204,22 @@ impl PreparedPlan {
             owner: u32,
         }
         let mut info = vec![RowInfo::default(); rows];
+        let mut carry_row = vec![false; rows];
         let mut stats = WriteStats::default();
+        let mut thread_first_write_row = vec![u32::MAX; plan.threads.len()];
+        let mut write_rows_monotonic = true;
+        let mut last_write_row = 0u32;
         for (t, seg) in plan.iter_segments() {
+            if !matches!(seg.flush, Flush::Carry) {
+                let r = seg.row as u32;
+                if r < last_write_row {
+                    write_rows_monotonic = false;
+                }
+                last_write_row = r;
+                if thread_first_write_row[t] == u32::MAX {
+                    thread_first_write_row[t] = r;
+                }
+            }
             match seg.flush {
                 Flush::Regular => {
                     info[seg.row].regular += 1;
@@ -193,13 +233,14 @@ impl PreparedPlan {
                     stats.atomic_nnz += seg.len();
                 }
                 Flush::Carry => {
+                    carry_row[seg.row] = true;
                     stats.serial_row_updates += 1;
                     stats.serial_nnz += seg.len();
                 }
             }
         }
         let mut shared_rows = Vec::new();
-        let row_kind = info
+        let row_kind: Vec<RowKind> = info
             .iter()
             .enumerate()
             .map(|(row, ri)| {
@@ -214,6 +255,18 @@ impl PreparedPlan {
                 }
             })
             .collect();
+        // A fused epilogue may run at store time only where the store is
+        // the row's final value; every other row waits for the serial
+        // replay phase (see the `epilogue` module docs).
+        let mut fused_ok = vec![false; rows];
+        let mut deferred_rows = Vec::new();
+        for (row, kind) in row_kind.iter().enumerate() {
+            if matches!(kind, RowKind::Direct { .. }) && !carry_row[row] {
+                fused_ok[row] = true;
+            } else {
+                deferred_rows.push(row as u32);
+            }
+        }
         let dispatch = plan.dispatch_profile(GATHER_MAX_NNZ);
         let mut thread_nnz_ends = Vec::with_capacity(plan.threads.len());
         let mut cum = 0usize;
@@ -229,6 +282,10 @@ impl PreparedPlan {
             stats,
             dispatch,
             cols32: None,
+            fused_ok,
+            deferred_rows,
+            write_rows_monotonic,
+            thread_first_write_row,
         }
     }
 
@@ -290,6 +347,13 @@ impl PreparedPlan {
             .iter()
             .filter(|k| matches!(k, RowKind::Direct { .. }))
             .count()
+    }
+
+    /// Number of rows a fused [`Epilogue`] is applied to at store time —
+    /// `Direct` rows that receive no post-join carry. All remaining rows
+    /// get their epilogue in the serial replay phase.
+    pub fn fusable_row_count(&self) -> usize {
+        self.fused_ok.iter().filter(|&&f| f).count()
     }
 
     /// Splits this plan's logical threads into at most `target`
@@ -361,6 +425,16 @@ pub struct EngineStats {
     pub arena_reuses: u64,
     /// Buffer checkouts that had to allocate a fresh buffer.
     pub arena_misses: u64,
+    /// Column panels executed by the engine's parallel dense GEMM
+    /// ([`ExecEngine::gemm`]), cumulative over runs.
+    pub gemm_panels: u64,
+    /// Engine runs that fused a non-noop [`Epilogue`] into the SpMM
+    /// store stage instead of paying a separate activation pass.
+    pub fused_epilogues: u64,
+    /// Wall nanoseconds spent inside the engine's dense GEMM, cumulative
+    /// — together with the SpMM wall time this is the "where the time
+    /// goes" split of a fused GCN layer.
+    pub gemm_ns: u64,
 }
 
 impl EngineStats {
@@ -392,12 +466,12 @@ struct PlanKey {
 /// The fast-path SpMM execution engine. See the module docs for the four
 /// optimizations it layers over [`crate::executor::execute_parallel`].
 pub struct ExecEngine {
-    workers: usize,
-    data_path: DataPath,
-    sched_policy: SchedPolicy,
+    pub(crate) workers: usize,
+    pub(crate) data_path: DataPath,
+    pub(crate) sched_policy: SchedPolicy,
     plan_capacity: usize,
     cache: Mutex<PlanCache>,
-    arena: BufferArena,
+    pub(crate) arena: BufferArena,
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
@@ -406,6 +480,9 @@ pub struct ExecEngine {
     steals: AtomicU64,
     steal_fails: AtomicU64,
     chunks_executed: AtomicU64,
+    pub(crate) gemm_panels: AtomicU64,
+    fused_epilogues: AtomicU64,
+    pub(crate) gemm_ns: AtomicU64,
     /// Cumulative non-zeros executed per worker slot, for the busy-
     /// fraction report of the stealing benchmark.
     worker_nnz: Mutex<Vec<u64>>,
@@ -464,6 +541,9 @@ impl ExecEngine {
             steals: AtomicU64::new(0),
             steal_fails: AtomicU64::new(0),
             chunks_executed: AtomicU64::new(0),
+            gemm_panels: AtomicU64::new(0),
+            fused_epilogues: AtomicU64::new(0),
+            gemm_ns: AtomicU64::new(0),
             worker_nnz: Mutex::new(vec![0; workers]),
         }
     }
@@ -539,7 +619,7 @@ impl ExecEngine {
     ) -> Result<(DenseMatrix<f32>, WriteStats), SparseFormatError> {
         check_shapes(a, b)?;
         let prep = PreparedPlan::new(plan.clone(), a.rows());
-        Ok(self.run(&prep, a, b))
+        Ok(self.run(&prep, a, b, &Epilogue::None))
     }
 
     /// Executes a previously classified plan.
@@ -560,7 +640,37 @@ impl ExecEngine {
         b: &DenseMatrix<f32>,
     ) -> Result<(DenseMatrix<f32>, WriteStats), SparseFormatError> {
         check_shapes(a, b)?;
-        Ok(self.run(prep, a, b))
+        Ok(self.run(prep, a, b, &Epilogue::None))
+    }
+
+    /// Executes a previously classified plan with a fused [`Epilogue`]
+    /// applied at the store stage: rows finalized in the parallel phase
+    /// (`Direct`, no carry) get the epilogue while register-hot; every
+    /// other row gets it in the serial replay phase, after its final SpMM
+    /// value exists. The result is element-for-element identical to
+    /// `execute_prepared` followed by a separate epilogue pass, without
+    /// re-streaming the output (see DESIGN.md §2.10).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseFormatError::ShapeMismatch`] if
+    /// `a.cols() != b.rows()` or a bias epilogue's length differs from
+    /// `b.cols()`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `prep` was classified for a different row count than
+    /// `a.rows()`.
+    pub fn execute_prepared_fused(
+        &self,
+        prep: &PreparedPlan,
+        a: &CsrMatrix<f32>,
+        b: &DenseMatrix<f32>,
+        epi: &Epilogue,
+    ) -> Result<(DenseMatrix<f32>, WriteStats), SparseFormatError> {
+        check_shapes(a, b)?;
+        epi.validate(b.cols())?;
+        Ok(self.run(prep, a, b, epi))
     }
 
     /// Computes `kernel`'s SpMM through the plan cache: on a hit the
@@ -582,7 +692,30 @@ impl ExecEngine {
     ) -> Result<(DenseMatrix<f32>, WriteStats), SparseFormatError> {
         check_shapes(a, b)?;
         let prep = self.plan_cached(kernel, a, b.cols(), epoch);
-        Ok(self.run(&prep, a, b))
+        Ok(self.run(&prep, a, b, &Epilogue::None))
+    }
+
+    /// [`spmm_cached`](Self::spmm_cached) with a fused [`Epilogue`] —
+    /// the cached SpMM half of the fused GCN layer pipeline
+    /// (`GcnLayer::forward_cached` routes through this).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseFormatError::ShapeMismatch`] if
+    /// `a.cols() != b.rows()` or a bias epilogue's length differs from
+    /// `b.cols()`.
+    pub fn spmm_cached_fused(
+        &self,
+        kernel: &dyn SpmmKernel,
+        a: &CsrMatrix<f32>,
+        b: &DenseMatrix<f32>,
+        epoch: u64,
+        epi: &Epilogue,
+    ) -> Result<(DenseMatrix<f32>, WriteStats), SparseFormatError> {
+        check_shapes(a, b)?;
+        epi.validate(b.cols())?;
+        let prep = self.plan_cached(kernel, a, b.cols(), epoch);
+        Ok(self.run(&prep, a, b, epi))
     }
 
     /// Fetches (or builds, classifies, index-packs, and caches) the
@@ -677,13 +810,40 @@ impl ExecEngine {
         a: &CsrMatrix<f32>,
         blocks: &[&DenseMatrix<f32>],
     ) -> Result<Vec<DenseMatrix<f32>>, SparseFormatError> {
+        self.execute_prepared_batch_fused(prep, a, blocks, &Epilogue::None)
+    }
+
+    /// [`execute_prepared_batch`](Self::execute_prepared_batch) with a
+    /// fused [`Epilogue`] applied to the combined output before the
+    /// split. Only column-uniform epilogues ([`Epilogue::None`],
+    /// [`Epilogue::Relu`]) distribute over the per-block outputs; a bias
+    /// epilogue validates against the *combined* width and is rejected
+    /// otherwise — the GCN batched path applies biases per block instead.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseFormatError::ShapeMismatch`] if any block has
+    /// `rows != a.cols()` or a bias epilogue does not span the combined
+    /// width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `prep` was classified for a different row count than
+    /// `a.rows()`.
+    pub fn execute_prepared_batch_fused(
+        &self,
+        prep: &PreparedPlan,
+        a: &CsrMatrix<f32>,
+        blocks: &[&DenseMatrix<f32>],
+        epi: &Epilogue,
+    ) -> Result<Vec<DenseMatrix<f32>>, SparseFormatError> {
         for b in blocks {
             check_shapes(a, b)?;
         }
         match blocks {
             [] => Ok(Vec::new()),
             [only] => self
-                .execute_prepared(prep, a, only)
+                .execute_prepared_fused(prep, a, only, epi)
                 .map(|(out, _)| vec![out]),
             _ => {
                 let total: usize = blocks.iter().map(|b| b.cols()).sum();
@@ -693,8 +853,9 @@ impl ExecEngine {
                         .map(|_| DenseMatrix::zeros(a.rows(), 0))
                         .collect());
                 }
+                epi.validate(total)?;
                 let combined = concat_col_blocks(&self.arena, blocks, a.cols(), total);
-                let (out, _) = self.execute_prepared(prep, a, &combined)?;
+                let (out, _) = self.run(prep, a, &combined, epi);
                 self.arena.put(combined.into_vec());
                 let outs = split_col_blocks(&self.arena, &out, blocks, a.rows(), total);
                 self.arena.put(out.into_vec());
@@ -718,6 +879,9 @@ impl ExecEngine {
             chunks_executed: self.chunks_executed.load(Ordering::Relaxed),
             arena_reuses: self.arena.reuses(),
             arena_misses: self.arena.misses(),
+            gemm_panels: self.gemm_panels.load(Ordering::Relaxed),
+            fused_epilogues: self.fused_epilogues.load(Ordering::Relaxed),
+            gemm_ns: self.gemm_ns.load(Ordering::Relaxed),
         }
     }
 
@@ -752,6 +916,9 @@ impl ExecEngine {
         self.steals.store(0, Ordering::Relaxed);
         self.steal_fails.store(0, Ordering::Relaxed);
         self.chunks_executed.store(0, Ordering::Relaxed);
+        self.gemm_panels.store(0, Ordering::Relaxed);
+        self.fused_epilogues.store(0, Ordering::Relaxed);
+        self.gemm_ns.store(0, Ordering::Relaxed);
         self.worker_nnz
             .lock()
             .unwrap()
@@ -759,12 +926,14 @@ impl ExecEngine {
             .for_each(|w| *w = 0);
     }
 
-    /// Dispatches to the inline or pooled path. Shapes are already checked.
+    /// Dispatches to the inline or pooled path. Shapes are already
+    /// checked; a non-noop `epi` is already validated against `b.cols()`.
     fn run(
         &self,
         prep: &PreparedPlan,
         a: &CsrMatrix<f32>,
         b: &DenseMatrix<f32>,
+        epi: &Epilogue,
     ) -> (DenseMatrix<f32>, WriteStats) {
         assert_eq!(
             prep.row_kind.len(),
@@ -773,9 +942,21 @@ impl ExecEngine {
         );
         let rows = a.rows();
         let dim = b.cols();
+        let fuse = !epi.is_noop();
+        if fuse {
+            self.fused_epilogues.fetch_add(1, Ordering::Relaxed);
+        }
         let logical = prep.plan.threads.len();
         if dim == 0 || logical == 0 {
-            return (DenseMatrix::zeros(rows, dim), prep.stats);
+            // Even an empty plan owes the epilogue its zero rows — a
+            // bias changes them.
+            let mut out = DenseMatrix::zeros(rows, dim);
+            if fuse && dim > 0 {
+                for row in out.as_mut_slice().chunks_mut(dim) {
+                    epi.apply_row(row);
+                }
+            }
+            return (out, prep.stats);
         }
         let rp = self.data_path.resolve(dim);
         if rp.kind == PathKind::Vector {
@@ -787,13 +968,23 @@ impl ExecEngine {
         let eff_workers = self.workers.min(logical);
         let mut out = self.arena.take_zeroed(rows * dim);
         if eff_workers <= 1 {
-            run_inline(prep, a, b, dim, &rp, cols32, &mut out);
+            run_inline(prep, a, b, dim, &rp, cols32, epi, &mut out);
             self.add_worker_load(0, *prep.thread_nnz_ends.last().unwrap_or(&0) as u64);
         } else if self.selects_stealing(prep) {
             let target = (eff_workers * STEAL_CHUNKS_PER_WORKER).min(logical);
             let chunks = prep.chunk_descriptors(target);
-            let outcome =
-                run_stealing(prep, a, b, dim, eff_workers, &rp, cols32, &chunks, &mut out);
+            let outcome = run_stealing(
+                prep,
+                a,
+                b,
+                dim,
+                eff_workers,
+                &rp,
+                cols32,
+                epi,
+                &chunks,
+                &mut out,
+            );
             self.steals.fetch_add(outcome.steals, Ordering::Relaxed);
             self.steal_fails
                 .fetch_add(outcome.steal_fails, Ordering::Relaxed);
@@ -812,6 +1003,7 @@ impl ExecEngine {
                 eff_workers,
                 &rp,
                 cols32,
+                epi,
                 &self.arena,
                 &mut out,
             );
@@ -824,6 +1016,14 @@ impl ExecEngine {
                 let hi = prep.thread_nnz_ends[hi_t - 1];
                 *load += (hi - lo) as u64;
                 lo = hi;
+            }
+        }
+        // Serial-replay epilogue: rows not finalized at store time
+        // (shared, carry-receiving, untouched) hold their final SpMM
+        // value only now — apply the epilogue exactly once per row here.
+        if fuse {
+            for &row in &prep.deferred_rows {
+                epi.apply_row(&mut out[row as usize * dim..][..dim]);
             }
         }
         let out = DenseMatrix::from_vec(rows, dim, out)
@@ -993,6 +1193,8 @@ fn split_col_blocks(
 /// Single-worker path: no pool, no atomics anywhere. Accumulation order
 /// equals [`crate::executor::execute_sequential`]'s, so the result is
 /// bit-identical to the oracle. Writes into the caller's zeroed `out`.
+/// Fusable rows (`Direct`, carry-free) get `epi` at store time; the
+/// engine applies it to all remaining rows after this returns.
 #[allow(clippy::too_many_arguments)]
 fn run_inline(
     prep: &PreparedPlan,
@@ -1001,10 +1203,16 @@ fn run_inline(
     dim: usize,
     rp: &ResolvedPath,
     cols32: Option<&[u32]>,
+    epi: &Epilogue,
     out: &mut [f32],
 ) {
+    let fuse = !epi.is_noop();
     let mut acc = vec![0.0f32; dim];
-    let mut carries: Vec<(usize, Vec<f32>)> = Vec::new();
+    // Carries stay in one flat buffer — a merge-path plan at the paper's
+    // 1024-thread floor produces thousands of carry segments per run,
+    // and a `Vec` allocation for each was measurable.
+    let mut carry_rows: Vec<usize> = Vec::new();
+    let mut carry_data: Vec<f32> = Vec::new();
     for tp in &prep.plan.threads {
         for (s, seg) in tp.segments.iter().enumerate() {
             if seg.is_empty() {
@@ -1013,36 +1221,29 @@ fn run_inline(
             prefetch_segment_rows(rp, tp.segments.get(s + 1), a, cols32, b);
             match seg.flush {
                 Flush::Regular => {
-                    accumulate_segment_dispatch(
-                        rp,
-                        seg,
-                        a,
-                        cols32,
-                        b,
-                        &mut out[seg.row * dim..][..dim],
-                    );
+                    let dst = &mut out[seg.row * dim..][..dim];
+                    accumulate_segment_dispatch(rp, seg, a, cols32, b, dst);
+                    if fuse && prep.fused_ok[seg.row] {
+                        epi.apply_row(dst);
+                    }
                 }
                 Flush::Atomic => {
-                    if acc.len() != dim {
-                        acc.resize(dim, 0.0);
-                    }
                     accumulate_segment_dispatch(rp, seg, a, cols32, b, &mut acc);
                     for (dst, &v) in out[seg.row * dim..][..dim].iter_mut().zip(&acc) {
                         *dst += v;
                     }
                 }
                 Flush::Carry => {
-                    if acc.len() != dim {
-                        acc.resize(dim, 0.0);
-                    }
                     accumulate_segment_dispatch(rp, seg, a, cols32, b, &mut acc);
-                    carries.push((seg.row, std::mem::take(&mut acc)));
+                    carry_rows.push(seg.row);
+                    carry_data.extend_from_slice(&acc);
                 }
             }
         }
     }
-    for (row, carry) in carries {
-        for (dst, v) in out[row * dim..][..dim].iter_mut().zip(carry) {
+    for (i, &row) in carry_rows.iter().enumerate() {
+        let src = &carry_data[i * dim..][..dim];
+        for (dst, &v) in out[row * dim..][..dim].iter_mut().zip(src) {
             *dst += v;
         }
     }
@@ -1051,10 +1252,11 @@ fn run_inline(
 /// Multi-worker static path: logical threads are partitioned into
 /// `eff_workers` contiguous, equal-size ranges (merge-path plans are
 /// equal-work by construction, so a static partition balances). Direct
-/// rows are written through moved `&mut` slices; shared rows through the
-/// atomic side buffer (checked out of `arena`); carries are added
-/// serially after the join in logical (thread, segment) order, matching
-/// the baseline executor. Writes into the caller's zeroed `out`.
+/// rows are written through per-worker contiguous `&mut` spans of `out`;
+/// shared rows accumulate into per-worker private strips folded after
+/// the join; carries are added serially after the join in logical
+/// (thread, segment) order, matching the baseline executor. No atomics
+/// anywhere. Writes into the caller's zeroed `out`.
 #[allow(clippy::too_many_arguments)]
 fn run_pooled(
     prep: &PreparedPlan,
@@ -1064,35 +1266,134 @@ fn run_pooled(
     eff_workers: usize,
     rp: &ResolvedPath,
     cols32: Option<&[u32]>,
+    epi: &Epilogue,
     arena: &BufferArena,
     out: &mut [f32],
 ) {
+    let fuse = !epi.is_noop();
     let logical = prep.plan.threads.len();
     let per_worker = logical.div_ceil(eff_workers);
-    let side_buf = arena.take_side(prep.shared_rows.len() * dim);
-    let side: &[AtomicU32] = side_buf.as_slice();
-    let all_carries = Mutex::new(Vec::<(usize, usize, usize, Vec<f32>)>::new());
+    let shared = prep.shared_rows.len();
+    let rows = prep.row_kind.len();
 
-    // Hand each direct row's slice to the worker that executes its owning
-    // logical thread. Disjointness comes from `chunks_mut`, not from any
-    // engine invariant.
-    let mut assigned: Vec<Vec<(u32, &mut [f32])>> = (0..eff_workers).map(|_| Vec::new()).collect();
-    for (row, chunk) in out.chunks_mut(dim).enumerate() {
-        if let RowKind::Direct { owner } = prep.row_kind[row] {
-            assigned[owner as usize / per_worker].push((row as u32, chunk));
+    // Worker row boundaries of monotonic plans: `bounds[w]` = first row
+    // any thread of worker `w` or later writes in the parallel phase
+    // (computed back-to-front so workers with no writes inherit the next
+    // boundary), with `bounds[0]` widened to 0 so leading never-written
+    // rows land somewhere. All of worker `w`'s writes target rows in
+    // `bounds[w]..=bounds[w + 1]` — the closed upper end is the boundary
+    // row a partial last segment may share with the next worker.
+    let bounds: Option<Vec<usize>> = prep.write_rows_monotonic.then(|| {
+        let mut bounds = vec![rows; eff_workers + 1];
+        for w in (0..eff_workers).rev() {
+            let hi = ((w + 1) * per_worker).min(logical);
+            bounds[w] = (w * per_worker..hi)
+                .map(|t| prep.thread_first_write_row[t])
+                .find(|&r| r != u32::MAX)
+                .map_or(bounds[w + 1], |r| r as usize);
+        }
+        bounds[0] = 0;
+        bounds
+    });
+
+    // Shared rows accumulate into per-worker *private* f32 strips carved
+    // out of one arena buffer, folded into `out` serially after the
+    // join. This replaces the old atomic side buffer: the paper's
+    // 1024-logical-thread floor yields thousands of boundary segments
+    // per plan, and a per-element CAS loop for each dominated the static
+    // path's multi-worker overhead. Plain stores plus one deterministic
+    // fold also make static runs reproducible for a fixed worker count.
+    // Monotonic plans give each worker a contiguous shared-slot range
+    // (`shared_rows` ascends with the row order), with consecutive
+    // workers overlapping by at most the boundary slot — so the strips
+    // total about `shared × dim`, not `eff_workers × shared × dim`.
+    let slot_ranges: Vec<(usize, usize)> = match &bounds {
+        Some(bounds) => (0..eff_workers)
+            .map(|w| {
+                let lo = prep
+                    .shared_rows
+                    .partition_point(|&r| (r as usize) < bounds[w]);
+                let hi = prep
+                    .shared_rows
+                    .partition_point(|&r| (r as usize) <= bounds[w + 1]);
+                (lo, hi.max(lo))
+            })
+            .collect(),
+        None => vec![(0, shared); eff_workers],
+    };
+    let total_strip: usize = slot_ranges.iter().map(|&(lo, hi)| (hi - lo) * dim).sum();
+    let mut shared_strips = arena.take_zeroed(total_strip);
+    let mut strips: Vec<(usize, &mut [f32])> = Vec::with_capacity(eff_workers);
+    {
+        let mut rest: &mut [f32] = &mut shared_strips;
+        for &(lo, hi) in &slot_ranges {
+            let (head, tail) = rest.split_at_mut((hi - lo) * dim);
+            strips.push((lo, head));
+            rest = tail;
         }
     }
+    // Each worker's carries live in one flat buffer (no per-carry
+    // allocation); the keys record the `(thread, segment)` replay order.
+    type CarryGroup = (Vec<(usize, usize, usize)>, Vec<f32>);
+    let all_carries = Mutex::new(Vec::<CarryGroup>::new());
 
-    let jobs: Vec<ScopedJob<'_>> = assigned
+    // Route each worker's direct rows to a view of `out` it owns
+    // exclusively. Monotonic plans (every real kernel) get one contiguous
+    // `split_at_mut` span per worker: a row written by two workers has at
+    // least two parallel-phase write segments and is therefore classified
+    // `Shared`, never `Direct`, so every worker's `Direct` rows lie
+    // strictly inside its span boundaries. Untouched rows inside a span
+    // are simply never stored to. Non-monotonic (hand-built) plans fall
+    // back to a per-row slice map; disjointness there comes from
+    // `chunks_mut`.
+    enum RowRouter<'r> {
+        Span { base: usize, span: &'r mut [f32] },
+        Map(HashMap<u32, &'r mut [f32]>),
+    }
+    impl RowRouter<'_> {
+        #[inline]
+        fn row_mut(&mut self, row: usize, dim: usize) -> &mut [f32] {
+            match self {
+                RowRouter::Span { base, span } => &mut span[(row - *base) * dim..][..dim],
+                RowRouter::Map(m) => m
+                    .get_mut(&(row as u32))
+                    .expect("direct row slice routed to owner worker"),
+            }
+        }
+    }
+    let mut routers: Vec<RowRouter<'_>> = Vec::with_capacity(eff_workers);
+    if let Some(bounds) = &bounds {
+        let mut rest: &mut [f32] = out;
+        let mut start = 0usize;
+        for w in 0..eff_workers {
+            let end = bounds[w + 1].max(start);
+            let (span, tail) = rest.split_at_mut((end - start) * dim);
+            routers.push(RowRouter::Span { base: start, span });
+            rest = tail;
+            start = end;
+        }
+    } else {
+        let mut maps: Vec<HashMap<u32, &mut [f32]>> =
+            (0..eff_workers).map(|_| HashMap::new()).collect();
+        for (row, chunk) in out.chunks_mut(dim).enumerate() {
+            if let RowKind::Direct { owner } = prep.row_kind[row] {
+                maps[owner as usize / per_worker].insert(row as u32, chunk);
+            }
+        }
+        routers.extend(maps.into_iter().map(RowRouter::Map));
+    }
+
+    let jobs: Vec<ScopedJob<'_>> = routers
         .into_iter()
+        .zip(strips)
         .enumerate()
-        .map(|(w, rows_for_w)| {
-            let side = &side;
+        .map(|(w, (mut router, (slot_base, strip)))| {
             let all_carries = &all_carries;
+            let epi = &*epi;
             Box::new(move || {
-                let mut slices: HashMap<u32, &mut [f32]> = rows_for_w.into_iter().collect();
                 let mut acc = vec![0.0f32; dim];
-                let mut local_carries = Vec::new();
+                let mut carry_keys: Vec<(usize, usize, usize)> = Vec::new();
+                let mut carry_data: Vec<f32> = Vec::new();
                 let hi = ((w + 1) * per_worker).min(logical);
                 for t in w * per_worker..hi {
                     for (s, seg) in prep.plan.threads[t].segments.iter().enumerate() {
@@ -1109,19 +1410,17 @@ fn run_pooled(
                         match seg.flush {
                             Flush::Regular => match prep.row_kind[seg.row] {
                                 RowKind::Direct { .. } => {
-                                    let dst = slices
-                                        .get_mut(&(seg.row as u32))
-                                        .expect("direct row slice routed to owner worker");
+                                    let dst = router.row_mut(seg.row, dim);
                                     accumulate_segment_dispatch(rp, seg, a, cols32, b, dst);
+                                    if fuse && prep.fused_ok[seg.row] {
+                                        epi.apply_row(dst);
+                                    }
                                 }
                                 RowKind::Shared { side: slot } => {
-                                    if acc.len() != dim {
-                                        acc.resize(dim, 0.0);
-                                    }
                                     accumulate_segment_dispatch(rp, seg, a, cols32, b, &mut acc);
-                                    let base = slot as usize * dim;
-                                    for (i, &v) in acc.iter().enumerate() {
-                                        side[base + i].store(v.to_bits(), Ordering::Relaxed);
+                                    let base = (slot as usize - slot_base) * dim;
+                                    for (dst, &v) in strip[base..base + dim].iter_mut().zip(&acc) {
+                                        *dst += v;
                                     }
                                 }
                                 RowKind::Untouched => {
@@ -1132,50 +1431,65 @@ fn run_pooled(
                                 let RowKind::Shared { side: slot } = prep.row_kind[seg.row] else {
                                     unreachable!("atomic update classifies its row as shared")
                                 };
-                                if acc.len() != dim {
-                                    acc.resize(dim, 0.0);
-                                }
                                 accumulate_segment_dispatch(rp, seg, a, cols32, b, &mut acc);
-                                let base = slot as usize * dim;
-                                for (i, &v) in acc.iter().enumerate() {
-                                    atomic_add_f32(&side[base + i], v);
+                                let base = (slot as usize - slot_base) * dim;
+                                for (dst, &v) in strip[base..base + dim].iter_mut().zip(&acc) {
+                                    *dst += v;
                                 }
                             }
                             Flush::Carry => {
-                                if acc.len() != dim {
-                                    acc.resize(dim, 0.0);
-                                }
                                 accumulate_segment_dispatch(rp, seg, a, cols32, b, &mut acc);
-                                local_carries.push((t, s, seg.row, std::mem::take(&mut acc)));
+                                carry_keys.push((t, s, seg.row));
+                                carry_data.extend_from_slice(&acc);
                             }
                         }
                     }
                 }
-                if !local_carries.is_empty() {
-                    all_carries.lock().unwrap().append(&mut local_carries);
+                if !carry_keys.is_empty() {
+                    all_carries.lock().unwrap().push((carry_keys, carry_data));
                 }
             }) as ScopedJob<'_>
         })
         .collect();
     WorkerPool::global().scope_run(jobs);
 
-    // Fold the atomic side buffer back into the plain output.
-    for (slot, &row) in prep.shared_rows.iter().enumerate() {
-        let src = &side[slot * dim..(slot + 1) * dim];
-        for (dst, cell) in out[row as usize * dim..][..dim].iter_mut().zip(src) {
-            *dst = f32::from_bits(cell.load(Ordering::Relaxed));
+    // Fold the per-worker shared-row strips into the plain output, in
+    // ascending worker order — a fixed association, so repeated static
+    // runs at the same worker count are bit-identical. Each worker's
+    // strip covers only its slot range; a boundary slot shared by two
+    // consecutive workers is simply folded twice.
+    {
+        let mut strip_off = 0usize;
+        for &(lo, hi) in &slot_ranges {
+            for slot in lo..hi {
+                let row = prep.shared_rows[slot] as usize;
+                let dst = &mut out[row * dim..][..dim];
+                let src = &shared_strips[strip_off + (slot - lo) * dim..][..dim];
+                for (d, &v) in dst.iter_mut().zip(src) {
+                    *d += v;
+                }
+            }
+            strip_off += (hi - lo) * dim;
         }
     }
 
     // Serial fix-up phase in deterministic (thread, segment) order.
-    let mut carries = all_carries.into_inner().unwrap();
-    carries.sort_unstable_by_key(|&(t, s, _, _)| (t, s));
-    for (_, _, row, carry) in carries {
-        for (dst, v) in out[row * dim..][..dim].iter_mut().zip(carry) {
+    let groups = all_carries.into_inner().unwrap();
+    let mut replay: Vec<(usize, usize, usize, &[f32])> = groups
+        .iter()
+        .flat_map(|(keys, data)| {
+            keys.iter()
+                .enumerate()
+                .map(move |(i, &(t, s, row))| (t, s, row, &data[i * dim..][..dim]))
+        })
+        .collect();
+    replay.sort_unstable_by_key(|&(t, s, _, _)| (t, s));
+    for (_, _, row, carry) in replay {
+        for (dst, &v) in out[row * dim..][..dim].iter_mut().zip(carry) {
             *dst += v;
         }
     }
-    arena.put_side(side_buf);
+    arena.put(shared_strips);
 }
 
 #[cfg(test)]
@@ -1616,6 +1930,141 @@ mod tests {
             misses_warm,
             "steady-state batch allocates nothing"
         );
+    }
+
+    /// The unfused oracle: run the plain engine, then apply the epilogue
+    /// to every row of the result.
+    fn unfused_then_apply(
+        engine: &ExecEngine,
+        prep: &PreparedPlan,
+        a: &CsrMatrix<f32>,
+        b: &DenseMatrix<f32>,
+        epi: &Epilogue,
+    ) -> DenseMatrix<f32> {
+        let (mut out, _) = engine.execute_prepared(prep, a, b).unwrap();
+        let dim = out.cols();
+        if dim > 0 {
+            for row in out.as_mut_slice().chunks_mut(dim) {
+                epi.apply_row(row);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn fused_epilogue_is_bit_identical_to_unfused_composition() {
+        let a = crate::spmm::test_support::random_matrix(48, 48, 300, 31);
+        let b = crate::spmm::test_support::random_dense(48, 16, 32);
+        let p = crate::MergePathSpmm::with_threads(11).plan(&a, 16);
+        let bias: Vec<f32> = (0..16).map(|j| (j as f32) * 0.25 - 2.0).collect();
+        let epis = [
+            Epilogue::Relu,
+            Epilogue::Bias(bias.clone()),
+            Epilogue::BiasRelu(bias),
+        ];
+        // Inline (1 worker) and stealing (any worker count) paths are
+        // bit-identical to the sequential engine, so fused output must be
+        // bit-identical to unfused + apply.
+        for workers in [1usize, 4] {
+            let engine =
+                ExecEngine::with_sched_policy(workers, DataPath::Auto, SchedPolicy::Stealing);
+            let prep = PreparedPlan::for_matrix(p.clone(), &a);
+            for epi in &epis {
+                let want = unfused_then_apply(&engine, &prep, &a, &b, epi);
+                let (got, _) = engine.execute_prepared_fused(&prep, &a, &b, epi).unwrap();
+                assert_eq!(
+                    got.max_abs_diff(&want).unwrap(),
+                    0.0,
+                    "workers={workers} epi={epi:?}"
+                );
+            }
+        }
+        // Static multi-worker: CAS-ordering may reassociate shared-row
+        // sums, but fused-vs-unfused must still agree to tolerance (the
+        // epilogue itself never reorders anything).
+        let engine = ExecEngine::with_sched_policy(4, DataPath::Auto, SchedPolicy::Static);
+        let prep = PreparedPlan::for_matrix(p, &a);
+        for epi in &epis {
+            let want = unfused_then_apply(&engine, &prep, &a, &b, epi);
+            let (got, _) = engine.execute_prepared_fused(&prep, &a, &b, epi).unwrap();
+            assert!(got.approx_eq(&want, 1e-5).unwrap(), "static epi={epi:?}");
+        }
+    }
+
+    #[test]
+    fn fused_bias_reaches_untouched_and_carry_rows() {
+        // mixed_plan: row 0 Shared, row 1 Direct (fusable), row 2
+        // Untouched in the parallel phase (carry-only). The bias must
+        // still land on rows 0 and 2 via the deferred pass.
+        let (a, b) = small();
+        let p = mixed_plan();
+        let bias = vec![10.0f32, 20.0];
+        let engine = ExecEngine::new(2);
+        let prep = PreparedPlan::new(p, a.rows());
+        assert_eq!(prep.fusable_row_count(), 1, "only row 1 fuses at store");
+        let want = unfused_then_apply(&engine, &prep, &a, &b, &Epilogue::Bias(bias.clone()));
+        let (got, _) = engine
+            .execute_prepared_fused(&prep, &a, &b, &Epilogue::Bias(bias))
+            .unwrap();
+        assert_eq!(got.max_abs_diff(&want).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn empty_plan_still_applies_bias_to_zero_rows() {
+        let a = CsrMatrix::from_triplets(3, 3, &[]).unwrap();
+        let b = DenseMatrix::from_fn(3, 2, |_, _| 1.0);
+        let p = plan(vec![]);
+        let engine = ExecEngine::new(1);
+        let prep = PreparedPlan::new(p, a.rows());
+        let (out, _) = engine
+            .execute_prepared_fused(&prep, &a, &b, &Epilogue::Bias(vec![1.5, -2.5]))
+            .unwrap();
+        for r in 0..3 {
+            assert_eq!(out.row(r), &[1.5, -2.5], "bias lands on zero row {r}");
+        }
+    }
+
+    #[test]
+    fn fused_runs_are_counted_and_validated() {
+        let (a, b) = small();
+        let engine = ExecEngine::new(1);
+        let kernel = crate::MergePathSpmm::with_threads(3);
+        engine.spmm_cached(&kernel, &a, &b, 0).unwrap();
+        assert_eq!(engine.stats().fused_epilogues, 0, "noop runs don't count");
+        engine
+            .spmm_cached_fused(&kernel, &a, &b, 0, &Epilogue::Relu)
+            .unwrap();
+        assert_eq!(engine.stats().fused_epilogues, 1);
+        // Bias width must match the dense dimension.
+        let err = engine.spmm_cached_fused(&kernel, &a, &b, 0, &Epilogue::Bias(vec![0.0; 3]));
+        assert!(err.is_err(), "bias wider than dim rejected");
+        engine.clear_cache();
+        assert_eq!(engine.stats().fused_epilogues, 0, "reset clears counter");
+    }
+
+    #[test]
+    fn batch_fused_column_uniform_epilogue_matches_per_block_apply() {
+        let a = crate::spmm::test_support::random_matrix(40, 40, 220, 41);
+        let p = crate::MergePathSpmm::with_threads(7).plan(&a, 8);
+        let prep = PreparedPlan::for_matrix(p, &a);
+        let blocks: Vec<DenseMatrix<f32>> = [3usize, 1, 4]
+            .iter()
+            .enumerate()
+            .map(|(i, &k)| crate::spmm::test_support::random_dense(40, k, 50 + i as u64))
+            .collect();
+        let refs: Vec<&DenseMatrix<f32>> = blocks.iter().collect();
+        let engine = ExecEngine::new(2);
+        let plain = engine.execute_prepared_batch(&prep, &a, &refs).unwrap();
+        let fused = engine
+            .execute_prepared_batch_fused(&prep, &a, &refs, &Epilogue::Relu)
+            .unwrap();
+        for (mut want, got) in plain.into_iter().zip(fused) {
+            let dim = want.cols();
+            for row in want.as_mut_slice().chunks_mut(dim) {
+                Epilogue::Relu.apply_row(row);
+            }
+            assert!(got.approx_eq(&want, 1e-5).unwrap());
+        }
     }
 
     #[test]

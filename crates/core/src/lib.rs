@@ -40,11 +40,13 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
-// `deny` rather than `forbid`: exactly two modules opt back in — the
+// `deny` rather than `forbid`: exactly three modules opt back in — the
 // worker pool (`pool.rs`), for one lifetime-erasure transmute with a
-// documented completion-barrier argument, and the stealing scheduler
+// documented completion-barrier argument; the stealing scheduler
 // (`steal.rs`), for the raw-pointer output view whose row-exclusivity
-// argument is documented there. Everything else stays safe.
+// argument is documented there; and the GEMM wide-ISA clones
+// (`datapath::wide`), whose `#[target_feature]` calls are gated on the
+// matching runtime CPU-feature proof. Everything else stays safe.
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
@@ -52,7 +54,9 @@ pub mod analysis;
 mod arena;
 mod datapath;
 pub mod engine;
+mod epilogue;
 pub mod executor;
+mod gemm;
 mod merge_path;
 mod plan;
 mod pool;
@@ -62,12 +66,14 @@ mod stats;
 mod steal;
 pub mod tuning;
 
-pub use datapath::{DataPath, LaneWidth};
+pub use datapath::{DataPath, LaneWidth, WideIsa};
 pub use engine::{EngineStats, ExecEngine, PreparedPlan, SchedPolicy, DEFAULT_PLAN_CACHE_CAPACITY};
+pub use epilogue::Epilogue;
 pub use merge_path::{merge_path_search, MergeCoord, Schedule, ThreadAssignment};
 pub use plan::{
     chunk_threads, static_span_skew, ChunkDesc, Flush, KernelPlan, PlanError, Segment, ThreadPlan,
 };
+pub use pool::parallel_apply_chunks;
 pub use spmm::{
     default_workers, plan_from_schedule, CostPolicy, MergePathSerialFixup, MergePathSpmm,
     NeighborPartitionIndex, NnzSplitSpmm, RowSplitSpmm, SerialSpmm, SpmmKernel,
@@ -75,5 +81,6 @@ pub use spmm::{
 pub use stats::WriteStats;
 pub use tuning::{
     default_cost_for_dim, panel_cols, thread_count, CacheModel, SimdMapping, GATHER_MAX_NNZ,
-    GPU_SIMD_LANES, MIN_THREADS, STEAL_CHUNKS_PER_WORKER, STEAL_SKEW_THRESHOLD,
+    GEMM_BAND_ROWS, GEMM_MR, GPU_SIMD_LANES, MIN_THREADS, PAR_APPLY_MIN_LEN,
+    STEAL_CHUNKS_PER_WORKER, STEAL_SKEW_THRESHOLD,
 };

@@ -54,6 +54,7 @@ use mpspmm_sparse::{CsrMatrix, DenseMatrix};
 
 use crate::datapath::{accumulate_segment_dispatch, prefetch_segment_rows, ResolvedPath};
 use crate::engine::{PreparedPlan, RowKind};
+use crate::epilogue::Epilogue;
 use crate::plan::{ChunkDesc, Flush};
 use crate::pool::{ScopedJob, WorkerPool};
 
@@ -110,8 +111,13 @@ impl SharedOut {
 type Fixup = (u32, u32, usize, Flush, Vec<f32>);
 
 /// Executes `prep` over `chunks` with `eff_workers` stealing workers,
-/// writing `Direct` rows into `out` in place. Caller guarantees
-/// `out.len() == rows * dim`, zeroed, and `eff_workers >= 2`.
+/// writing `Direct` rows into `out` in place. Fusable rows (`Direct`
+/// and carry-free) get `epi` applied at store time by whichever worker
+/// executes their owning chunk — the exclusivity argument above covers
+/// the epilogue too, since it runs inside the same `row_mut` borrow;
+/// all other rows get their epilogue from the engine after the serial
+/// fixup below. Caller guarantees `out.len() == rows * dim`, zeroed,
+/// a validated `epi`, and `eff_workers >= 2`.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn run_stealing(
     prep: &PreparedPlan,
@@ -121,6 +127,7 @@ pub(crate) fn run_stealing(
     eff_workers: usize,
     rp: &ResolvedPath,
     cols32: Option<&[u32]>,
+    epi: &Epilogue,
     chunks: &[ChunkDesc],
     out: &mut [f32],
 ) -> StealOutcome {
@@ -153,6 +160,7 @@ pub(crate) fn run_stealing(
             let worker_nnz = &worker_nnz;
             let all_fixups = &all_fixups;
             let shared = &shared;
+            let epi = &*epi;
             Box::new(move || {
                 let mut acc = vec![0.0f32; dim];
                 let mut local_fixups: Vec<Fixup> = Vec::new();
@@ -191,6 +199,7 @@ pub(crate) fn run_stealing(
                         dim,
                         rp,
                         cols32,
+                        epi,
                         shared,
                         &mut acc,
                         &mut local_fixups,
@@ -253,10 +262,12 @@ fn run_chunk(
     dim: usize,
     rp: &ResolvedPath,
     cols32: Option<&[u32]>,
+    epi: &Epilogue,
     shared: &SharedOut,
     acc: &mut Vec<f32>,
     fixups: &mut Vec<Fixup>,
 ) {
+    let fuse = !epi.is_noop();
     for t in chunk.thread_start..chunk.thread_end {
         let segments = &prep.plan().threads[t as usize].segments;
         for (s, seg) in segments.iter().enumerate() {
@@ -271,6 +282,9 @@ fn run_chunk(
                 // only Regular segment's chunk (see module docs).
                 let dst = unsafe { shared.row_mut(seg.row, dim) };
                 accumulate_segment_dispatch(rp, seg, a, cols32, b, dst);
+                if fuse && prep.fused_ok[seg.row] {
+                    epi.apply_row(dst);
+                }
             } else {
                 if acc.len() != dim {
                     acc.resize(dim, 0.0);

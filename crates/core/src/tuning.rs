@@ -37,6 +37,26 @@ pub const STEAL_CHUNKS_PER_WORKER: usize = 6;
 /// power-law graphs exceed this by multiples.
 pub const STEAL_SKEW_THRESHOLD: f64 = 1.25;
 
+/// Register-tile height of the engine's dense GEMM microkernel: this
+/// many `A` rows share every loaded `B` row panel, so each `B` element
+/// feeds `GEMM_MR` fused multiply-adds instead of one. Four rows ×
+/// 16 lanes = 64 live f32 accumulators, which fits the 16 (32 with
+/// AVX-512) architectural vector registers with spill-free headroom.
+pub const GEMM_MR: usize = 4;
+
+/// Rows per work unit of the engine's parallel GEMM. Bands are dealt to
+/// pool workers (self-scheduled under `Auto`/`Stealing`, contiguous
+/// spans under `Static`); 32 rows amortize the per-band dispatch while
+/// keeping `workers × several` bands available for balancing on
+/// GNN-sized matrices.
+pub const GEMM_BAND_ROWS: usize = 32;
+
+/// Below this many f32 elements an element-wise pass
+/// ([`crate::parallel_apply_chunks`]) runs inline on the caller: a 16 K
+/// element sweep finishes in a few microseconds, under the pool's
+/// dispatch-plus-barrier cost.
+pub const PAR_APPLY_MIN_LEN: usize = 1 << 14;
+
 /// Tiny CPU cache model the plan uses to size feature-dimension panels.
 ///
 /// Only order-of-magnitude accuracy matters: the panel must keep a

@@ -63,7 +63,10 @@ impl GinLayer {
     }
 
     /// Forward pass through `engine`'s plan cache (see
-    /// [`crate::GcnLayer::forward_cached`] for the epoch contract).
+    /// [`crate::GcnLayer::forward_cached`] for the epoch contract). The
+    /// sum aggregation is a dense matrix, so both MLP products run on the
+    /// engine's parallel blocked GEMM and their scratch recycles through
+    /// the buffer arena.
     ///
     /// # Errors
     ///
@@ -77,7 +80,13 @@ impl GinLayer {
         epoch: u64,
     ) -> Result<DenseMatrix<f32>, SparseFormatError> {
         let (agg, _) = engine.spmm_cached(kernel, op, h, epoch)?;
-        self.finish_mlp(agg)
+        let mut hidden = engine.gemm(&agg, &self.w1)?;
+        engine.recycle(agg);
+        Activation::Relu.apply(&mut hidden);
+        let mut out = engine.gemm(&hidden, &self.w2)?;
+        engine.recycle(hidden);
+        self.activation.apply(&mut out);
+        Ok(out)
     }
 
     fn finish_mlp(&self, agg: DenseMatrix<f32>) -> Result<DenseMatrix<f32>, SparseFormatError> {
@@ -147,7 +156,10 @@ impl SageMeanLayer {
     }
 
     /// Forward pass through `engine`'s plan cache (see
-    /// [`crate::GcnLayer::forward_cached`] for the epoch contract).
+    /// [`crate::GcnLayer::forward_cached`] for the epoch contract). Both
+    /// dense products (`H·W_neigh` and `H·W_self`) run on the engine's
+    /// parallel blocked GEMM; the neighbour product recycles through the
+    /// buffer arena as soon as the aggregation has consumed it.
     ///
     /// # Errors
     ///
@@ -160,8 +172,22 @@ impl SageMeanLayer {
         engine: &ExecEngine,
         epoch: u64,
     ) -> Result<DenseMatrix<f32>, SparseFormatError> {
-        let (neigh, _) = engine.spmm_cached(kernel, op, &gemm(h, &self.w_neigh)?, epoch)?;
-        self.combine(h, neigh)
+        let hw_neigh = engine.gemm(h, &self.w_neigh)?;
+        let (neigh, _) = engine.spmm_cached(kernel, op, &hw_neigh, epoch)?;
+        engine.recycle(hw_neigh);
+        let mut out = engine.gemm(h, &self.w_self)?;
+        if out.rows() != neigh.rows() || out.cols() != neigh.cols() {
+            return Err(SparseFormatError::ShapeMismatch {
+                left: (out.rows(), out.cols()),
+                right: (neigh.rows(), neigh.cols()),
+            });
+        }
+        for (dst, &src) in out.as_mut_slice().iter_mut().zip(neigh.as_slice()) {
+            *dst += src;
+        }
+        engine.recycle(neigh);
+        self.activation.apply(&mut out);
+        Ok(out)
     }
 
     fn combine(

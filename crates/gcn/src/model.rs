@@ -1,26 +1,82 @@
 //! GCN layers and models over pluggable SpMM kernels.
 
-use mpspmm_core::{ExecEngine, Schedule, SpmmKernel};
+use mpspmm_core::{parallel_apply_chunks, Epilogue, ExecEngine, Schedule, SpmmKernel};
 use mpspmm_sparse::{CsrMatrix, DenseMatrix, SparseFormatError};
 
 use crate::ops::{gemm, Activation};
 
-/// One graph-convolution layer: `H' = σ(Â · H · W)`.
+/// One graph-convolution layer: `H' = σ(Â · H · W + b)`.
 ///
 /// The forward pass computes the dense combination `H × W` first, then the
 /// sparse aggregation `Â × (HW)` through the supplied [`SpmmKernel`] —
 /// the `A × (X × W)` multiplication order all the paper's accelerators
-/// implement (§II).
+/// implement (§II). The optional per-column bias `b` and the activation
+/// form the layer's epilogue; on the cached engine path they are fused
+/// into the aggregation's store stage ([`Epilogue`]) instead of
+/// re-streaming the output.
 #[derive(Debug, Clone, PartialEq)]
 pub struct GcnLayer {
     weight: DenseMatrix<f32>,
+    bias: Option<Vec<f32>>,
     activation: Activation,
+    /// Precomputed fused form of `bias` + `activation`; `None` when the
+    /// activation has no store-stage form (sigmoid) and the cached path
+    /// must fall back to a separate element-wise pass.
+    epilogue: Option<Epilogue>,
+}
+
+/// `bias` repeated `blocks` times — the combined-width epilogue of a
+/// batched aggregation whose blocks all share one layer width.
+fn tile_bias(bias: &[f32], blocks: usize) -> Vec<f32> {
+    let mut tiled = Vec::with_capacity(bias.len() * blocks);
+    for _ in 0..blocks {
+        tiled.extend_from_slice(bias);
+    }
+    tiled
+}
+
+fn build_epilogue(bias: &Option<Vec<f32>>, activation: Activation) -> Option<Epilogue> {
+    match (bias, activation) {
+        (None, Activation::Identity) => Some(Epilogue::None),
+        (None, Activation::Relu) => Some(Epilogue::Relu),
+        (Some(b), Activation::Identity) => Some(Epilogue::Bias(b.clone())),
+        (Some(b), Activation::Relu) => Some(Epilogue::BiasRelu(b.clone())),
+        (_, Activation::Sigmoid) => None,
+    }
 }
 
 impl GcnLayer {
     /// Creates a layer from a trained/initialized weight matrix.
     pub fn new(weight: DenseMatrix<f32>, activation: Activation) -> Self {
-        Self { weight, activation }
+        let bias = None;
+        let epilogue = build_epilogue(&bias, activation);
+        Self {
+            weight,
+            bias,
+            activation,
+            epilogue,
+        }
+    }
+
+    /// Creates a layer with a per-output-column bias: `σ(Â·H·W + b)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bias.len() != weight.cols()`.
+    pub fn with_bias(weight: DenseMatrix<f32>, bias: Vec<f32>, activation: Activation) -> Self {
+        assert_eq!(
+            bias.len(),
+            weight.cols(),
+            "bias width must match output features"
+        );
+        let bias = Some(bias);
+        let epilogue = build_epilogue(&bias, activation);
+        Self {
+            weight,
+            bias,
+            activation,
+            epilogue,
+        }
     }
 
     /// The layer's input feature width.
@@ -33,7 +89,37 @@ impl GcnLayer {
         self.weight.cols()
     }
 
-    /// Forward pass: `σ(Â × (H × W))`.
+    /// The layer's per-column bias, if any.
+    pub fn bias(&self) -> Option<&[f32]> {
+        self.bias.as_deref()
+    }
+
+    /// The store-stage form of this layer's bias + activation, when one
+    /// exists (sigmoid has none and always runs unfused).
+    pub fn epilogue(&self) -> Option<&Epilogue> {
+        self.epilogue.as_ref()
+    }
+
+    /// The unfused epilogue: bias add then activation, each a separate
+    /// pass over `out`. The fused engine path produces element-identical
+    /// results without these extra passes.
+    fn apply_unfused(&self, out: &mut DenseMatrix<f32>) {
+        if let Some(bias) = &self.bias {
+            let cols = out.cols();
+            if cols > 0 {
+                parallel_apply_chunks(out.as_mut_slice(), cols, |_, span| {
+                    for row in span.chunks_mut(cols) {
+                        for (v, &b) in row.iter_mut().zip(bias) {
+                            *v += b;
+                        }
+                    }
+                });
+            }
+        }
+        self.activation.apply(out);
+    }
+
+    /// Forward pass: `σ(Â × (H × W) + b)`.
     ///
     /// # Errors
     ///
@@ -47,13 +133,17 @@ impl GcnLayer {
     ) -> Result<DenseMatrix<f32>, SparseFormatError> {
         let hw = gemm(h, &self.weight)?;
         let mut out = kernel.spmm(a_hat, &hw)?;
-        self.activation.apply(&mut out);
+        self.apply_unfused(&mut out);
         Ok(out)
     }
 
-    /// Forward pass through `engine`'s plan cache: the merge-path
-    /// scheduling for `Â` at this layer's output width is computed at most
-    /// once per graph `epoch` and reused on every subsequent call —
+    /// Forward pass through `engine`'s plan cache as one fused pipeline:
+    /// the dense combination `H × W` runs on the engine's parallel
+    /// blocked GEMM ([`ExecEngine::gemm`]), and the aggregation applies
+    /// the layer's bias/activation [`Epilogue`] at the SpMM store stage
+    /// instead of re-streaming the output afterwards. The merge-path
+    /// scheduling for `Â` at this layer's output width is computed at
+    /// most once per graph `epoch` and reused on every subsequent call —
     /// the offline setting of the paper's Figure 8, made automatic.
     ///
     /// The dense product `H × W` is recycled into the engine's buffer
@@ -63,6 +153,12 @@ impl GcnLayer {
     /// `epoch` must change whenever `a_hat`'s sparsity pattern does
     /// (`GraphStream::generation` in `mpspmm-graphs` is the intended
     /// source).
+    ///
+    /// Use this entry point when `h` is dense (hidden-layer activations);
+    /// for the moderately sparse raw feature matrix of a model's first
+    /// layer, [`forward_cached_sparse_features`]
+    /// (Self::forward_cached_sparse_features) keeps the zero-skipping
+    /// combination instead.
     ///
     /// # Errors
     ///
@@ -76,11 +172,56 @@ impl GcnLayer {
         engine: &ExecEngine,
         epoch: u64,
     ) -> Result<DenseMatrix<f32>, SparseFormatError> {
+        let hw = engine.gemm(h, &self.weight)?;
+        self.aggregate_fused(a_hat, hw, kernel, engine, epoch)
+    }
+
+    /// [`forward_cached`](Self::forward_cached) for a *moderately sparse*
+    /// dense-stored `h` (a model's raw input features): the combination
+    /// uses the naive zero-skipping GEMM — most products are against
+    /// stored zeros there, so the per-element branch pays for itself —
+    /// while the aggregation still runs fused on the engine.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseFormatError::ShapeMismatch`] when the feature or
+    /// adjacency shapes are inconsistent.
+    pub fn forward_cached_sparse_features(
+        &self,
+        a_hat: &CsrMatrix<f32>,
+        h: &DenseMatrix<f32>,
+        kernel: &dyn SpmmKernel,
+        engine: &ExecEngine,
+        epoch: u64,
+    ) -> Result<DenseMatrix<f32>, SparseFormatError> {
         let hw = gemm(h, &self.weight)?;
-        let (mut out, _) = engine.spmm_cached(kernel, a_hat, &hw, epoch)?;
-        engine.recycle(hw);
-        self.activation.apply(&mut out);
-        Ok(out)
+        self.aggregate_fused(a_hat, hw, kernel, engine, epoch)
+    }
+
+    /// The shared aggregation tail of the cached paths: fused epilogue
+    /// when the activation has a store-stage form, separate passes
+    /// otherwise; `hw` is recycled into the arena either way.
+    fn aggregate_fused(
+        &self,
+        a_hat: &CsrMatrix<f32>,
+        hw: DenseMatrix<f32>,
+        kernel: &dyn SpmmKernel,
+        engine: &ExecEngine,
+        epoch: u64,
+    ) -> Result<DenseMatrix<f32>, SparseFormatError> {
+        match &self.epilogue {
+            Some(epi) => {
+                let (out, _) = engine.spmm_cached_fused(kernel, a_hat, &hw, epoch, epi)?;
+                engine.recycle(hw);
+                Ok(out)
+            }
+            None => {
+                let (mut out, _) = engine.spmm_cached(kernel, a_hat, &hw, epoch)?;
+                engine.recycle(hw);
+                self.apply_unfused(&mut out);
+                Ok(out)
+            }
+        }
     }
 
     /// Unified-engine forward pass with a *sparse* input feature matrix:
@@ -105,7 +246,7 @@ impl GcnLayer {
     ) -> Result<DenseMatrix<f32>, SparseFormatError> {
         let xw = kernel.spmm(x, &self.weight)?;
         let mut out = kernel.spmm(a_hat, &xw)?;
-        self.activation.apply(&mut out);
+        self.apply_unfused(&mut out);
         Ok(out)
     }
 }
@@ -256,9 +397,16 @@ impl GcnModel {
         Ok(warmed)
     }
 
-    /// Full forward pass through `engine`'s plan cache (see
-    /// [`GcnLayer::forward_cached`]): after the first inference on a graph
-    /// epoch, every layer's SpMM skips planning entirely.
+    /// Full forward pass through `engine`'s plan cache as a fused
+    /// pipeline (see [`GcnLayer::forward_cached`]): after the first
+    /// inference on a graph epoch, every layer's SpMM skips planning
+    /// entirely; each layer is one engine GEMM plus one SpMM with the
+    /// bias/activation epilogue fused into the store stage.
+    ///
+    /// Layer 0 consumes the raw feature matrix — moderately sparse, so
+    /// its combination keeps the zero-skipping GEMM
+    /// ([`GcnLayer::forward_cached_sparse_features`]); hidden layers'
+    /// dense activations go through the engine's blocked GEMM.
     ///
     /// Inter-layer activations ping-pong through the engine's buffer
     /// arena: each layer's input is recycled as soon as the next
@@ -277,7 +425,8 @@ impl GcnModel {
         engine: &ExecEngine,
         epoch: u64,
     ) -> Result<DenseMatrix<f32>, SparseFormatError> {
-        let mut h = self.layers[0].forward_cached(a_hat, x, kernel, engine, epoch)?;
+        let mut h =
+            self.layers[0].forward_cached_sparse_features(a_hat, x, kernel, engine, epoch)?;
         for layer in &self.layers[1..] {
             let next = layer.forward_cached(a_hat, &h, kernel, engine, epoch)?;
             engine.recycle(std::mem::replace(&mut h, next));
@@ -318,14 +467,35 @@ impl GcnModel {
             let mut products = Vec::with_capacity(blocks.len());
             for j in 0..blocks.len() {
                 let h = if i == 0 { blocks[j] } else { &hs[j] };
-                products.push(gemm(h, &layer.weight)?);
+                // Layer 0 sees the requests' moderately sparse raw
+                // features (zero-skipping GEMM); hidden layers see dense
+                // activations (engine blocked GEMM).
+                products.push(if i == 0 {
+                    gemm(h, &layer.weight)?
+                } else {
+                    engine.gemm(h, &layer.weight)?
+                });
             }
             let refs: Vec<&DenseMatrix<f32>> = products.iter().collect();
-            let mut aggregated = engine.execute_prepared_batch(prep, a_hat, &refs)?;
+            // Every block in a model batch has this layer's output width,
+            // so a per-block bias tiles to a combined-width bias and the
+            // whole batch epilogue fuses into the one aggregation run.
+            let batch_epi = layer.epilogue.as_ref().map(|epi| match epi {
+                Epilogue::Bias(b) => Epilogue::Bias(tile_bias(b, blocks.len())),
+                Epilogue::BiasRelu(b) => Epilogue::BiasRelu(tile_bias(b, blocks.len())),
+                uniform => uniform.clone(),
+            });
+            let aggregated = match batch_epi {
+                Some(epi) => engine.execute_prepared_batch_fused(prep, a_hat, &refs, &epi)?,
+                None => {
+                    let mut agg = engine.execute_prepared_batch(prep, a_hat, &refs)?;
+                    for out in &mut agg {
+                        layer.apply_unfused(out);
+                    }
+                    agg
+                }
+            };
             drop(refs);
-            for out in &mut aggregated {
-                layer.activation.apply(out);
-            }
             // The per-request products and the previous layer's
             // activations are dead now: hand both back to the arena so
             // the next layer (and the next batch) reuse them.

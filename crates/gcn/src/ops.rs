@@ -1,15 +1,21 @@
 //! Dense linear-algebra operations for the GCN combination phase.
 
+use mpspmm_core::parallel_apply_chunks;
 use mpspmm_sparse::{DenseMatrix, SparseFormatError};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
-/// Dense matrix multiplication `A × B` (row-major, ikj loop order).
+/// Dense matrix multiplication `A × B` (row-major, ikj loop order) with a
+/// per-element `a == 0.0` skip.
 ///
-/// This is the `X × W` step of a GCN layer — the paper's accelerators
-/// execute it on the same unified SpMM engine, but for the reproduction a
-/// straightforward dense GEMM suffices (the dense product feeds the sparse
-/// `A × XW` kernel under study).
+/// This is the `X × W` step of **layer 0** of a GNN, where `X` is the
+/// moderately sparse raw feature matrix and the skip pays for itself
+/// (most products are against zero). Hidden layers — whose activations
+/// are dense — go through the engine's blocked, register-tiled GEMM
+/// ([`mpspmm_core::ExecEngine::gemm`]) instead, which drops the branch
+/// entirely; the two agree bit-for-bit on every product the skip doesn't
+/// turn into a skipped `+ 0.0` (i.e. everywhere, up to the sign of
+/// zeros — see the `gemm_dense_vs_naive` property test).
 ///
 /// # Errors
 ///
@@ -55,19 +61,30 @@ pub enum Activation {
 
 impl Activation {
     /// Applies the activation element-wise in place.
+    ///
+    /// This is the **unfused fallback** — the hot layer paths fuse their
+    /// activation into the engine's SpMM store stage
+    /// ([`mpspmm_core::Epilogue`]) and never re-stream the output. When
+    /// it does run (seed-oracle `forward`, sigmoid layers, standalone
+    /// use), large matrices are split across the engine's worker pool;
+    /// the per-span loops are branch-light and autovectorize.
     pub fn apply(&self, m: &mut DenseMatrix<f32>) {
         match self {
             Activation::Relu => {
-                for v in m.as_mut_slice() {
-                    if *v < 0.0 {
-                        *v = 0.0;
+                parallel_apply_chunks(m.as_mut_slice(), 1, |_, span| {
+                    for v in span {
+                        if *v < 0.0 {
+                            *v = 0.0;
+                        }
                     }
-                }
+                });
             }
             Activation::Sigmoid => {
-                for v in m.as_mut_slice() {
-                    *v = 1.0 / (1.0 + (-*v).exp());
-                }
+                parallel_apply_chunks(m.as_mut_slice(), 1, |_, span| {
+                    for v in span {
+                        *v = 1.0 / (1.0 + (-*v).exp());
+                    }
+                });
             }
             Activation::Identity => {}
         }
@@ -75,25 +92,45 @@ impl Activation {
 }
 
 /// Row-wise softmax (numerically stabilized), producing per-node class
-/// probabilities from the final layer's logits.
+/// probabilities from the final layer's logits. Rows are independent, so
+/// large matrices are processed row-parallel on the engine's worker pool.
+///
+/// Degenerate rows are handled deterministically:
+///
+/// * a row containing any `NaN` has no well-defined distribution and
+///   becomes all zeros (previously such rows were silently left holding
+///   their raw logits, because `fold(NEG_INFINITY, f32::max)` *ignores*
+///   `NaN` unless it is the only value — the "max is NaN" guard never
+///   actually fired on mixed rows);
+/// * a row whose maximum is `+∞` or `-∞` (all-`-∞` rows included) is
+///   left untouched, as before — there is no stable finite shift.
 pub fn softmax_rows(m: &mut DenseMatrix<f32>) {
-    for r in 0..m.rows() {
-        let row = m.row_mut(r);
-        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-        if !max.is_finite() {
-            continue;
-        }
-        let mut sum = 0.0;
-        for v in row.iter_mut() {
-            *v = (*v - max).exp();
-            sum += *v;
-        }
-        if sum > 0.0 {
+    let cols = m.cols();
+    if cols == 0 || m.rows() == 0 {
+        return;
+    }
+    parallel_apply_chunks(m.as_mut_slice(), cols, |_, span| {
+        for row in span.chunks_mut(cols) {
+            if row.iter().any(|v| v.is_nan()) {
+                row.fill(0.0);
+                continue;
+            }
+            let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            if !max.is_finite() {
+                continue;
+            }
+            let mut sum = 0.0;
             for v in row.iter_mut() {
-                *v /= sum;
+                *v = (*v - max).exp();
+                sum += *v;
+            }
+            if sum > 0.0 {
+                for v in row.iter_mut() {
+                    *v /= sum;
+                }
             }
         }
-    }
+    });
 }
 
 /// Glorot/Xavier-style uniform weight initialization, seeded and
@@ -190,6 +227,62 @@ mod tests {
         }
         // Largest logit keeps the largest probability.
         assert!(m.get(0, 2) > m.get(0, 1));
+    }
+
+    #[test]
+    fn softmax_nan_row_becomes_deterministic_zeros() {
+        // Regression: `fold(NEG_INFINITY, f32::max)` ignores NaN on mixed
+        // rows, so the old "max not finite" guard never fired and the row
+        // kept its raw logits (including the NaN). Now any NaN-bearing
+        // row collapses to all zeros, and clean rows are unaffected.
+        let mut m = DenseMatrix::from_vec(
+            3,
+            3,
+            vec![1.0, f32::NAN, 2.0, 1.0, 2.0, 3.0, f32::NAN, -1.0, 0.5],
+        )
+        .unwrap();
+        softmax_rows(&mut m);
+        assert_eq!(m.row(0), &[0.0, 0.0, 0.0]);
+        assert_eq!(m.row(2), &[0.0, 0.0, 0.0]);
+        let s: f32 = m.row(1).iter().sum();
+        assert!((s - 1.0).abs() < 1e-6, "clean row still normalized");
+        assert!(m.row(1).iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn softmax_infinite_rows_and_empty_are_untouched() {
+        let mut m = DenseMatrix::from_vec(2, 2, vec![f32::INFINITY, 1.0, 1.0, 2.0]).unwrap();
+        softmax_rows(&mut m);
+        assert_eq!(m.row(0), &[f32::INFINITY, 1.0], "inf row left as-is");
+        let mut empty = DenseMatrix::<f32>::zeros(0, 4);
+        softmax_rows(&mut empty);
+        let mut zero_wide = DenseMatrix::<f32>::zeros(4, 0);
+        softmax_rows(&mut zero_wide);
+    }
+
+    #[test]
+    fn activation_apply_parallel_matches_scalar_reference() {
+        // Big enough to cross the pool's inline threshold.
+        let n = mpspmm_core::PAR_APPLY_MIN_LEN + 13;
+        let vals: Vec<f32> = (0..n).map(|i| ((i % 23) as f32) - 11.0).collect();
+        for act in [Activation::Relu, Activation::Sigmoid] {
+            let mut m = DenseMatrix::from_vec(1, n, vals.clone()).unwrap();
+            act.apply(&mut m);
+            for (i, (&got, &x)) in m.as_slice().iter().zip(&vals).enumerate() {
+                let want = match act {
+                    Activation::Relu => {
+                        if x < 0.0 {
+                            0.0
+                        } else {
+                            x
+                        }
+                    }
+                    Activation::Sigmoid => 1.0 / (1.0 + (-x).exp()),
+                    Activation::Identity => x,
+                };
+                assert_eq!(got, want, "{act:?} element {i}");
+            }
+        }
     }
 
     #[test]

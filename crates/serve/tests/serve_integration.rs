@@ -330,3 +330,26 @@ fn engine_stats_are_threaded_through_serve_stats() {
     assert!(stats.latency.p99_us >= stats.latency.p50_us);
     srv.shutdown();
 }
+
+#[test]
+fn fused_pipeline_stats_are_threaded_through_serve_stats() {
+    let srv = server(ServeConfig::default());
+    srv.register("g", graph(1.0), Some(GcnModel::two_layer(6, 10, 3, 42)));
+    srv.submit(req("g", "t", feats(6, 0), Workload::Gcn))
+        .unwrap()
+        .wait()
+        .unwrap();
+    let stats = srv.stats();
+    // The batched GCN path runs both halves of the fused layer pipeline
+    // on the engine; its counters must surface through ServeStats.
+    assert!(
+        stats.engine.gemm_panels > 0,
+        "combination GEMM ran on the engine"
+    );
+    assert!(stats.engine.gemm_ns > 0, "GEMM time was recorded");
+    assert!(
+        stats.engine.fused_epilogues > 0,
+        "aggregation applied a fused epilogue"
+    );
+    srv.shutdown();
+}

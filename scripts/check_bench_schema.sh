@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# Validates every BENCH_*.json artifact at the repo root:
+#   1. parses as JSON, and
+#   2. carries the common top-level keys every bench binary must emit:
+#      "baseline" (string: what the speedup is measured against) and
+#      "speedup"  (number: the headline ratio for that bench).
+# Keeping the artifacts on one schema lets downstream tooling (and the
+# README tables) consume them uniformly. Run from anywhere; exits
+# non-zero on the first violation.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+if ! command -v jq >/dev/null 2>&1; then
+    echo "check_bench_schema: jq not found; skipping schema validation" >&2
+    exit 0
+fi
+
+shopt -s nullglob
+files=(BENCH_*.json)
+if [ ${#files[@]} -eq 0 ]; then
+    echo "check_bench_schema: no BENCH_*.json artifacts found" >&2
+    exit 1
+fi
+
+status=0
+for f in "${files[@]}"; do
+    if ! jq empty "$f" 2>/dev/null; then
+        echo "FAIL $f: not valid JSON" >&2
+        status=1
+        continue
+    fi
+    if ! jq -e '(.baseline | type) == "string"' "$f" >/dev/null; then
+        echo "FAIL $f: missing top-level string key \"baseline\"" >&2
+        status=1
+        continue
+    fi
+    if ! jq -e '(.speedup | type) == "number"' "$f" >/dev/null; then
+        echo "FAIL $f: missing top-level numeric key \"speedup\"" >&2
+        status=1
+        continue
+    fi
+    printf 'ok   %-20s speedup %sx vs %s\n' "$f" \
+        "$(jq -r '.speedup' "$f")" "$(jq -r '.baseline' "$f")"
+done
+
+exit $status

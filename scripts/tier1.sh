@@ -6,8 +6,9 @@
 # Usage: scripts/tier1.sh
 # Emits BENCH_engine.json (register-tiled baseline), BENCH_simd.json
 # (vectorized data path vs that baseline), BENCH_serve.json (serving
-# layer, smoke shape), and BENCH_steal.json (scheduler comparison, smoke
-# shape) in the repository root.
+# layer, smoke shape), BENCH_steal.json (scheduler comparison, smoke
+# shape), and BENCH_fused.json (fused GCN pipeline vs unfused, smoke
+# shape) in the repository root, then validates their common schema.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -28,7 +29,14 @@ cargo test -q -p mpspmm-core --features force-scalar
 for w in 1 2 8; do
   MPSPMM_WORKERS=$w cargo test -q -p mpspmm-core --test engine_stealing
 done
+# The fused layer pipeline promises fused == unfused at every worker
+# count; re-run its oracle property suite across the same matrix.
+for w in 1 2 8; do
+  MPSPMM_WORKERS=$w cargo test -q -p mpspmm-gcn --test fused_oracle
+done
 cargo run --release -p mpspmm-bench --bin bench_engine
 cargo run --release -p mpspmm-bench --bin bench_simd
 cargo run --release -p mpspmm-bench --bin bench_serve -- --smoke
 cargo run --release -p mpspmm-bench --bin bench_steal -- --smoke
+cargo run --release -p mpspmm-bench --bin bench_fused -- --smoke
+scripts/check_bench_schema.sh

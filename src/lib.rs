@@ -37,3 +37,10 @@ pub use mpspmm_multicore as multicore;
 pub use mpspmm_serve as serve;
 pub use mpspmm_simt as simt;
 pub use mpspmm_sparse as sparse;
+
+// Fused GCN layer pipeline entry points, re-exported at the facade root:
+// [`ExecEngine`] carries both halves of a layer — the parallel blocked
+// GEMM (`ExecEngine::gemm`) and the SpMM whose store stage applies an
+// [`Epilogue`] to direct rows in place — and [`WideIsa`] reports which
+// runtime-detected wide instruction set the data path dispatched to.
+pub use mpspmm_core::{Epilogue, ExecEngine, WideIsa};
