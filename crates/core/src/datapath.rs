@@ -43,14 +43,31 @@
 //! `force-scalar` feature pins [`DataPath::Auto`] to the scalar path,
 //! keeping a known-good oracle build available at all times.
 //!
+//! # FastMath (opt-in FMA contraction)
+//!
+//! The exact kernels above keep multiply and add as separate
+//! instructions — the price of bit-equality with the scalar oracle. The
+//! opt-in **FastMath** mode ([`crate::ExecEngine::with_fast_math`] or
+//! `MPSPMM_FASTMATH=1`) permits fused multiply-add contraction in the
+//! streaming SpMM kernel and the GEMM microkernel: the same loops with
+//! `f32::mul_add`, compiled under `#[target_feature]` clones that enable
+//! the `fma` extension (a bare `mul_add` without it lowers to a libm
+//! call). FMA skips the intermediate rounding of the product, so
+//! FastMath results can differ from the oracle by a rounding-level
+//! amount per product — it is **never** selected by default, never used
+//! by the oracles, and the gather microkernel (too short to benefit)
+//! stays exact even under FastMath. See DESIGN.md §2.11 for the
+//! carve-out.
+//!
 //! # Tuning knobs
 //!
-//! Two environment variables, read **once per process** at the first
-//! path resolution (never in the segment loop or per engine run), exist
-//! for ablation: `MPSPMM_GATHER_MAX` overrides the gather threshold
-//! ([`GATHER_MAX_NNZ`]; `0` disables the gather kernel entirely) and
-//! `MPSPMM_NO_PREFETCH` disables the software prefetch. Like
-//! `MPSPMM_WORKERS`, changing them after the first engine run has no
+//! Three environment variables, read **once per process** at the first
+//! path resolution (never in the segment loop or per engine run):
+//! `MPSPMM_GATHER_MAX` overrides the gather threshold
+//! ([`GATHER_MAX_NNZ`]; `0` disables the gather kernel entirely),
+//! `MPSPMM_NO_PREFETCH` disables the software prefetch, and
+//! `MPSPMM_FASTMATH` (any value but `0`) opts the process into FastMath.
+//! Like `MPSPMM_WORKERS`, changing them after the first engine run has no
 //! effect — a serving process resolves its configuration at startup.
 
 use mpspmm_sparse::{CsrMatrix, DenseMatrix};
@@ -152,8 +169,8 @@ pub(crate) enum PathKind {
 }
 
 /// A [`DataPath`] resolved against a dense dimension: the kernel family,
-/// the lane width, the column panel, and the gather threshold, fixed once
-/// per engine run.
+/// the lane width, the column panel, the gather threshold, and whether
+/// FMA contraction is permitted, fixed once per engine run.
 #[derive(Debug, Clone, Copy)]
 pub(crate) struct ResolvedPath {
     pub kind: PathKind,
@@ -162,12 +179,29 @@ pub(crate) struct ResolvedPath {
     pub panel: usize,
     pub gather_max: usize,
     pub prefetch: bool,
+    /// FMA contraction permitted (FastMath): only ever `true` when the
+    /// engine opted in **and** [`fastmath_supported`] proved the CPU can
+    /// run the fma clones **and** the kernel family is `Vector` (the
+    /// scalar/tiled baselines stay exact unconditionally).
+    pub fastmath: bool,
 }
 
 impl DataPath {
     /// Resolves the path for one execution over a `dim`-column dense
-    /// operand.
+    /// operand, with FastMath off (the exact default). Production call
+    /// sites all thread the engine's FastMath flag through
+    /// [`DataPath::resolve_fast`]; this shorthand remains for tests and
+    /// any caller that wants the exact path unconditionally.
+    #[cfg_attr(not(test), allow(dead_code))]
     pub(crate) fn resolve(self, dim: usize) -> ResolvedPath {
+        self.resolve_fast(dim, false)
+    }
+
+    /// Resolves the path for one execution over a `dim`-column dense
+    /// operand; `want_fastmath` requests FMA contraction, granted only
+    /// when the resolved kernel family is `Vector` and the CPU supports
+    /// the fma kernel clones.
+    pub(crate) fn resolve_fast(self, dim: usize, want_fastmath: bool) -> ResolvedPath {
         let kind = match self {
             DataPath::Auto => {
                 if cfg!(feature = "force-scalar") {
@@ -188,8 +222,33 @@ impl DataPath {
             panel: panel_cols(dim, lanes.lanes(), &CacheModel::default()),
             gather_max: env_gather_max(),
             prefetch: env_prefetch(),
+            fastmath: want_fastmath && kind == PathKind::Vector && fastmath_supported(),
         }
     }
+}
+
+/// Whether this CPU can run the FastMath kernel clones: on x86-64, a
+/// proven `fma` extension alongside a wide ISA clone (AVX2/AVX-512F —
+/// `fma` does not meaningfully exist without them); elsewhere always, as
+/// `f32::mul_add` is a native instruction (e.g. NEON) on every supported
+/// target. FastMath being *supported* does not make it *selected*: the
+/// engine must still opt in.
+pub fn fastmath_supported() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        is_x86_feature_detected!("fma") && WideIsa::detect() != WideIsa::Portable
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        true
+    }
+}
+
+/// `MPSPMM_FASTMATH` opt-in (any value but `0`), resolved once per
+/// process like the other data-path knobs.
+pub(crate) fn env_fastmath() -> bool {
+    static FASTMATH: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *FASTMATH.get_or_init(|| std::env::var_os("MPSPMM_FASTMATH").is_some_and(|v| v != "0"))
 }
 
 /// `MPSPMM_GATHER_MAX` override, resolved once per process (a request
@@ -232,17 +291,22 @@ impl ColIdx for u32 {
 }
 
 /// Scalar oracle: one column at a time, additions in non-zero order.
+/// `off` shifts the window into `B`'s rows: the kernel computes output
+/// columns `[off, off + dst.len())` into `dst[0..]` (the column-striped
+/// executor hands each worker such a window; every full-row caller
+/// passes `0`).
 pub(crate) fn accumulate_segment_scalar<I: ColIdx>(
     seg: &Segment,
     cols: &[I],
     vals: &[f32],
     b: &DenseMatrix<f32>,
+    off: usize,
     dst: &mut [f32],
 ) {
     for (d, slot) in dst.iter_mut().enumerate() {
         let mut s = 0.0f32;
         for k in seg.nz_start..seg.nz_end {
-            s += vals[k] * b.row(cols[k].to_usize())[d];
+            s += vals[k] * b.row(cols[k].to_usize())[off + d];
         }
         *slot = s;
     }
@@ -251,12 +315,14 @@ pub(crate) fn accumulate_segment_scalar<I: ColIdx>(
 /// The PR-1 register-tiled kernel, re-expressed over the shared wide-lane
 /// blocks: unrolled blocks of 8 and 4 plus a scalar tail, full-width (no
 /// panel loop), `usize` indices. Arithmetic per column is unchanged from
-/// PR 1 — same block cascade, same accumulation order.
+/// PR 1 — same block cascade, same accumulation order. `off` windows the
+/// source columns as in [`accumulate_segment_scalar`].
 #[inline]
 pub(crate) fn accumulate_segment_tiled(
     seg: &Segment,
     a: &CsrMatrix<f32>,
     b: &DenseMatrix<f32>,
+    off: usize,
     dst: &mut [f32],
 ) {
     let cols = a.col_indices();
@@ -264,26 +330,30 @@ pub(crate) fn accumulate_segment_tiled(
     let dim = dst.len();
     let mut d = 0;
     while d + 8 <= dim {
-        stream_block::<8, _>(seg, cols, vals, b, d, dst);
+        stream_block::<8, false, _>(seg, cols, vals, b, off, d, dst);
         d += 8;
     }
     if d + 4 <= dim {
-        stream_block::<4, _>(seg, cols, vals, b, d, dst);
+        stream_block::<4, false, _>(seg, cols, vals, b, off, d, dst);
         d += 4;
     }
-    tail_columns(seg, cols, vals, b, d..dim, dst);
+    tail_columns::<false, _>(seg, cols, vals, b, off, d..dim, dst);
 }
 
 /// One `W`-column register-accumulator block: `W` f32 accumulators live
 /// across the whole segment sweep, loads of `B` go through a fixed-size
 /// `[f32; W]` view so the inner loop is bounds-check-free straight-line
-/// code LLVM vectorizes.
-#[inline]
-fn stream_block<const W: usize, I: ColIdx>(
+/// code LLVM vectorizes. Source columns start at `off + d` in `B`;
+/// destination columns at `d` in `dst`. `FAST` switches the accumulate
+/// to `mul_add` — only the FastMath `#[target_feature(…,fma)]` clones
+/// instantiate it with `true`.
+#[inline(always)]
+fn stream_block<const W: usize, const FAST: bool, I: ColIdx>(
     seg: &Segment,
     cols: &[I],
     vals: &[f32],
     b: &DenseMatrix<f32>,
+    off: usize,
     d: usize,
     dst: &mut [f32],
 ) {
@@ -291,28 +361,41 @@ fn stream_block<const W: usize, I: ColIdx>(
     for k in seg.nz_start..seg.nz_end {
         let v = vals[k];
         let row = b.row(cols[k].to_usize());
-        let blk: &[f32; W] = row[d..d + W].try_into().expect("block inside dense row");
+        let blk: &[f32; W] = row[off + d..off + d + W]
+            .try_into()
+            .expect("block inside dense row");
         for (a, &x) in acc.iter_mut().zip(blk) {
-            *a += v * x;
+            if FAST {
+                *a = v.mul_add(x, *a);
+            } else {
+                *a += v * x;
+            }
         }
     }
     dst[d..d + W].copy_from_slice(&acc);
 }
 
-/// Scalar remainder columns of a panel.
-#[inline]
-fn tail_columns<I: ColIdx>(
+/// Scalar remainder columns of a panel (`range` indexes `dst`; the
+/// source column is `off` further right).
+#[inline(always)]
+fn tail_columns<const FAST: bool, I: ColIdx>(
     seg: &Segment,
     cols: &[I],
     vals: &[f32],
     b: &DenseMatrix<f32>,
+    off: usize,
     range: std::ops::Range<usize>,
     dst: &mut [f32],
 ) {
     for d in range {
         let mut s = 0.0f32;
         for k in seg.nz_start..seg.nz_end {
-            s += vals[k] * b.row(cols[k].to_usize())[d];
+            let x = b.row(cols[k].to_usize())[off + d];
+            if FAST {
+                s = vals[k].mul_add(x, s);
+            } else {
+                s += vals[k] * x;
+            }
         }
         dst[d] = s;
     }
@@ -334,11 +417,12 @@ pub(crate) fn gather_segment<I: ColIdx>(
     cols: &[I],
     vals: &[f32],
     b: &DenseMatrix<f32>,
+    off: usize,
     dst: &mut [f32],
 ) {
     let dim = dst.len();
     let k = seg.nz_start;
-    let row = |i: usize| &b.row(cols[k + i].to_usize())[..dim];
+    let row = |i: usize| &b.row(cols[k + i].to_usize())[off..off + dim];
     match seg.len() {
         0 => dst.fill(0.0),
         1 => {
@@ -388,14 +472,19 @@ pub(crate) fn gather_segment<I: ColIdx>(
     }
 }
 
-/// Streaming panel kernel for long segments: sweeps the dense dimension
-/// in `rp.panel`-column panels; within a panel, wide-lane blocks at
-/// `rp.lanes`, then an 8/4/scalar cascade for the remainder.
-pub(crate) fn stream_segment<I: ColIdx>(
+/// The streaming panel sweep shared by the exact kernel and its FastMath
+/// clones: sweeps the destination window in `rp.panel`-column panels;
+/// within a panel, wide-lane blocks at `rp.lanes`, then an 8/4/scalar
+/// cascade for the remainder. `inline(always)` so each
+/// `#[target_feature]` clone absorbs the whole cascade under its own
+/// codegen features.
+#[inline(always)]
+fn stream_segment_body<const FAST: bool, I: ColIdx>(
     seg: &Segment,
     cols: &[I],
     vals: &[f32],
     b: &DenseMatrix<f32>,
+    off: usize,
     dst: &mut [f32],
     rp: &ResolvedPath,
 ) {
@@ -407,60 +496,101 @@ pub(crate) fn stream_segment<I: ColIdx>(
         let mut d = p0;
         if rp.lanes == LaneWidth::W16 {
             while d + 16 <= p1 {
-                stream_block::<16, _>(seg, cols, vals, b, d, dst);
+                stream_block::<16, FAST, _>(seg, cols, vals, b, off, d, dst);
                 d += 16;
             }
         }
         while d + 8 <= p1 {
-            stream_block::<8, _>(seg, cols, vals, b, d, dst);
+            stream_block::<8, FAST, _>(seg, cols, vals, b, off, d, dst);
             d += 8;
         }
         if d + 4 <= p1 {
-            stream_block::<4, _>(seg, cols, vals, b, d, dst);
+            stream_block::<4, FAST, _>(seg, cols, vals, b, off, d, dst);
             d += 4;
         }
-        tail_columns(seg, cols, vals, b, d..p1, dst);
+        tail_columns::<FAST, _>(seg, cols, vals, b, off, d..p1, dst);
         p0 = p1;
     }
 }
 
+/// Streaming panel kernel for long segments — the exact (bit-equal to
+/// the oracle) instantiation of [`stream_segment_body`].
+pub(crate) fn stream_segment<I: ColIdx>(
+    seg: &Segment,
+    cols: &[I],
+    vals: &[f32],
+    b: &DenseMatrix<f32>,
+    off: usize,
+    dst: &mut [f32],
+    rp: &ResolvedPath,
+) {
+    stream_segment_body::<false, I>(seg, cols, vals, b, off, dst, rp);
+}
+
+/// FastMath streaming kernel: [`stream_segment_body`] with `mul_add`,
+/// dispatched to the `#[target_feature(…, "fma")]` clone matching the
+/// proven [`WideIsa`]. Only reachable when [`ResolvedPath::fastmath`] is
+/// set, which implies the fma proof on x86-64.
+fn stream_segment_fast<I: ColIdx>(
+    seg: &Segment,
+    cols: &[I],
+    vals: &[f32],
+    b: &DenseMatrix<f32>,
+    off: usize,
+    dst: &mut [f32],
+    rp: &ResolvedPath,
+) {
+    #[cfg(target_arch = "x86_64")]
+    wide::stream_fast(seg, cols, vals, b, off, dst, rp);
+    #[cfg(not(target_arch = "x86_64"))]
+    stream_segment_body::<true, I>(seg, cols, vals, b, off, dst, rp);
+}
+
 /// The vectorized path's degree-adaptive dispatch: gather microkernel at
-/// or below the threshold, streaming panel kernel above it.
+/// or below the threshold (always exact — a ≤ 4-nnz segment has no FMA
+/// win), streaming panel kernel above it (FastMath clone when the
+/// resolved path permits contraction).
 #[inline]
 pub(crate) fn vector_segment<I: ColIdx>(
     seg: &Segment,
     cols: &[I],
     vals: &[f32],
     b: &DenseMatrix<f32>,
+    off: usize,
     dst: &mut [f32],
     rp: &ResolvedPath,
 ) {
     if seg.len() <= rp.gather_max {
-        gather_segment(seg, cols, vals, b, dst);
+        gather_segment(seg, cols, vals, b, off, dst);
+    } else if rp.fastmath {
+        stream_segment_fast(seg, cols, vals, b, off, dst, rp);
     } else {
-        stream_segment(seg, cols, vals, b, dst, rp);
+        stream_segment(seg, cols, vals, b, off, dst, rp);
     }
 }
 
-/// Accumulates one segment into `dst` (length = dense dimension),
-/// overwriting it, through the resolved data path. `cols32` is the packed
-/// `u32` index array when the prepared plan carries one.
+/// Accumulates one segment into `dst`, overwriting it, through the
+/// resolved data path. `dst` covers output columns
+/// `[off, off + dst.len())` — full rows pass `off = 0`, the
+/// column-striped executor passes its stripe window. `cols32` is the
+/// packed `u32` index array when the prepared plan carries one.
 pub(crate) fn accumulate_segment_dispatch(
     rp: &ResolvedPath,
     seg: &Segment,
     a: &CsrMatrix<f32>,
     cols32: Option<&[u32]>,
     b: &DenseMatrix<f32>,
+    off: usize,
     dst: &mut [f32],
 ) {
     match rp.kind {
         PathKind::Scalar => {
-            accumulate_segment_scalar(seg, a.col_indices(), a.values(), b, dst);
+            accumulate_segment_scalar(seg, a.col_indices(), a.values(), b, off, dst);
         }
-        PathKind::Tiled => accumulate_segment_tiled(seg, a, b, dst),
+        PathKind::Tiled => accumulate_segment_tiled(seg, a, b, off, dst),
         PathKind::Vector => match cols32 {
-            Some(cols) => vector_segment(seg, cols, a.values(), b, dst, rp),
-            None => vector_segment(seg, a.col_indices(), a.values(), b, dst, rp),
+            Some(cols) => vector_segment(seg, cols, a.values(), b, off, dst, rp),
+            None => vector_segment(seg, a.col_indices(), a.values(), b, off, dst, rp),
         },
     }
 }
@@ -474,17 +604,26 @@ pub(crate) fn accumulate_segment_dispatch(
 /// The blocked path register-tiles [`GEMM_MR`] `A` rows against the same
 /// wide-lane cascade as the streaming SpMM kernel (16-lane blocks when
 /// [`LaneWidth::W16`], then 8/4/scalar tails), sweeping the output width
-/// in [`panel_cols`]-sized panels. `k` is streamed innermost, ascending
-/// and unblocked, so every output element accumulates its products in
-/// exactly the naive `ikj` loop's order — results are bit-equal to that
-/// loop up to the sign of zeros (this kernel has **no** per-element
-/// `a == 0.0` skip; skipping is worthwhile only for sparse feature
-/// inputs, which the GCN layer-0 path keeps on the naive loop).
+/// in [`panel_cols`]-sized panels. The reduction is **`k`-blocked** at
+/// depth `kc` ([`crate::tuning::gemm_kc`]): the `kc`-deep `B` panel is
+/// reused across every register tile of the band before the next block
+/// streams in, keeping it L2-resident at wide output dims. Blocking does
+/// not change results — blocks run in ascending `k` order and each
+/// block's accumulators are seeded from the destination row, so every
+/// output element still sums its products in exactly the naive `ikj`
+/// loop's order, bit-equal to that loop up to the sign of zeros (this
+/// kernel has **no** per-element `a == 0.0` skip; skipping is worthwhile
+/// only for sparse feature inputs, which the GCN layer-0 path keeps on
+/// the naive loop). Under FastMath ([`ResolvedPath::fastmath`]) the
+/// microkernels contract to `mul_add` and the bit-equality carve-out of
+/// the module docs applies.
 pub(crate) fn gemm_band(
     a: &DenseMatrix<f32>,
     b: &DenseMatrix<f32>,
+    packed: &[f32],
     row_start: usize,
     rp: &ResolvedPath,
+    kc: usize,
     dst: &mut [f32],
 ) -> u64 {
     let n = b.cols();
@@ -501,72 +640,162 @@ pub(crate) fn gemm_band(
         }
         return 1;
     }
+    let k = a.cols();
+    let kc = kc.max(1);
     let mut panels = 0u64;
-    let mut r = 0usize;
-    let mut quads = dst.chunks_exact_mut(GEMM_MR * n);
-    for quad in quads.by_ref() {
-        let arows: [&[f32]; GEMM_MR] = std::array::from_fn(|i| a.row(row_start + r + i));
-        let mut rows = quad.chunks_exact_mut(n);
-        let mut crows: [&mut [f32]; GEMM_MR] =
-            std::array::from_fn(|_| rows.next().expect("quad holds GEMM_MR rows"));
-        panels += gemm_rows(arows, b, n, rp, &mut crows);
-        r += GEMM_MR;
-    }
-    for crow in quads.into_remainder().chunks_exact_mut(n) {
-        panels += gemm_rows([a.row(row_start + r)], b, n, rp, &mut [crow]);
-        r += 1;
+    let mut kb0 = 0usize;
+    loop {
+        let kb1 = (kb0 + kc).min(k);
+        let krange = kb0..kb1;
+        let mut r = 0usize;
+        let mut quads = dst.chunks_exact_mut(GEMM_MR * n);
+        for quad in quads.by_ref() {
+            let arows: [&[f32]; GEMM_MR] = std::array::from_fn(|i| a.row(row_start + r + i));
+            let mut rows = quad.chunks_exact_mut(n);
+            let mut crows: [&mut [f32]; GEMM_MR] =
+                std::array::from_fn(|_| rows.next().expect("quad holds GEMM_MR rows"));
+            panels += gemm_rows(arows, b, packed, n, rp, krange.clone(), &mut crows);
+            r += GEMM_MR;
+        }
+        for crow in quads.into_remainder().chunks_exact_mut(n) {
+            panels += gemm_rows(
+                [a.row(row_start + r)],
+                b,
+                packed,
+                n,
+                rp,
+                krange.clone(),
+                &mut [crow],
+            );
+            r += 1;
+        }
+        kb0 = kb1;
+        if kb0 >= k {
+            break;
+        }
     }
     panels
 }
 
-/// Sweeps the full output width for one register tile of `MR` rows
-/// through the widest kernel clone the CPU proved it supports (see
-/// [`WideIsa`]) — every clone runs the same [`gemm_rows_body`], so the
-/// choice affects instruction encoding only, never results.
+/// The lane width the GEMM pack buffer is blocked at for this resolved
+/// path, or `None` when the path never enters the wide microkernel (the
+/// scalar path) and packing would be wasted copies.
+pub(crate) fn gemm_pack_width(rp: &ResolvedPath) -> Option<usize> {
+    match rp.kind {
+        PathKind::Scalar => None,
+        _ => Some(if rp.lanes == LaneWidth::W16 { 16 } else { 8 }),
+    }
+}
+
+/// Packs the full-width column blocks of `b` into a lane-blocked layout:
+/// block `jb` (columns `jb*w .. jb*w + w`) occupies the contiguous
+/// region `packed[jb*k*w ..][.. k*w]`, with its `k` rows of `w` floats
+/// back to back. The leading microkernel loop then streams whole cache
+/// lines sequentially instead of striding `n × 4` bytes per `k` step —
+/// at `n = 512` that stride is 2 KiB, which aliases cache sets badly
+/// enough to halve the kernel's throughput. Packing is pure data
+/// movement (each value is copied, never recomputed), so it cannot
+/// change one bit of the result; its one-pass cost is amortized over
+/// every row band of the whole GEMM. Columns past the last full block
+/// (`n % w`) stay unpacked — the narrower cascade tails read `b`
+/// directly.
+pub(crate) fn pack_b(b: &DenseMatrix<f32>, w: usize, packed: &mut [f32]) {
+    let (k, n) = (b.rows(), b.cols());
+    let nb = n / w.max(1);
+    debug_assert_eq!(packed.len(), nb * k * w);
+    for (kk, brow) in b.as_slice().chunks_exact(n.max(1)).enumerate() {
+        for jb in 0..nb {
+            let dst = jb * k * w + kk * w;
+            packed[dst..dst + w].copy_from_slice(&brow[jb * w..(jb + 1) * w]);
+        }
+    }
+}
+
+/// Sweeps the full output width for one register tile of `MR` rows over
+/// the `k`-block `krange`, through the widest kernel clone the CPU
+/// proved it supports (see [`WideIsa`]) — the exact clones all run the
+/// same [`gemm_rows_body`], so the choice affects instruction encoding
+/// only, never results; the FastMath clones run the `mul_add` body.
 #[inline]
 fn gemm_rows<const MR: usize>(
     arows: [&[f32]; MR],
     b: &DenseMatrix<f32>,
+    packed: &[f32],
     n: usize,
     rp: &ResolvedPath,
+    krange: std::ops::Range<usize>,
     crows: &mut [&mut [f32]; MR],
 ) -> u64 {
     #[cfg(target_arch = "x86_64")]
     if rp.wide_isa != WideIsa::Portable {
-        return wide::gemm_rows_wide(arows, b, n, rp, crows);
+        return wide::gemm_rows_wide(arows, b, packed, n, rp, krange, crows);
     }
-    gemm_rows_body(arows, b, n, rp, crows)
+    if rp.fastmath {
+        // Only reachable off x86-64 (resolve_fast requires a wide ISA
+        // there), where `mul_add` is native.
+        gemm_rows_body::<MR, true>(arows, b, packed, n, rp, krange, crows)
+    } else {
+        gemm_rows_body::<MR, false>(arows, b, packed, n, rp, krange, crows)
+    }
 }
 
-/// The `#[target_feature]` clones of [`gemm_rows_body`]. This is one of
-/// the three modules allowed out of the crate's `deny(unsafe_code)`
-/// (with [`crate::pool`] and [`crate::steal`]): calling a
+/// The `#[target_feature]` clones of [`gemm_rows_body`] and
+/// [`stream_segment_body`]. This is one of the four modules allowed out
+/// of the crate's `deny(unsafe_code)` (with [`crate::pool`],
+/// [`crate::steal`], and [`crate::stripe`]): calling a
 /// `#[target_feature]` function is `unsafe` because executing it on a
 /// CPU without the feature is undefined behavior — here each call is
 /// gated on the matching `is_x86_feature_detected!` proof captured in
-/// [`ResolvedPath::wide_isa`] at path-resolution time.
+/// [`ResolvedPath::wide_isa`] (and, for the `fma` clones, the
+/// [`fastmath_supported`] proof behind [`ResolvedPath::fastmath`]) at
+/// path-resolution time.
+///
+/// The exact clones (`avx2` / `avx512f`, **no** fma) run the `FAST =
+/// false` bodies: rustc never contracts a separate multiply and add into
+/// an FMA on its own, so enabling wider encodings cannot perturb the
+/// bit-exact path. The FastMath clones additionally enable `fma` and run
+/// the `FAST = true` bodies, whose `mul_add` lowers to a single FMA
+/// instruction.
 #[cfg(target_arch = "x86_64")]
 mod wide {
     #![allow(unsafe_code)]
 
-    use super::{gemm_rows_body, DenseMatrix, ResolvedPath, WideIsa};
+    use super::{gemm_rows_body, stream_segment_body, ColIdx, DenseMatrix, ResolvedPath, WideIsa};
+    use crate::plan::Segment;
 
-    /// Dispatches one register tile to the AVX-512F or AVX2 clone.
+    /// Dispatches one register tile to the AVX-512F or AVX2 clone
+    /// (FastMath variant when the resolved path permits contraction).
     #[inline]
     pub(super) fn gemm_rows_wide<const MR: usize>(
         arows: [&[f32]; MR],
         b: &DenseMatrix<f32>,
+        packed: &[f32],
         n: usize,
         rp: &ResolvedPath,
+        krange: std::ops::Range<usize>,
         crows: &mut [&mut [f32]; MR],
     ) -> u64 {
-        match rp.wide_isa {
+        match (rp.wide_isa, rp.fastmath) {
             // SAFETY: `wide_isa` is only ever set to a non-`Portable`
             // variant by `WideIsa::detect` after the corresponding
-            // `is_x86_feature_detected!` check succeeded on this CPU.
-            WideIsa::Avx512f => unsafe { gemm_rows_avx512f(arows, b, n, rp, crows) },
-            WideIsa::Avx2 => unsafe { gemm_rows_avx2(arows, b, n, rp, crows) },
-            WideIsa::Portable => gemm_rows_body(arows, b, n, rp, crows),
+            // `is_x86_feature_detected!` check succeeded on this CPU;
+            // `fastmath` additionally carries the `fma` proof from
+            // `fastmath_supported`.
+            (WideIsa::Avx512f, false) => unsafe {
+                gemm_rows_avx512f(arows, b, packed, n, rp, krange, crows)
+            },
+            (WideIsa::Avx512f, true) => unsafe {
+                gemm_rows_avx512fma(arows, b, packed, n, rp, krange, crows)
+            },
+            (WideIsa::Avx2, false) => unsafe {
+                gemm_rows_avx2(arows, b, packed, n, rp, krange, crows)
+            },
+            (WideIsa::Avx2, true) => unsafe {
+                gemm_rows_avx2fma(arows, b, packed, n, rp, krange, crows)
+            },
+            (WideIsa::Portable, _) => {
+                gemm_rows_body::<MR, false>(arows, b, packed, n, rp, krange, crows)
+            }
         }
     }
 
@@ -577,11 +806,13 @@ mod wide {
     unsafe fn gemm_rows_avx2<const MR: usize>(
         arows: [&[f32]; MR],
         b: &DenseMatrix<f32>,
+        packed: &[f32],
         n: usize,
         rp: &ResolvedPath,
+        krange: std::ops::Range<usize>,
         crows: &mut [&mut [f32]; MR],
     ) -> u64 {
-        gemm_rows_body(arows, b, n, rp, crows)
+        gemm_rows_body::<MR, false>(arows, b, packed, n, rp, krange, crows)
     }
 
     /// [`gemm_rows_body`] compiled with 512-bit codegen (a W16 block is
@@ -590,76 +821,212 @@ mod wide {
     unsafe fn gemm_rows_avx512f<const MR: usize>(
         arows: [&[f32]; MR],
         b: &DenseMatrix<f32>,
+        packed: &[f32],
         n: usize,
         rp: &ResolvedPath,
+        krange: std::ops::Range<usize>,
         crows: &mut [&mut [f32]; MR],
     ) -> u64 {
-        gemm_rows_body(arows, b, n, rp, crows)
+        gemm_rows_body::<MR, false>(arows, b, packed, n, rp, krange, crows)
+    }
+
+    /// FastMath [`gemm_rows_body`]: 256-bit codegen with FMA contraction.
+    #[target_feature(enable = "avx2,fma")]
+    unsafe fn gemm_rows_avx2fma<const MR: usize>(
+        arows: [&[f32]; MR],
+        b: &DenseMatrix<f32>,
+        packed: &[f32],
+        n: usize,
+        rp: &ResolvedPath,
+        krange: std::ops::Range<usize>,
+        crows: &mut [&mut [f32]; MR],
+    ) -> u64 {
+        gemm_rows_body::<MR, true>(arows, b, packed, n, rp, krange, crows)
+    }
+
+    /// FastMath [`gemm_rows_body`]: 512-bit codegen with FMA contraction.
+    #[target_feature(enable = "avx512f,fma")]
+    unsafe fn gemm_rows_avx512fma<const MR: usize>(
+        arows: [&[f32]; MR],
+        b: &DenseMatrix<f32>,
+        packed: &[f32],
+        n: usize,
+        rp: &ResolvedPath,
+        krange: std::ops::Range<usize>,
+        crows: &mut [&mut [f32]; MR],
+    ) -> u64 {
+        gemm_rows_body::<MR, true>(arows, b, packed, n, rp, krange, crows)
+    }
+
+    /// Dispatches one segment to the AVX-512F or AVX2 FastMath stream
+    /// clone matching the proven [`WideIsa`].
+    #[inline]
+    pub(super) fn stream_fast<I: ColIdx>(
+        seg: &Segment,
+        cols: &[I],
+        vals: &[f32],
+        b: &DenseMatrix<f32>,
+        off: usize,
+        dst: &mut [f32],
+        rp: &ResolvedPath,
+    ) {
+        match rp.wide_isa {
+            // SAFETY: `fastmath` is only set by `resolve_fast` after
+            // `fastmath_supported` proved `fma` plus a non-Portable wide
+            // ISA via `is_x86_feature_detected!` on this CPU.
+            WideIsa::Avx512f => unsafe { stream_avx512fma(seg, cols, vals, b, off, dst, rp) },
+            WideIsa::Avx2 => unsafe { stream_avx2fma(seg, cols, vals, b, off, dst, rp) },
+            // Unreachable under `resolve_fast`'s gating; keep the exact
+            // kernel as the safe fallback (a bare `mul_add` would be a
+            // libm call here).
+            WideIsa::Portable => stream_segment_body::<false, I>(seg, cols, vals, b, off, dst, rp),
+        }
+    }
+
+    /// FastMath [`stream_segment_body`]: 256-bit codegen with FMA.
+    #[target_feature(enable = "avx2,fma")]
+    unsafe fn stream_avx2fma<I: ColIdx>(
+        seg: &Segment,
+        cols: &[I],
+        vals: &[f32],
+        b: &DenseMatrix<f32>,
+        off: usize,
+        dst: &mut [f32],
+        rp: &ResolvedPath,
+    ) {
+        stream_segment_body::<true, I>(seg, cols, vals, b, off, dst, rp)
+    }
+
+    /// FastMath [`stream_segment_body`]: 512-bit codegen with FMA.
+    #[target_feature(enable = "avx512f,fma")]
+    unsafe fn stream_avx512fma<I: ColIdx>(
+        seg: &Segment,
+        cols: &[I],
+        vals: &[f32],
+        b: &DenseMatrix<f32>,
+        off: usize,
+        dst: &mut [f32],
+        rp: &ResolvedPath,
+    ) {
+        stream_segment_body::<true, I>(seg, cols, vals, b, off, dst, rp)
     }
 }
 
-/// The actual panel sweep for one register tile of `MR` rows: panel loop
-/// outside, wide-lane cascade inside — the GEMM analogue of
-/// [`stream_segment`]'s panel sweep. `inline(always)` so each
-/// `#[target_feature]` clone in [`wide`] absorbs the whole body (and the
-/// microkernels below) under its own codegen features.
+/// The actual panel sweep for one register tile of `MR` rows over the
+/// `k`-block `krange`: panel loop outside, wide-lane cascade inside —
+/// the GEMM analogue of [`stream_segment`]'s panel sweep.
+/// `inline(always)` so each `#[target_feature]` clone in [`wide`]
+/// absorbs the whole body (and the microkernels below) under its own
+/// codegen features. `FAST = true` contracts each multiply-add to
+/// `mul_add`; the `false` instantiation is the exact default.
+///
+/// Every per-`k` slice is hoisted out of the hot loop here: the `A` rows
+/// are restricted to the `k`-block once, and the block's `B` rows become
+/// one contiguous slab the microkernels index directly — the `k` loop
+/// itself carries no bounds checks or row-address recomputation, which
+/// is what lets the autovectorizer keep the whole accumulator tile in
+/// registers. (A wider 32-column leading block was tried and rejected:
+/// two-register accumulator columns spill and devectorize the loop.)
+/// Neither change touches results: each output element's products are
+/// still added in ascending `k` order in its own accumulator chain.
+///
+/// When `packed` is non-empty it holds `B` re-laid into lane-width
+/// column blocks by [`pack_b`]: the leading full-width loop then streams
+/// one contiguous `W`-float line per `k` step instead of striding `n`
+/// floats per row — at `n = 512` the unpacked stride is 2 KiB, which
+/// aliases cache sets and stalls the sweep. Remainder columns (`n`
+/// modulo the pack width) are not packed and fall through to the
+/// unpacked cascade. Packing is pure data movement: every accumulator
+/// still consumes the same products in the same ascending-`k` order, so
+/// packed and unpacked sweeps are bit-identical.
 #[inline(always)]
-fn gemm_rows_body<const MR: usize>(
+fn gemm_rows_body<const MR: usize, const FAST: bool>(
     arows: [&[f32]; MR],
     b: &DenseMatrix<f32>,
+    packed: &[f32],
     n: usize,
     rp: &ResolvedPath,
+    krange: std::ops::Range<usize>,
     crows: &mut [&mut [f32]; MR],
 ) -> u64 {
     let panel = rp.panel.max(1);
+    let k = b.rows();
+    let ablk: [&[f32]; MR] = std::array::from_fn(|i| &arows[i][krange.clone()]);
+    let bslab = &b.as_slice()[krange.start * n..krange.end * n];
     let mut panels = 0u64;
     let mut p0 = 0;
     while p0 < n {
         let p1 = (p0 + panel).min(n);
         let mut d = p0;
         if rp.lanes == LaneWidth::W16 {
-            while d + 16 <= p1 {
-                gemm_micro::<MR, 16>(arows, b, d, crows);
-                d += 16;
+            if packed.is_empty() {
+                while d + 16 <= p1 {
+                    gemm_micro::<MR, 16, FAST>(ablk, bslab, n, d, crows);
+                    d += 16;
+                }
+            } else {
+                while d + 16 <= p1 {
+                    // Panels are lane-aligned, so `d` sits on a block
+                    // boundary; `d + 16 <= n` keeps `jb` a full block.
+                    debug_assert_eq!(d % 16, 0);
+                    let base = (d / 16) * k * 16;
+                    let pb = &packed[base + krange.start * 16..base + krange.end * 16];
+                    gemm_micro_packed::<MR, 16, FAST>(ablk, pb, d, crows);
+                    d += 16;
+                }
+            }
+        } else if !packed.is_empty() {
+            while d + 8 <= p1 {
+                debug_assert_eq!(d % 8, 0);
+                let base = (d / 8) * k * 8;
+                let pb = &packed[base + krange.start * 8..base + krange.end * 8];
+                gemm_micro_packed::<MR, 8, FAST>(ablk, pb, d, crows);
+                d += 8;
             }
         }
         while d + 8 <= p1 {
-            gemm_micro::<MR, 8>(arows, b, d, crows);
+            gemm_micro::<MR, 8, FAST>(ablk, bslab, n, d, crows);
             d += 8;
         }
         if d + 4 <= p1 {
-            gemm_micro::<MR, 4>(arows, b, d, crows);
+            gemm_micro::<MR, 4, FAST>(ablk, bslab, n, d, crows);
             d += 4;
         }
-        gemm_tail(arows, b, d..p1, crows);
+        gemm_tail::<MR, FAST>(ablk, bslab, n, d..p1, crows);
         p0 = p1;
         panels += 1;
     }
     panels
 }
 
-/// `MR × W` register microkernel: `MR * W` f32 accumulators live across
-/// the whole `k` sweep, each loaded `B` block feeds all `MR` rows, and
-/// the (zeroed) destination is written once per tile. No zero-skip
-/// branch — the dense inner loop stays straight-line mul/add code
-/// (separate instructions, so rounding matches the naive oracle even
-/// under the FMA-capable [`wide`] clones).
+/// [`gemm_micro`] over a [`pack_b`] column block: identical accumulator
+/// tile and ascending-`k` chains, but each `k` step reads one contiguous
+/// `W`-float line from the packed block instead of a `W`-wide window of
+/// an `n`-wide row. Bit-identical to the unpacked microkernel by
+/// construction — same values, same order, only the load addresses
+/// differ.
 #[inline(always)]
-fn gemm_micro<const MR: usize, const W: usize>(
-    arows: [&[f32]; MR],
-    b: &DenseMatrix<f32>,
+fn gemm_micro_packed<const MR: usize, const W: usize, const FAST: bool>(
+    ablk: [&[f32]; MR],
+    pb: &[f32],
     d: usize,
     crows: &mut [&mut [f32]; MR],
 ) {
     let mut acc = [[0.0f32; W]; MR];
-    let k = arows[0].len();
-    for p in 0..k {
-        let row = b.row(p);
-        let blk: &[f32; W] = row[d..d + W].try_into().expect("block inside dense row");
-        for (accr, arow) in acc.iter_mut().zip(&arows) {
-            let av = arow[p];
+    for (accr, crow) in acc.iter_mut().zip(crows.iter()) {
+        accr.copy_from_slice(&crow[d..d + W]);
+    }
+    let klen = ablk[0].len();
+    for kk in 0..klen {
+        let blk: &[f32; W] = pb[kk * W..kk * W + W].try_into().expect("packed block row");
+        for (accr, ab) in acc.iter_mut().zip(&ablk) {
+            let av = ab[kk];
             for (s, &bv) in accr.iter_mut().zip(blk) {
-                *s += av * bv;
+                if FAST {
+                    *s = av.mul_add(bv, *s);
+                } else {
+                    *s += av * bv;
+                }
             }
         }
     }
@@ -668,19 +1035,68 @@ fn gemm_micro<const MR: usize, const W: usize>(
     }
 }
 
-/// Scalar remainder columns of a GEMM panel, still `k`-ascending.
+/// `MR × W` register microkernel: `MR * W` f32 accumulators live across
+/// the whole `k`-block sweep, each loaded `B` block feeds all `MR` rows,
+/// and the destination is written once per tile. The accumulators are
+/// **seeded from the destination** (read-modify-write): the engine zeroes
+/// `C` up front, so for the first `k`-block the seed is the literal
+/// `0.0` the old unblocked kernel used, and each later block continues
+/// the exact same addition sequence — `k`-blocking therefore cannot
+/// change a single bit. No zero-skip branch — the dense inner loop stays
+/// straight-line mul/add code (separate instructions when `FAST =
+/// false`, so rounding matches the naive oracle even under the
+/// FMA-capable [`wide`] clones; `FAST = true` fuses them to `mul_add`).
 #[inline(always)]
-fn gemm_tail<const MR: usize>(
-    arows: [&[f32]; MR],
-    b: &DenseMatrix<f32>,
+fn gemm_micro<const MR: usize, const W: usize, const FAST: bool>(
+    ablk: [&[f32]; MR],
+    bslab: &[f32],
+    n: usize,
+    d: usize,
+    crows: &mut [&mut [f32]; MR],
+) {
+    let mut acc = [[0.0f32; W]; MR];
+    for (accr, crow) in acc.iter_mut().zip(crows.iter()) {
+        accr.copy_from_slice(&crow[d..d + W]);
+    }
+    let klen = ablk[0].len();
+    for kk in 0..klen {
+        let brow = &bslab[kk * n..];
+        let blk: &[f32; W] = brow[d..d + W].try_into().expect("block inside dense row");
+        for (accr, ab) in acc.iter_mut().zip(&ablk) {
+            let av = ab[kk];
+            for (s, &bv) in accr.iter_mut().zip(blk) {
+                if FAST {
+                    *s = av.mul_add(bv, *s);
+                } else {
+                    *s += av * bv;
+                }
+            }
+        }
+    }
+    for (accr, crow) in acc.iter().zip(crows.iter_mut()) {
+        crow[d..d + W].copy_from_slice(accr);
+    }
+}
+
+/// Scalar remainder columns of a GEMM panel, still `k`-ascending and
+/// seeded from the destination like [`gemm_micro`].
+#[inline(always)]
+fn gemm_tail<const MR: usize, const FAST: bool>(
+    ablk: [&[f32]; MR],
+    bslab: &[f32],
+    n: usize,
     range: std::ops::Range<usize>,
     crows: &mut [&mut [f32]; MR],
 ) {
     for d in range {
-        for (arow, crow) in arows.iter().zip(crows.iter_mut()) {
-            let mut s = 0.0f32;
-            for (p, &av) in arow.iter().enumerate() {
-                s += av * b.row(p)[d];
+        for (ab, crow) in ablk.iter().zip(crows.iter_mut()) {
+            let mut s = crow[d];
+            for (&av, brow) in ab.iter().zip(bslab.chunks_exact(n)) {
+                if FAST {
+                    s = av.mul_add(brow[d], s);
+                } else {
+                    s += av * brow[d];
+                }
             }
             crow[d] = s;
         }
@@ -694,13 +1110,17 @@ const PREFETCH_ROWS: usize = 4;
 /// handful of `black_box`-forced head loads pull the lines toward L1
 /// while the current segment still has arithmetic in flight. `black_box`
 /// keeps the loads from being optimized away without any `unsafe`
-/// prefetch intrinsic (this crate denies `unsafe_code`).
+/// prefetch intrinsic (this crate denies `unsafe_code`). `off` is the
+/// first output column the caller will touch — a column-stripe worker
+/// prefetches its own window of the row, not column 0, so the pulled
+/// line is the one its kernels actually read.
 pub(crate) fn prefetch_segment_rows(
     rp: &ResolvedPath,
     next: Option<&Segment>,
     a: &CsrMatrix<f32>,
     cols32: Option<&[u32]>,
     b: &DenseMatrix<f32>,
+    off: usize,
 ) {
     if rp.kind != PathKind::Vector || !rp.prefetch {
         return;
@@ -715,12 +1135,12 @@ pub(crate) fn prefetch_segment_rows(
     match cols32 {
         Some(cols) => {
             for &c in &cols[seg.nz_start..end] {
-                std::hint::black_box(b.row(c.to_usize()).first().copied());
+                std::hint::black_box(b.row(c.to_usize()).get(off).copied());
             }
         }
         None => {
             for &c in &a.col_indices()[seg.nz_start..end] {
-                std::hint::black_box(b.row(c).first().copied());
+                std::hint::black_box(b.row(c).get(off).copied());
             }
         }
     }
@@ -748,7 +1168,7 @@ mod tests {
         dim: usize,
     ) -> Vec<f32> {
         let mut out = vec![0.0f32; dim];
-        accumulate_segment_scalar(s, a.col_indices(), a.values(), b, &mut out);
+        accumulate_segment_scalar(s, a.col_indices(), a.values(), b, 0, &mut out);
         out
     }
 
@@ -760,6 +1180,7 @@ mod tests {
             panel,
             gather_max: GATHER_MAX_NNZ,
             prefetch: true,
+            fastmath: false,
         }
     }
 
@@ -782,19 +1203,19 @@ mod tests {
             for s in &segments {
                 let want = scalar_reference(s, &a, &b, dim);
                 let mut got = vec![f32::NAN; dim];
-                accumulate_segment_tiled(s, &a, &b, &mut got);
+                accumulate_segment_tiled(s, &a, &b, 0, &mut got);
                 assert_eq!(got, want, "tiled dim={dim} seg={s:?}");
                 for lanes in [LaneWidth::W8, LaneWidth::W16] {
                     for panel in [8usize, 16, 32, 1024] {
                         let rp = resolved(PathKind::Vector, lanes, panel);
                         got.fill(f32::NAN);
-                        vector_segment(s, a.col_indices(), a.values(), &b, &mut got, &rp);
+                        vector_segment(s, a.col_indices(), a.values(), &b, 0, &mut got, &rp);
                         assert_eq!(
                             got, want,
                             "vector/usize dim={dim} lanes={lanes:?} panel={panel} seg={s:?}"
                         );
                         got.fill(f32::NAN);
-                        vector_segment(s, &cols32, a.values(), &b, &mut got, &rp);
+                        vector_segment(s, &cols32, a.values(), &b, 0, &mut got, &rp);
                         assert_eq!(
                             got, want,
                             "vector/u32 dim={dim} lanes={lanes:?} panel={panel} seg={s:?}"
@@ -802,11 +1223,11 @@ mod tests {
                     }
                 }
                 got.fill(f32::NAN);
-                gather_segment(s, a.col_indices(), a.values(), &b, &mut got);
+                gather_segment(s, a.col_indices(), a.values(), &b, 0, &mut got);
                 assert_eq!(got, want, "gather dim={dim} seg={s:?}");
                 got.fill(f32::NAN);
                 let rp = resolved(PathKind::Vector, LaneWidth::W16, 16);
-                stream_segment(s, a.col_indices(), a.values(), &b, &mut got, &rp);
+                stream_segment(s, a.col_indices(), a.values(), &b, 0, &mut got, &rp);
                 assert_eq!(got, want, "stream dim={dim} seg={s:?}");
             }
         }
@@ -825,8 +1246,97 @@ mod tests {
         for s in [&short, &long] {
             let want = scalar_reference(s, &a, &b, 24);
             let mut got = vec![f32::NAN; 24];
-            vector_segment(s, a.col_indices(), a.values(), &b, &mut got, &rp);
+            vector_segment(s, a.col_indices(), a.values(), &b, 0, &mut got, &rp);
             assert_eq!(got, want);
+        }
+    }
+
+    /// Running every kernel on a column window `[off, off + w)` must
+    /// reproduce exactly that slice of the full-row result — the
+    /// column-striped executor's kernel-level correctness condition.
+    #[test]
+    fn windowed_kernels_match_full_row_slices() {
+        let a = random_matrix(48, 48, 220, 31);
+        let cols32: Vec<u32> = a.col_indices().iter().map(|&c| c as u32).collect();
+        let row_end = a.row_ptr()[1];
+        let segments = [seg(0, row_end), seg(0, 0), seg(2, 3), seg(1, row_end - 1)];
+        for dim in [33usize, 67, 128] {
+            let b = random_dense(48, dim, 32);
+            // Window partitions including empty, single-column, and
+            // lane-misaligned interior windows.
+            let windows = [(0usize, dim), (0, dim / 2), (dim / 2, dim), (5, 6), (7, 7)];
+            for s in &segments {
+                let want = scalar_reference(s, &a, &b, dim);
+                for &(lo, hi) in &windows {
+                    let w = hi - lo;
+                    let mut got = vec![f32::NAN; w];
+                    got.fill(0.0);
+                    accumulate_segment_scalar(s, a.col_indices(), a.values(), &b, lo, &mut got);
+                    assert_eq!(got, want[lo..hi], "scalar window {lo}..{hi} dim={dim}");
+                    got.fill(0.0);
+                    accumulate_segment_tiled(s, &a, &b, lo, &mut got);
+                    assert_eq!(got, want[lo..hi], "tiled window {lo}..{hi} dim={dim}");
+                    got.fill(0.0);
+                    gather_segment(s, a.col_indices(), a.values(), &b, lo, &mut got);
+                    assert_eq!(got, want[lo..hi], "gather window {lo}..{hi} dim={dim}");
+                    for lanes in [LaneWidth::W8, LaneWidth::W16] {
+                        let rp = resolved(PathKind::Vector, lanes, 16);
+                        got.fill(0.0);
+                        vector_segment(s, a.col_indices(), a.values(), &b, lo, &mut got, &rp);
+                        assert_eq!(
+                            got,
+                            want[lo..hi],
+                            "vector/usize window {lo}..{hi} dim={dim} lanes={lanes:?}"
+                        );
+                        got.fill(0.0);
+                        vector_segment(s, &cols32, a.values(), &b, lo, &mut got, &rp);
+                        assert_eq!(
+                            got,
+                            want[lo..hi],
+                            "vector/u32 window {lo}..{hi} dim={dim} lanes={lanes:?}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn resolve_fast_gates_on_kind_and_support() {
+        // Default resolve never enables FastMath.
+        assert!(!DataPath::Vector.resolve(256).fastmath);
+        // Non-vector kinds never enable it even when asked.
+        assert!(!DataPath::Scalar.resolve_fast(256, true).fastmath);
+        assert!(!DataPath::Tiled.resolve_fast(256, true).fastmath);
+        // The vector kind enables it iff the CPU proof holds.
+        let rp = DataPath::Vector.resolve_fast(256, true);
+        assert_eq!(rp.fastmath, fastmath_supported());
+        assert!(!DataPath::Vector.resolve_fast(256, false).fastmath);
+    }
+
+    /// FastMath changes rounding (FMA keeps the infinitely precise
+    /// product), so it is held to a relative tolerance against the scalar
+    /// oracle, never bit-equality.
+    #[test]
+    fn fastmath_stream_stays_within_tolerance() {
+        if !fastmath_supported() {
+            return;
+        }
+        let a = random_matrix(64, 64, 400, 41);
+        let row_end = a.row_ptr()[1];
+        let s = seg(0, row_end);
+        for dim in [48usize, 128, 256] {
+            let b = random_dense(64, dim, 42);
+            let want = scalar_reference(&s, &a, &b, dim);
+            let rp = DataPath::Vector.resolve_fast(dim, true);
+            assert!(rp.fastmath);
+            let mut got = vec![0.0f32; dim];
+            vector_segment(&s, a.col_indices(), a.values(), &b, 0, &mut got, &rp);
+            for (d, (&g, &w)) in got.iter().zip(&want).enumerate() {
+                let err = (g - w).abs();
+                let tol = 1e-5 * w.abs().max(1.0);
+                assert!(err <= tol, "dim={dim} col={d}: got {g}, want {w}");
+            }
         }
     }
 
@@ -862,10 +1372,10 @@ mod tests {
         let b = random_dense(16, 8, 10);
         let rp = DataPath::Vector.resolve(8);
         let s = seg(0, a.nnz().min(6));
-        prefetch_segment_rows(&rp, Some(&s), &a, None, &b);
-        prefetch_segment_rows(&rp, Some(&s), &a, Some(&cols32), &b);
-        prefetch_segment_rows(&rp, None, &a, None, &b);
+        prefetch_segment_rows(&rp, Some(&s), &a, None, &b, 0);
+        prefetch_segment_rows(&rp, Some(&s), &a, Some(&cols32), &b, 0);
+        prefetch_segment_rows(&rp, None, &a, None, &b, 4);
         let tiled = DataPath::Tiled.resolve(8);
-        prefetch_segment_rows(&tiled, Some(&s), &a, None, &b);
+        prefetch_segment_rows(&tiled, Some(&s), &a, None, &b, 0);
     }
 }

@@ -89,7 +89,8 @@ use mpspmm_sparse::{AlignedVec, CsrMatrix, DenseMatrix, SparseFormatError};
 
 use crate::arena::BufferArena;
 use crate::datapath::{
-    accumulate_segment_dispatch, prefetch_segment_rows, DataPath, PathKind, ResolvedPath,
+    accumulate_segment_dispatch, env_fastmath, prefetch_segment_rows, DataPath, PathKind,
+    ResolvedPath,
 };
 use crate::epilogue::Epilogue;
 use crate::executor::check_shapes;
@@ -98,7 +99,11 @@ use crate::pool::{ScopedJob, WorkerPool};
 use crate::spmm::{default_workers, SpmmKernel};
 use crate::stats::WriteStats;
 use crate::steal::run_stealing;
-use crate::tuning::{GATHER_MAX_NNZ, STEAL_CHUNKS_PER_WORKER, STEAL_SKEW_THRESHOLD};
+use crate::stripe::run_striped;
+use crate::tuning::{
+    GATHER_MAX_NNZ, STEAL_CHUNKS_PER_WORKER, STEAL_SKEW_THRESHOLD, STRIPE_MIN_DIM,
+    STRIPE_SKEW_MIN_DIM,
+};
 
 /// Default bound on plans cached per engine. A single GNN inference
 /// workload touches a handful of (kernel, dim) combinations per graph
@@ -166,7 +171,7 @@ pub struct PreparedPlan {
     /// its counters once per run instead of once per segment.
     dispatch: (usize, usize),
     /// Cache-aligned `u32` column indices for the vectorized path.
-    cols32: Option<AlignedVec<u32>>,
+    pub(crate) cols32: Option<AlignedVec<u32>>,
     /// Per row: the row is finalized entirely by its single parallel-phase
     /// `Regular` store (`Direct` *and* no `Carry` segment targets it), so
     /// a fused [`Epilogue`] may be applied at store time while the row is
@@ -363,6 +368,12 @@ impl PreparedPlan {
         chunk_threads(&self.thread_nnz_ends, target)
     }
 
+    /// Rows whose fused epilogue waits for the serial/stripe-local replay
+    /// phase — the column-striped executor applies these per stripe.
+    pub(crate) fn deferred_rows(&self) -> &[u32] {
+        &self.deferred_rows
+    }
+
     /// Non-zero skew (max/mean) of the static per-worker span partition
     /// the engine would use for this plan at `workers` workers — the
     /// imbalance work stealing can recover, and the signal
@@ -383,10 +394,20 @@ pub enum SchedPolicy {
     /// ([`crate::steal`]): pay a little scheduling traffic to bound the
     /// critical path on statically imbalanced plans.
     Stealing,
-    /// Per-run choice: stealing when the static partition's nnz skew
-    /// ([`PreparedPlan::static_span_skew`]) exceeds
-    /// [`STEAL_SKEW_THRESHOLD`], else the static path — so balanced
-    /// graphs keep the static scheduler's output bit for bit.
+    /// Column-striped execution ([`crate::stripe`]): each worker owns a
+    /// contiguous feature-column stripe of *all* rows and replays the
+    /// full plan walk over it — no shared rows, no strip folding, no
+    /// cross-worker carries, and output bit-identical to the sequential
+    /// oracle at any worker count. Pays an index re-stream per stripe,
+    /// so it only wins at wide dense dimensions.
+    ColumnStriped,
+    /// Per-run choice by input shape: column striping when the dense
+    /// dimension is wide enough to amortize its index re-stream
+    /// ([`STRIPE_MIN_DIM`], or [`STRIPE_SKEW_MIN_DIM`] when the static
+    /// partition is also skewed); else stealing when the static
+    /// partition's nnz skew ([`PreparedPlan::static_span_skew`]) exceeds
+    /// [`STEAL_SKEW_THRESHOLD`]; else the static path — so balanced
+    /// narrow-dim graphs keep the static scheduler's output bit for bit.
     #[default]
     Auto,
 }
@@ -428,6 +449,18 @@ pub struct EngineStats {
     /// Column panels executed by the engine's parallel dense GEMM
     /// ([`ExecEngine::gemm`]), cumulative over runs.
     pub gemm_panels: u64,
+    /// Column stripes executed by the column-striped scheduler
+    /// ([`SchedPolicy::ColumnStriped`] or a wide-dim `Auto` run),
+    /// cumulative over runs. Zero means no run so far striped.
+    pub stripes_executed: u64,
+    /// Reduction-depth blocks executed by the engine's dense GEMM (the
+    /// `k`-blocking that keeps the `B` panel L2-resident), cumulative
+    /// over runs.
+    pub kblocks: u64,
+    /// SpMM and GEMM runs that executed with FastMath (FMA contraction)
+    /// enabled — always zero unless the engine opted in via
+    /// [`ExecEngine::with_fast_math`] or `MPSPMM_FASTMATH`.
+    pub fastmath_runs: u64,
     /// Engine runs that fused a non-noop [`Epilogue`] into the SpMM
     /// store stage instead of paying a separate activation pass.
     pub fused_epilogues: u64,
@@ -469,6 +502,15 @@ pub struct ExecEngine {
     pub(crate) workers: usize,
     pub(crate) data_path: DataPath,
     pub(crate) sched_policy: SchedPolicy,
+    /// FastMath opt-in (FMA contraction in the SpMM/GEMM kernels) —
+    /// defaults to the `MPSPMM_FASTMATH` environment opt-in, i.e. off.
+    pub(crate) fast_math: bool,
+    /// `k`-blocking of the dense GEMM (on by default). Exists as an A/B
+    /// ablation switch for benchmarks: `false` restores the unblocked
+    /// full-`k` sweep of the pre-blocking data path. Results are bitwise
+    /// identical either way (blocks are visited in ascending `k` order
+    /// with destination-seeded accumulators).
+    pub(crate) k_blocking: bool,
     plan_capacity: usize,
     cache: Mutex<PlanCache>,
     pub(crate) arena: BufferArena,
@@ -481,6 +523,9 @@ pub struct ExecEngine {
     steal_fails: AtomicU64,
     chunks_executed: AtomicU64,
     pub(crate) gemm_panels: AtomicU64,
+    stripes_executed: AtomicU64,
+    pub(crate) kblocks: AtomicU64,
+    pub(crate) fastmath_runs: AtomicU64,
     fused_epilogues: AtomicU64,
     pub(crate) gemm_ns: AtomicU64,
     /// Cumulative non-zeros executed per worker slot, for the busy-
@@ -530,6 +575,8 @@ impl ExecEngine {
             workers,
             data_path,
             sched_policy: SchedPolicy::default(),
+            fast_math: env_fastmath(),
+            k_blocking: true,
             plan_capacity,
             cache: Mutex::new(PlanCache::default()),
             arena: BufferArena::default(),
@@ -542,6 +589,9 @@ impl ExecEngine {
             steal_fails: AtomicU64::new(0),
             chunks_executed: AtomicU64::new(0),
             gemm_panels: AtomicU64::new(0),
+            stripes_executed: AtomicU64::new(0),
+            kblocks: AtomicU64::new(0),
+            fastmath_runs: AtomicU64::new(0),
             fused_epilogues: AtomicU64::new(0),
             gemm_ns: AtomicU64::new(0),
             worker_nnz: Mutex::new(vec![0; workers]),
@@ -561,6 +611,43 @@ impl ExecEngine {
         engine
     }
 
+    /// Opts this engine into (or out of) **FastMath**: FMA contraction
+    /// in the streaming SpMM kernel and the GEMM microkernel. FastMath
+    /// results differ from the exact default by a rounding-level amount
+    /// per product (see the `datapath` module docs and DESIGN.md §2.11)
+    /// — the default, and every oracle, stays exact. Without this call
+    /// the flag follows the `MPSPMM_FASTMATH` environment opt-in.
+    #[must_use]
+    pub fn with_fast_math(mut self, fast_math: bool) -> Self {
+        self.fast_math = fast_math;
+        self
+    }
+
+    /// Whether this engine requests FastMath (FMA contraction). The
+    /// request only takes effect on the vectorized data path on CPUs
+    /// whose fma support is proven
+    /// ([`crate::fastmath_supported`]).
+    pub fn fast_math(&self) -> bool {
+        self.fast_math
+    }
+
+    /// Disables (or re-enables) `k`-blocking in [`ExecEngine::gemm`].
+    /// This is an A/B measurement switch — `false` reproduces the
+    /// unblocked full-`k` sweep of the pre-blocking data path so
+    /// benchmarks can isolate what the L2-resident `B` slab buys.
+    /// Output bits are identical either way; only the cache behavior
+    /// (and the [`crate::EngineStats::kblocks`] counter) changes.
+    #[must_use]
+    pub fn with_k_blocking(mut self, k_blocking: bool) -> Self {
+        self.k_blocking = k_blocking;
+        self
+    }
+
+    /// Whether [`ExecEngine::gemm`] blocks the reduction dimension.
+    pub fn k_blocking(&self) -> bool {
+        self.k_blocking
+    }
+
     /// The plan-cache capacity bound this engine evicts at.
     pub fn plan_capacity(&self) -> usize {
         self.plan_capacity
@@ -578,7 +665,8 @@ impl ExecEngine {
 
     /// Whether a run of `prep` on this engine would take the stealing
     /// scheduler — the [`SchedPolicy::Auto`] decision, exposed so
-    /// benchmarks and tests can assert on the policy choice.
+    /// benchmarks and tests can assert on the policy choice. Striping is
+    /// consulted first: a run that stripes never steals.
     pub fn selects_stealing(&self, prep: &PreparedPlan) -> bool {
         let eff_workers = self.workers.min(prep.plan.threads.len());
         if eff_workers <= 1 {
@@ -587,7 +675,33 @@ impl ExecEngine {
         match self.sched_policy {
             SchedPolicy::Static => false,
             SchedPolicy::Stealing => true,
+            SchedPolicy::ColumnStriped => false,
             SchedPolicy::Auto => prep.static_span_skew(eff_workers) > STEAL_SKEW_THRESHOLD,
+        }
+    }
+
+    /// Whether a run of `prep` at dense dimension `dim` would take the
+    /// column-striped scheduler — the wide-dimension half of the
+    /// [`SchedPolicy::Auto`] decision, exposed so benchmarks and tests
+    /// can assert on the policy choice. `Auto` stripes unconditionally
+    /// at [`STRIPE_MIN_DIM`] columns, and already at
+    /// [`STRIPE_SKEW_MIN_DIM`] when the static partition is skewed
+    /// (striping fixes skew *and* the serial tail, so it beats stealing
+    /// there). Striping needs at least two workers and the vectorized
+    /// data path's lane machinery, but any plan shape qualifies.
+    pub fn selects_striping(&self, prep: &PreparedPlan, dim: usize) -> bool {
+        let eff_workers = self.workers.min(prep.plan.threads.len());
+        if eff_workers <= 1 || dim == 0 {
+            return false;
+        }
+        match self.sched_policy {
+            SchedPolicy::Static | SchedPolicy::Stealing => false,
+            SchedPolicy::ColumnStriped => true,
+            SchedPolicy::Auto => {
+                dim >= STRIPE_MIN_DIM
+                    || (dim >= STRIPE_SKEW_MIN_DIM
+                        && prep.static_span_skew(eff_workers) > STEAL_SKEW_THRESHOLD)
+            }
         }
     }
 
@@ -880,6 +994,9 @@ impl ExecEngine {
             arena_reuses: self.arena.reuses(),
             arena_misses: self.arena.misses(),
             gemm_panels: self.gemm_panels.load(Ordering::Relaxed),
+            stripes_executed: self.stripes_executed.load(Ordering::Relaxed),
+            kblocks: self.kblocks.load(Ordering::Relaxed),
+            fastmath_runs: self.fastmath_runs.load(Ordering::Relaxed),
             fused_epilogues: self.fused_epilogues.load(Ordering::Relaxed),
             gemm_ns: self.gemm_ns.load(Ordering::Relaxed),
         }
@@ -917,6 +1034,9 @@ impl ExecEngine {
         self.steal_fails.store(0, Ordering::Relaxed);
         self.chunks_executed.store(0, Ordering::Relaxed);
         self.gemm_panels.store(0, Ordering::Relaxed);
+        self.stripes_executed.store(0, Ordering::Relaxed);
+        self.kblocks.store(0, Ordering::Relaxed);
+        self.fastmath_runs.store(0, Ordering::Relaxed);
         self.fused_epilogues.store(0, Ordering::Relaxed);
         self.gemm_ns.store(0, Ordering::Relaxed);
         self.worker_nnz
@@ -958,7 +1078,10 @@ impl ExecEngine {
             }
             return (out, prep.stats);
         }
-        let rp = self.data_path.resolve(dim);
+        let rp = self.data_path.resolve_fast(dim, self.fast_math);
+        if rp.fastmath {
+            self.fastmath_runs.fetch_add(1, Ordering::Relaxed);
+        }
         if rp.kind == PathKind::Vector {
             let (gather, stream) = prep.dispatch;
             self.gather.fetch_add(gather as u64, Ordering::Relaxed);
@@ -967,9 +1090,44 @@ impl ExecEngine {
         let cols32 = prep.cols32.as_ref().map(AlignedVec::as_slice);
         let eff_workers = self.workers.min(logical);
         let mut out = self.arena.take_zeroed(rows * dim);
+        // The striped path applies the deferred epilogue share per
+        // stripe; every other path leaves it to the pass below.
+        let mut epilogue_done = false;
         if eff_workers <= 1 {
             run_inline(prep, a, b, dim, &rp, cols32, epi, &mut out);
             self.add_worker_load(0, *prep.thread_nnz_ends.last().unwrap_or(&0) as u64);
+        } else if self.selects_striping(prep, dim) {
+            // Hardware clamp: every stripe re-walks the full index/value
+            // stream, so stripes beyond the machine's actual parallelism
+            // are pure re-walk overhead with nobody to run them. An
+            // engine configured with more workers than
+            // [`crate::default_workers`] reports (the pool serializes
+            // them anyway) stripes only as wide as the hardware; at one
+            // hardware thread that is a single full-width stripe — still
+            // the right wide-dim path, because it skips the pooled
+            // executor's strip folding and serial carry replay.
+            let stripe_workers = eff_workers.min(crate::spmm::default_workers()).max(1);
+            let stripes = run_striped(
+                prep,
+                a,
+                b,
+                dim,
+                stripe_workers,
+                &rp,
+                cols32,
+                epi,
+                &self.arena,
+                &mut out,
+            );
+            self.stripes_executed.fetch_add(stripes, Ordering::Relaxed);
+            epilogue_done = true;
+            // Every stripe walks the full plan: charge each active
+            // worker slot one full nnz sweep per stripe it ran.
+            let total_nnz = *prep.thread_nnz_ends.last().unwrap_or(&0) as u64;
+            let mut loads = self.worker_nnz.lock().unwrap();
+            for s in 0..stripes as usize {
+                loads[s % stripe_workers] += total_nnz;
+            }
         } else if self.selects_stealing(prep) {
             let target = (eff_workers * STEAL_CHUNKS_PER_WORKER).min(logical);
             let chunks = prep.chunk_descriptors(target);
@@ -1020,8 +1178,9 @@ impl ExecEngine {
         }
         // Serial-replay epilogue: rows not finalized at store time
         // (shared, carry-receiving, untouched) hold their final SpMM
-        // value only now — apply the epilogue exactly once per row here.
-        if fuse {
+        // value only now — apply the epilogue exactly once per row here
+        // (the striped path already did, stripe by stripe).
+        if fuse && !epilogue_done {
             for &row in &prep.deferred_rows {
                 epi.apply_row(&mut out[row as usize * dim..][..dim]);
             }
@@ -1218,23 +1377,23 @@ fn run_inline(
             if seg.is_empty() {
                 continue;
             }
-            prefetch_segment_rows(rp, tp.segments.get(s + 1), a, cols32, b);
+            prefetch_segment_rows(rp, tp.segments.get(s + 1), a, cols32, b, 0);
             match seg.flush {
                 Flush::Regular => {
                     let dst = &mut out[seg.row * dim..][..dim];
-                    accumulate_segment_dispatch(rp, seg, a, cols32, b, dst);
+                    accumulate_segment_dispatch(rp, seg, a, cols32, b, 0, dst);
                     if fuse && prep.fused_ok[seg.row] {
                         epi.apply_row(dst);
                     }
                 }
                 Flush::Atomic => {
-                    accumulate_segment_dispatch(rp, seg, a, cols32, b, &mut acc);
+                    accumulate_segment_dispatch(rp, seg, a, cols32, b, 0, &mut acc);
                     for (dst, &v) in out[seg.row * dim..][..dim].iter_mut().zip(&acc) {
                         *dst += v;
                     }
                 }
                 Flush::Carry => {
-                    accumulate_segment_dispatch(rp, seg, a, cols32, b, &mut acc);
+                    accumulate_segment_dispatch(rp, seg, a, cols32, b, 0, &mut acc);
                     carry_rows.push(seg.row);
                     carry_data.extend_from_slice(&acc);
                 }
@@ -1406,18 +1565,19 @@ fn run_pooled(
                             a,
                             cols32,
                             b,
+                            0,
                         );
                         match seg.flush {
                             Flush::Regular => match prep.row_kind[seg.row] {
                                 RowKind::Direct { .. } => {
                                     let dst = router.row_mut(seg.row, dim);
-                                    accumulate_segment_dispatch(rp, seg, a, cols32, b, dst);
+                                    accumulate_segment_dispatch(rp, seg, a, cols32, b, 0, dst);
                                     if fuse && prep.fused_ok[seg.row] {
                                         epi.apply_row(dst);
                                     }
                                 }
                                 RowKind::Shared { side: slot } => {
-                                    accumulate_segment_dispatch(rp, seg, a, cols32, b, &mut acc);
+                                    accumulate_segment_dispatch(rp, seg, a, cols32, b, 0, &mut acc);
                                     let base = (slot as usize - slot_base) * dim;
                                     for (dst, &v) in strip[base..base + dim].iter_mut().zip(&acc) {
                                         *dst += v;
@@ -1431,14 +1591,14 @@ fn run_pooled(
                                 let RowKind::Shared { side: slot } = prep.row_kind[seg.row] else {
                                     unreachable!("atomic update classifies its row as shared")
                                 };
-                                accumulate_segment_dispatch(rp, seg, a, cols32, b, &mut acc);
+                                accumulate_segment_dispatch(rp, seg, a, cols32, b, 0, &mut acc);
                                 let base = (slot as usize - slot_base) * dim;
                                 for (dst, &v) in strip[base..base + dim].iter_mut().zip(&acc) {
                                     *dst += v;
                                 }
                             }
                             Flush::Carry => {
-                                accumulate_segment_dispatch(rp, seg, a, cols32, b, &mut acc);
+                                accumulate_segment_dispatch(rp, seg, a, cols32, b, 0, &mut acc);
                                 carry_keys.push((t, s, seg.row));
                                 carry_data.extend_from_slice(&acc);
                             }
@@ -2083,5 +2243,139 @@ mod tests {
         engine.clear_cache();
         assert_eq!(engine.stats().cached_plans, 0);
         assert_eq!(engine.stats().hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn column_striped_policy_is_bit_identical_to_sequential() {
+        let a = crate::spmm::test_support::random_matrix(64, 64, 400, 11);
+        for dim in [128usize, 256] {
+            let b = crate::spmm::test_support::random_dense(64, dim, 12);
+            let p = crate::MergePathSpmm::with_threads(13).plan(&a, dim);
+            let (seq, _) = execute_sequential(&p, &a, &b).unwrap();
+            let prep = PreparedPlan::for_matrix(p, &a);
+            for workers in [2usize, 4, 16] {
+                let engine = ExecEngine::with_sched_policy(
+                    workers,
+                    DataPath::Auto,
+                    SchedPolicy::ColumnStriped,
+                );
+                assert!(engine.selects_striping(&prep, dim));
+                let (out, _) = engine.execute_prepared(&prep, &a, &b).unwrap();
+                // Each stripe replays the full (thread, segment) walk over
+                // its own column window, so per-column addition order is
+                // exactly the sequential executor's — equality is exact at
+                // any worker count, like the stealing path.
+                assert_eq!(
+                    out.max_abs_diff(&seq).unwrap(),
+                    0.0,
+                    "dim={dim} workers={workers}"
+                );
+                let stats = engine.stats();
+                // Lane-aligned bounds can cap the stripe count below the
+                // worker count (128 columns at 16 lanes is at most 8
+                // stripes) and the hardware clamp caps it at the
+                // machine's real parallelism (a 1-core CI box runs one
+                // full-width stripe) — but a striped run always reports
+                // at least one stripe. Fixed multi-stripe splits are
+                // exercised bit-exactly by the `stripe` module's own
+                // tests, which bypass the clamp.
+                assert!(
+                    stats.stripes_executed >= 1,
+                    "dim={dim} workers={workers}: run was striped"
+                );
+                assert_eq!(stats.chunks_executed, 0, "striped runs never steal");
+                engine.clear_cache();
+                assert_eq!(engine.stats().stripes_executed, 0, "reset clears counter");
+            }
+        }
+    }
+
+    #[test]
+    fn auto_policy_stripes_wide_dims_and_skewed_mid_dims() {
+        let a = crate::spmm::test_support::random_matrix(64, 256, 600, 5);
+        let engine = ExecEngine::new(4);
+        // Balanced merge-path plan: striping turns on at STRIPE_MIN_DIM
+        // and not a column earlier.
+        let mp = PreparedPlan::for_matrix(crate::MergePathSpmm::with_threads(16).plan(&a, 8), &a);
+        assert!(!engine.selects_striping(&mp, STRIPE_MIN_DIM - 1));
+        assert!(engine.selects_striping(&mp, STRIPE_MIN_DIM));
+        assert!(!engine.selects_striping(&mp, 0));
+        // Skewed row-split plan: the skew lowers the threshold to
+        // STRIPE_SKEW_MIN_DIM (striping beats stealing there — it fixes
+        // the imbalance *and* removes the serial carry tail).
+        let rs = PreparedPlan::for_matrix(crate::RowSplitSpmm::with_threads(64).plan(&a, 8), &a);
+        assert!(rs.static_span_skew(4) > STEAL_SKEW_THRESHOLD);
+        assert!(engine.selects_striping(&rs, STRIPE_SKEW_MIN_DIM));
+        assert!(!engine.selects_striping(&rs, STRIPE_SKEW_MIN_DIM - 1));
+        // A wide dim that stripes no longer steals.
+        assert!(engine.selects_stealing(&rs));
+        let striped = ExecEngine::with_sched_policy(4, DataPath::Auto, SchedPolicy::ColumnStriped);
+        assert!(!striped.selects_stealing(&rs));
+        // Pinned policies override Auto's dim inspection.
+        let pinned = ExecEngine::with_sched_policy(4, DataPath::Auto, SchedPolicy::Static);
+        assert!(!pinned.selects_striping(&mp, 512));
+        let stealing = ExecEngine::with_sched_policy(4, DataPath::Auto, SchedPolicy::Stealing);
+        assert!(!stealing.selects_striping(&mp, 512));
+        // One worker never stripes.
+        assert!(!ExecEngine::new(1).selects_striping(&mp, 512));
+        // And an Auto engine actually routes a wide run through stripes.
+        let b = crate::spmm::test_support::random_dense(256, STRIPE_MIN_DIM, 6);
+        let p = crate::MergePathSpmm::with_threads(16).plan(&a, STRIPE_MIN_DIM);
+        let (seq, _) = execute_sequential(&p, &a, &b).unwrap();
+        let (out, _) = engine.execute_prepared(&mp, &a, &b).unwrap();
+        assert!(engine.stats().stripes_executed > 0, "auto run striped");
+        assert_eq!(out.max_abs_diff(&seq).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn striped_fused_epilogue_is_bit_identical_to_unfused_composition() {
+        let a = crate::spmm::test_support::random_matrix(48, 48, 300, 31);
+        let dim = 128usize;
+        let b = crate::spmm::test_support::random_dense(48, dim, 32);
+        let p = crate::MergePathSpmm::with_threads(11).plan(&a, dim);
+        let bias: Vec<f32> = (0..dim).map(|j| (j as f32) * 0.25 - 2.0).collect();
+        let engine = ExecEngine::with_sched_policy(4, DataPath::Auto, SchedPolicy::ColumnStriped);
+        let prep = PreparedPlan::for_matrix(p, &a);
+        for epi in [
+            Epilogue::Relu,
+            Epilogue::Bias(bias.clone()),
+            Epilogue::BiasRelu(bias),
+        ] {
+            let want = unfused_then_apply(&engine, &prep, &a, &b, &epi);
+            let (got, _) = engine.execute_prepared_fused(&prep, &a, &b, &epi).unwrap();
+            // Stripe-local stores, carries, deferred rows and epilogue all
+            // preserve the sequential order per column window.
+            assert_eq!(got.max_abs_diff(&want).unwrap(), 0.0, "epi={epi:?}");
+        }
+    }
+
+    #[test]
+    fn fast_math_opt_in_is_gated_and_counted() {
+        let (a, b) = small();
+        let p = mixed_plan();
+        let prep = PreparedPlan::for_matrix(p, &a);
+        // Exact default: no FastMath runs counted.
+        let exact = ExecEngine::with_data_path(2, DataPath::Vector).with_fast_math(false);
+        assert!(!exact.fast_math());
+        exact.execute_prepared(&prep, &a, &b).unwrap();
+        assert_eq!(exact.stats().fastmath_runs, 0);
+        // Opted in: counted only where the CPU proof holds, and results
+        // stay within contraction tolerance of the exact run.
+        let fast = ExecEngine::with_data_path(2, DataPath::Vector).with_fast_math(true);
+        assert!(fast.fast_math());
+        let (got, _) = fast.execute_prepared(&prep, &a, &b).unwrap();
+        let (want, _) = exact.execute_prepared(&prep, &a, &b).unwrap();
+        assert!(got.approx_eq(&want, 1e-5).unwrap());
+        if crate::fastmath_supported() {
+            assert!(fast.stats().fastmath_runs > 0, "fma-proven CPU counts");
+            fast.clear_cache();
+            assert_eq!(fast.stats().fastmath_runs, 0, "reset clears counter");
+        } else {
+            assert_eq!(fast.stats().fastmath_runs, 0, "unproven CPU stays exact");
+        }
+        // The scalar path never contracts, opt-in or not.
+        let scalar = ExecEngine::with_data_path(2, DataPath::Scalar).with_fast_math(true);
+        scalar.execute_prepared(&prep, &a, &b).unwrap();
+        assert_eq!(scalar.stats().fastmath_runs, 0);
     }
 }

@@ -22,10 +22,17 @@
 //! closures, either directly (static spans) or through take-once
 //! `Mutex<Option<..>>` slots (self-scheduled).
 //!
-//! `k` is never blocked, so each output element accumulates in the naive
-//! loop's order and results are bit-equal to [`naive ikj`] GEMM up to the
-//! sign of zeros — the property the GCN fused-vs-unfused oracle tests
-//! lean on.
+//! `k` *is* blocked ([`crate::tuning::gemm_kc`]): each band sweeps its
+//! `k` range in ascending L2-sized panels so the `B` panel a microkernel
+//! streams stays cache-resident at dim 128–512. Blocking does **not**
+//! change results: accumulators are seeded from the (zero-initialized)
+//! output and stored back per block, so each output element still
+//! accumulates in the naive loop's ascending-`k` order and results stay
+//! bit-equal to [`naive ikj`] GEMM up to the sign of zeros — the
+//! property the GCN fused-vs-unfused oracle tests lean on. The one
+//! exception is opt-in [`crate::ExecEngine::with_fast_math`], which
+//! permits FMA contraction inside a block (documented carve-out,
+//! DESIGN.md §2.11).
 
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -33,10 +40,10 @@ use std::time::Instant;
 
 use mpspmm_sparse::{DenseMatrix, SparseFormatError};
 
-use crate::datapath::gemm_band;
+use crate::datapath::{gemm_band, gemm_pack_width, pack_b};
 use crate::engine::{ExecEngine, SchedPolicy};
 use crate::pool::{ScopedJob, WorkerPool};
-use crate::tuning::GEMM_BAND_ROWS;
+use crate::tuning::{gemm_kc, CacheModel, GEMM_BAND_ROWS};
 
 /// A take-once slot holding one output band's starting row and `&mut`
 /// slice, claimed by exactly one self-scheduled worker.
@@ -67,13 +74,40 @@ impl ExecEngine {
         let start = Instant::now();
         let (m, n) = (a.rows(), b.cols());
         let mut out = self.arena.take_zeroed(m * n);
-        let rp = self.data_path.resolve(n);
+        let rp = self.data_path.resolve_fast(n, self.fast_math);
+        if rp.fastmath {
+            self.fastmath_runs.fetch_add(1, Ordering::Relaxed);
+        }
+        let kc = if self.k_blocking {
+            gemm_kc(a.cols(), rp.panel, &CacheModel::default())
+        } else {
+            // Ablation mode: one full-`k` "block" — the pre-blocking
+            // sweep. Bitwise identical, only locality differs.
+            a.cols().max(1)
+        };
+        if a.cols() > 0 {
+            self.kblocks
+                .fetch_add(a.cols().div_ceil(kc.max(1)) as u64, Ordering::Relaxed);
+        }
+        // Pack `B` once into lane-width column blocks (arena-recycled)
+        // so every band's microkernel streams contiguous lines instead
+        // of striding `n` floats per `k` step. Pure data movement —
+        // results stay bitwise identical (see `gemm_rows_body`).
+        let packed = match gemm_pack_width(&rp) {
+            Some(w) if a.cols() > 0 && n >= w => {
+                let mut buf = self.arena.take_zeroed((n / w) * a.cols() * w);
+                pack_b(b, w, &mut buf);
+                buf
+            }
+            _ => Vec::new(),
+        };
+        let pslab: &[f32] = &packed;
         let band_count = m.div_ceil(GEMM_BAND_ROWS.max(1));
         let eff = self.workers.min(band_count).max(1);
         let mut panels = 0u64;
         if eff <= 1 {
             for (bi, band) in out.chunks_mut(GEMM_BAND_ROWS * n.max(1)).enumerate() {
-                panels += gemm_band(a, b, bi * GEMM_BAND_ROWS, &rp, band);
+                panels += gemm_band(a, b, pslab, bi * GEMM_BAND_ROWS, &rp, kc, band);
             }
         } else if self.sched_policy == SchedPolicy::Static {
             // One contiguous run of bands per worker: band ownership is
@@ -97,7 +131,8 @@ impl ExecEngine {
                 jobs.push(Box::new(move || {
                     let mut local = 0u64;
                     for (bi, band) in span.chunks_mut(GEMM_BAND_ROWS * n.max(1)).enumerate() {
-                        local += gemm_band(a, b, start_row + bi * GEMM_BAND_ROWS, &rp, band);
+                        local +=
+                            gemm_band(a, b, pslab, start_row + bi * GEMM_BAND_ROWS, &rp, kc, band);
                     }
                     total_panels.fetch_add(local, Ordering::Relaxed);
                 }));
@@ -133,7 +168,7 @@ impl ExecEngine {
                                 .unwrap()
                                 .take()
                                 .expect("band slot claimed exactly once");
-                            local += gemm_band(a, b, row_start, &rp, band);
+                            local += gemm_band(a, b, pslab, row_start, &rp, kc, band);
                         }
                         total_panels.fetch_add(local, Ordering::Relaxed);
                     }) as ScopedJob<'_>
@@ -142,6 +177,7 @@ impl ExecEngine {
             WorkerPool::global().scope_run(jobs);
             panels = total_panels.into_inner();
         }
+        self.arena.put(packed);
         self.gemm_panels.fetch_add(panels, Ordering::Relaxed);
         self.gemm_ns
             .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
@@ -201,6 +237,48 @@ mod tests {
                     }
                 }
             }
+        }
+    }
+
+    #[test]
+    fn k_blocked_gemm_stays_bitwise_exact_and_counts_blocks() {
+        // k large enough that gemm_kc splits it into several blocks:
+        // ascending blocks with output-seeded accumulators must preserve
+        // the naive loop's per-element addition order exactly.
+        let (m, k, n) = (9, 200, 256);
+        let a = filled(m, k, 3);
+        let b = filled(k, n, 4);
+        let want = naive_gemm(&a, &b);
+        for &workers in &[1usize, 4] {
+            let engine = ExecEngine::with_data_path(workers, DataPath::Vector);
+            let got = engine.gemm(&a, &b).expect("shapes agree");
+            assert_eq!(got.as_slice(), want.as_slice(), "workers={workers}");
+            let stats = engine.stats();
+            assert!(stats.kblocks >= 1, "k-block counter advanced");
+            engine.clear_cache();
+            assert_eq!(engine.stats().kblocks, 0, "reset clears counter");
+        }
+    }
+
+    #[test]
+    fn fast_math_gemm_stays_within_contraction_tolerance() {
+        let (m, k, n) = (7, 96, 128);
+        let a = filled(m, k, 5);
+        let b = filled(k, n, 6);
+        let exact = ExecEngine::with_data_path(2, DataPath::Vector)
+            .gemm(&a, &b)
+            .unwrap();
+        let engine = ExecEngine::with_data_path(2, DataPath::Vector).with_fast_math(true);
+        let fast = engine.gemm(&a, &b).unwrap();
+        for (g, w) in fast.as_slice().iter().zip(exact.as_slice()) {
+            let tol = 1e-5 * w.abs().max(1.0);
+            assert!((g - w).abs() <= tol, "fastmath gemm within tolerance");
+        }
+        if crate::fastmath_supported() {
+            assert!(engine.stats().fastmath_runs > 0, "fma-proven CPU counts");
+        } else {
+            assert_eq!(engine.stats().fastmath_runs, 0);
+            assert_eq!(fast.as_slice(), exact.as_slice(), "unproven CPU is exact");
         }
     }
 

@@ -40,13 +40,15 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
-// `deny` rather than `forbid`: exactly three modules opt back in — the
+// `deny` rather than `forbid`: exactly four modules opt back in — the
 // worker pool (`pool.rs`), for one lifetime-erasure transmute with a
 // documented completion-barrier argument; the stealing scheduler
 // (`steal.rs`), for the raw-pointer output view whose row-exclusivity
-// argument is documented there; and the GEMM wide-ISA clones
-// (`datapath::wide`), whose `#[target_feature]` calls are gated on the
-// matching runtime CPU-feature proof. Everything else stays safe.
+// argument is documented there; the column-striped executor
+// (`stripe.rs`), for the raw-pointer output view whose column-window
+// disjointness argument is documented there; and the wide-ISA kernel
+// clones (`datapath::wide`), whose `#[target_feature]` calls are gated
+// on the matching runtime CPU-feature proof. Everything else stays safe.
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
@@ -64,9 +66,10 @@ pub mod spmm;
 pub mod spmv;
 mod stats;
 mod steal;
+mod stripe;
 pub mod tuning;
 
-pub use datapath::{DataPath, LaneWidth, WideIsa};
+pub use datapath::{fastmath_supported, DataPath, LaneWidth, WideIsa};
 pub use engine::{EngineStats, ExecEngine, PreparedPlan, SchedPolicy, DEFAULT_PLAN_CACHE_CAPACITY};
 pub use epilogue::Epilogue;
 pub use merge_path::{merge_path_search, MergeCoord, Schedule, ThreadAssignment};
@@ -80,7 +83,8 @@ pub use spmm::{
 };
 pub use stats::WriteStats;
 pub use tuning::{
-    default_cost_for_dim, panel_cols, thread_count, CacheModel, SimdMapping, GATHER_MAX_NNZ,
-    GEMM_BAND_ROWS, GEMM_MR, GPU_SIMD_LANES, MIN_THREADS, PAR_APPLY_MIN_LEN,
-    STEAL_CHUNKS_PER_WORKER, STEAL_SKEW_THRESHOLD,
+    default_cost_for_dim, gemm_kc, panel_cols, stripe_panel_cols, thread_count, CacheModel,
+    SimdMapping, GATHER_MAX_NNZ, GEMM_BAND_ROWS, GEMM_MR, GPU_SIMD_LANES, MIN_THREADS,
+    PAR_APPLY_MIN_LEN, STEAL_CHUNKS_PER_WORKER, STEAL_SKEW_THRESHOLD, STRIPE_MIN_DIM,
+    STRIPE_SKEW_MIN_DIM,
 };

@@ -28,7 +28,10 @@ pub enum Flush {
     /// The thread only computes a local running total ("carry"); the
     /// dimension-wide addition into the output row happens in a **serial
     /// phase** after all threads finish — the merge-path SpMV fix-up
-    /// generalized to SpMM (the Figure 2 "merge-path" baseline).
+    /// generalized to SpMM (the Figure 2 "merge-path" baseline). The
+    /// column-striped executor instead replays carries *per stripe*,
+    /// inside the parallel phase: each stripe owns its column window, so
+    /// the replay needs no cross-worker ordering at all.
     Carry,
 }
 

@@ -20,8 +20,9 @@
 //! row's `&mut` slice is moved into exactly one worker closure. Under
 //! stealing the executing worker is not known in advance, so that story
 //! is replaced by a short `unsafe` argument localized to [`SharedOut`]
-//! (this is, with [`crate::pool`], one of the two modules allowed to opt
-//! out of `deny(unsafe_code)`):
+//! (this is, with [`crate::pool`], [`crate::stripe`], and the
+//! `#[target_feature]` clones in `datapath`, one of the four modules
+//! allowed to opt out of `deny(unsafe_code)`):
 //!
 //! * a `Direct` row has exactly one `Regular` segment and no `Atomic`
 //!   segment (the engine's row classification);
@@ -274,14 +275,14 @@ fn run_chunk(
             if seg.is_empty() {
                 continue;
             }
-            prefetch_segment_rows(rp, segments.get(s + 1), a, cols32, b);
+            prefetch_segment_rows(rp, segments.get(s + 1), a, cols32, b, 0);
             let direct = seg.flush == Flush::Regular
                 && matches!(prep.row_kind[seg.row], RowKind::Direct { .. });
             if direct {
                 // SAFETY: `seg.row` is Direct and this worker holds its
                 // only Regular segment's chunk (see module docs).
                 let dst = unsafe { shared.row_mut(seg.row, dim) };
-                accumulate_segment_dispatch(rp, seg, a, cols32, b, dst);
+                accumulate_segment_dispatch(rp, seg, a, cols32, b, 0, dst);
                 if fuse && prep.fused_ok[seg.row] {
                     epi.apply_row(dst);
                 }
@@ -289,7 +290,7 @@ fn run_chunk(
                 if acc.len() != dim {
                     acc.resize(dim, 0.0);
                 }
-                accumulate_segment_dispatch(rp, seg, a, cols32, b, acc);
+                accumulate_segment_dispatch(rp, seg, a, cols32, b, 0, acc);
                 fixups.push((t, s as u32, seg.row, seg.flush, std::mem::take(acc)));
             }
         }

@@ -37,6 +37,23 @@ pub const STEAL_CHUNKS_PER_WORKER: usize = 6;
 /// power-law graphs exceed this by multiples.
 pub const STEAL_SKEW_THRESHOLD: f64 = 1.25;
 
+/// Dense dimension at or above which [`SchedPolicy::Auto`](crate::SchedPolicy)
+/// unconditionally selects the column-striped executor: each worker owns a
+/// contiguous feature-column stripe of *all* rows, so shared-row handling
+/// (atomics, carries, strip folding) disappears entirely. Below this the
+/// redundant per-stripe index walk is not paid for by the dense-axis work;
+/// at 128+ columns each non-zero funds ≥ 256 flops per stripe and the
+/// stripe path wins on every measured shape.
+pub const STRIPE_MIN_DIM: usize = 128;
+
+/// Dense dimension from which [`SchedPolicy::Auto`](crate::SchedPolicy)
+/// selects column striping when the static partition is *also* skewed
+/// (`static_span_skew` above [`STEAL_SKEW_THRESHOLD`]): striping fixes the
+/// imbalance bit-exactly — every worker walks the same non-zeros — without
+/// the stealing scheduler's serial fix-up replay, whose cost scales with
+/// the dense dimension.
+pub const STRIPE_SKEW_MIN_DIM: usize = 96;
+
 /// Register-tile height of the engine's dense GEMM microkernel: this
 /// many `A` rows share every loaded `B` row panel, so each `B` element
 /// feeds `GEMM_MR` fused multiply-adds instead of one. Four rows ×
@@ -108,6 +125,51 @@ pub fn panel_cols(dim: usize, lanes: usize, model: &CacheModel) -> usize {
     aligned.min(dim.next_multiple_of(lanes).max(lanes))
 }
 
+/// Column-stripe width bound (in f32 columns) for the column-striped
+/// executor: the widest stripe whose working set — [`PANEL_RESIDENT_ROWS`]
+/// gathered `B` row windows plus the stripe accumulator — stays resident
+/// in half of L2 (the other half absorbs the streamed index/value arrays
+/// shared by every stripe). Same shape as [`panel_cols`] one cache level
+/// up; like it, the result is lane-aligned and clamped to cover `dim` in
+/// one stripe when `dim` already fits.
+///
+/// # Panics
+///
+/// Panics if `lanes == 0`.
+pub fn stripe_panel_cols(dim: usize, lanes: usize, model: &CacheModel) -> usize {
+    assert!(lanes > 0, "lane width must be positive");
+    let budget = model.l2_bytes / 2;
+    let raw = budget / (PANEL_RESIDENT_ROWS * std::mem::size_of::<f32>());
+    let aligned = (raw / lanes).max(1) * lanes;
+    aligned.min(dim.next_multiple_of(lanes).max(lanes))
+}
+
+/// Smallest useful `k`-block of the engine's blocked GEMM: below this the
+/// per-block accumulator round-trip through the destination row costs
+/// more than the locality buys.
+const GEMM_KC_MIN: usize = 64;
+
+/// `k`-block depth for the engine's GEMM: the deepest block whose `B`
+/// panel (`kc × panel` f32) stays resident in a quarter of L2 while it
+/// is reused across every register tile of a row band. A quarter — not
+/// half — because the slab shares L2 with the `A` band, the destination
+/// band, and (under the fused serving pipeline) concurrent SpMM
+/// traffic; on AVX-512 hardware the measured throughput knee at
+/// `n = 512` sits at the quarter-L2 slab, a third faster than the
+/// half-L2 one. Clamped to `[`[`GEMM_KC_MIN`]`, k]` so short reductions
+/// run unblocked.
+///
+/// Blocking `k` does **not** change results: blocks are visited in
+/// ascending order and each block's accumulators are seeded from the
+/// destination row, so every output element still sums its products in
+/// exactly the naive loop's order.
+pub fn gemm_kc(k: usize, panel: usize, model: &CacheModel) -> usize {
+    let k = k.max(1);
+    let bytes_per_k = panel.max(1) * std::mem::size_of::<f32>();
+    let raw = (model.l2_bytes / 4) / bytes_per_k;
+    raw.clamp(GEMM_KC_MIN.min(k), k)
+}
+
 /// SIMD lanes per warp on the evaluated GPU (NVidia, 32-lane warps).
 pub const GPU_SIMD_LANES: usize = 32;
 
@@ -164,11 +226,29 @@ impl SimdMapping {
     }
 
     /// Fraction of SIMD lanes doing useful work in each warp, in `(0, 1]`.
+    ///
+    /// When `dim` is not a multiple of `lanes`, the last replica warp
+    /// carries only `dim % lanes` live lanes — but it is *shared*: the
+    /// §III-C3 packing applies to the residual slice exactly as it does to
+    /// whole sub-lane dimensions, so `floor(lanes / tail)` logical
+    /// threads' tails ride in one warp and each thread is charged only its
+    /// `lanes / floor(lanes / tail)` share. Charging every thread a full
+    /// tail warp (the previous accounting) under-reported utilization at
+    /// large dims — e.g. dim 96 on 64-lane units is fully packed (two
+    /// 32-wide tails per warp), not 75%.
     pub fn lane_utilization(&self) -> f64 {
         if self.dim >= self.lanes {
-            // Last replica warp may be partially filled.
             let used = self.dim as f64;
-            let provisioned = (self.warps_per_thread * self.lanes) as f64;
+            let full = self.dim / self.lanes;
+            let tail = self.dim % self.lanes;
+            // Tail warp shared by floor(lanes / tail) threads; no tail
+            // warp at all when `dim` divides evenly (`tail == 0`).
+            let provisioned = match self.lanes.checked_div(tail) {
+                Some(share) if share > 0 => {
+                    (full * self.lanes) as f64 + self.lanes as f64 / share as f64
+                }
+                _ => (full * self.lanes) as f64,
+            };
             used / provisioned
         } else {
             (self.threads_per_warp * self.dim) as f64 / self.lanes as f64
@@ -179,6 +259,10 @@ impl SimdMapping {
 /// The empirically best merge-path cost per dimension size (Figure 6 of
 /// the paper, sweeping costs 2–50 at each dimension).
 ///
+/// * dims 256/512 → 55/60 (extrapolated past the figure's sweep: at
+///   hidden widths this wide each logical thread is already replicated
+///   8–16× across warps, so ever-larger costs — fewer threads, fewer
+///   atomics — keep winning, flattening out as the dense axis dominates),
 /// * dim 128 → 50 (threads already replicated 4× across warps; favour
 ///   fewer atomics),
 /// * dim 64 → 35, dim 32 → 30, dim 16 → 20, dims 8 and 4 → 15 (buy
@@ -188,7 +272,7 @@ impl SimdMapping {
 /// Dimensions between table entries use the nearest entry (ties toward the
 /// larger dimension).
 pub fn default_cost_for_dim(dim: usize) -> usize {
-    const TABLE: [(usize, usize); 7] = [
+    const TABLE: [(usize, usize); 9] = [
         (2, 50),
         (4, 15),
         (8, 15),
@@ -196,6 +280,8 @@ pub fn default_cost_for_dim(dim: usize) -> usize {
         (32, 30),
         (64, 35),
         (128, 50),
+        (256, 55),
+        (512, 60),
     ];
     assert!(dim > 0, "dimension size must be positive");
     let mut best = TABLE[0];
@@ -244,10 +330,40 @@ mod tests {
         assert_eq!(m.warps_for_threads(10), 20);
         let m = SimdMapping::for_dim(128, 32);
         assert_eq!(m.warps_per_thread, 4);
-        // Non-multiple: 48 dims → 2 warps, 75% utilization.
+        // Non-multiple: 48 dims → 2 warps, but the 16-wide tail packs two
+        // threads per tail warp (§III-C3 on the residual slice), so the
+        // mapping is fully utilized.
         let m = SimdMapping::for_dim(48, 32);
         assert_eq!(m.warps_per_thread, 2);
-        assert!((m.lane_utilization() - 0.75).abs() < 1e-12);
+        assert!((m.lane_utilization() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tail_warp_utilization_at_large_dims() {
+        // Exact multiples at the regression dims stay fully utilized.
+        for (dim, lanes) in [(96, 32), (192, 32), (384, 32), (192, 64), (384, 64)] {
+            let m = SimdMapping::for_dim(dim, lanes);
+            assert_eq!(
+                m.lane_utilization(),
+                1.0,
+                "dim {dim} lanes {lanes} is an exact multiple"
+            );
+        }
+        // dim 96 on 64-lane units: one full warp plus a 32-wide tail that
+        // packs two threads — fully utilized, not the 75% the old
+        // full-tail-warp accounting reported.
+        let m = SimdMapping::for_dim(96, 64);
+        assert_eq!(m.warps_per_thread, 2);
+        assert!((m.lane_utilization() - 1.0).abs() < 1e-12);
+        // A tail that does not divide the lane width still wastes its
+        // packing remainder: dim 44 on 32 lanes has a 12-wide tail shared
+        // by floor(32/12) = 2 threads, 16 lanes charged for 12 used.
+        let m = SimdMapping::for_dim(44, 32);
+        assert!((m.lane_utilization() - 44.0 / 48.0).abs() < 1e-12);
+        // A tail over half the lane width cannot pack and is charged in
+        // full, as before.
+        let m = SimdMapping::for_dim(50, 32);
+        assert!((m.lane_utilization() - 50.0 / 64.0).abs() < 1e-12);
     }
 
     #[test]
@@ -273,9 +389,14 @@ mod tests {
         assert_eq!(default_cost_for_dim(8), 15);
         assert_eq!(default_cost_for_dim(4), 15);
         assert_eq!(default_cost_for_dim(2), 50);
-        // Off-table dimension snaps to the nearest entry.
+        // Wide hidden layers: the table now covers 256/512 explicitly.
+        assert_eq!(default_cost_for_dim(256), 55);
+        assert_eq!(default_cost_for_dim(512), 60);
+        // Off-table dimension snaps to the nearest entry (ties toward the
+        // larger dimension: 384 is equidistant from 256 and 512).
         assert_eq!(default_cost_for_dim(24), 30);
-        assert_eq!(default_cost_for_dim(256), 50);
+        assert_eq!(default_cost_for_dim(384), 60);
+        assert_eq!(default_cost_for_dim(4096), 60);
     }
 
     #[test]
@@ -296,6 +417,49 @@ mod tests {
             l2_bytes: 1024,
         };
         assert_eq!(panel_cols(4096, 16, &tiny), 16);
+    }
+
+    #[test]
+    fn panel_model_covers_wide_dims_and_clamps_past_l1() {
+        let m = CacheModel::default();
+        // 256 and 512 still fit one L1 panel (budget is 512 columns).
+        assert_eq!(panel_cols(256, 16, &m), 256);
+        assert_eq!(panel_cols(512, 16, &m), 512);
+        assert_eq!(panel_cols(512, 8, &m), 512);
+        // Past dim = l1_bytes / 4 (8192 f32 for the 32 KiB default) the
+        // panel is pinned at the cache budget, never at dim: the sweep
+        // must tile.
+        let past_l1 = m.l1_bytes / std::mem::size_of::<f32>() + 16;
+        assert!(past_l1 > 8192);
+        assert_eq!(panel_cols(past_l1, 16, &m), 512);
+        assert_eq!(panel_cols(2 * past_l1, 8, &m), 512);
+        // The L2 stripe bound follows the same model one level up:
+        // 512 KiB budget / (8 rows × 4 B) = 16384 columns.
+        assert_eq!(stripe_panel_cols(1 << 20, 16, &m), 16384);
+        // GNN-sized dims fit in a single stripe, lane-rounded.
+        assert_eq!(stripe_panel_cols(512, 16, &m), 512);
+        assert_eq!(stripe_panel_cols(96, 32, &m), 96);
+        assert_eq!(stripe_panel_cols(20, 16, &m), 32);
+    }
+
+    #[test]
+    fn gemm_kc_keeps_b_panel_l2_resident() {
+        let m = CacheModel::default();
+        // 256 KiB / (512 cols × 4 B) = 128-deep blocks.
+        assert_eq!(gemm_kc(512, 512, &m), 128);
+        assert_eq!(gemm_kc(1024, 512, &m), 128);
+        // Short reductions run unblocked (kc = k).
+        assert_eq!(gemm_kc(128, 512, &m), 128);
+        assert_eq!(gemm_kc(16, 512, &m), 16);
+        assert_eq!(gemm_kc(0, 512, &m), 1);
+        // Narrow panels allow deeper blocks.
+        assert_eq!(gemm_kc(100_000, 16, &m), 4096);
+        // A tiny L2 clamps to the minimum useful block, not below.
+        let tiny = CacheModel {
+            l1_bytes: 64,
+            l2_bytes: 1024,
+        };
+        assert_eq!(gemm_kc(512, 512, &tiny), 64);
     }
 
     #[test]

@@ -139,12 +139,15 @@ impl GcnLayer {
 
     /// Forward pass through `engine`'s plan cache as one fused pipeline:
     /// the dense combination `H × W` runs on the engine's parallel
-    /// blocked GEMM ([`ExecEngine::gemm`]), and the aggregation applies
+    /// k-blocked GEMM ([`ExecEngine::gemm`]), and the aggregation applies
     /// the layer's bias/activation [`Epilogue`] at the SpMM store stage
     /// instead of re-streaming the output afterwards. The merge-path
     /// scheduling for `Â` at this layer's output width is computed at
     /// most once per graph `epoch` and reused on every subsequent call —
-    /// the offline setting of the paper's Figure 8, made automatic.
+    /// the offline setting of the paper's Figure 8, made automatic. Wide
+    /// output widths (128+) route the aggregation through the engine's
+    /// column-striped scheduler automatically — no per-layer
+    /// configuration, the fused epilogue is applied per stripe.
     ///
     /// The dense product `H × W` is recycled into the engine's buffer
     /// arena once the aggregation has consumed it, so after warm-up the

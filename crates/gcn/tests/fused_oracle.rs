@@ -25,10 +25,13 @@ fn graph() -> CsrMatrix<f32> {
 }
 
 /// A run is bit-deterministic when it either has no cross-worker write
-/// ordering at all (one worker) or replays every order-sensitive flush
-/// serially (the stealing scheduler, at any worker count).
+/// ordering at all (one worker), replays every order-sensitive flush
+/// serially (the stealing scheduler, at any worker count), or
+/// partitions output *columns* so every worker replays the full plan
+/// walk over a disjoint window (the column-striped scheduler, at any
+/// worker count).
 fn deterministic(policy: SchedPolicy, workers: usize) -> bool {
-    workers == 1 || policy == SchedPolicy::Stealing
+    workers == 1 || policy == SchedPolicy::Stealing || policy == SchedPolicy::ColumnStriped
 }
 
 fn worker_counts() -> Vec<usize> {
@@ -46,7 +49,11 @@ fn engine_matrix() -> Vec<(DataPath, SchedPolicy, usize)> {
         DataPath::Vector,
         DataPath::Auto,
     ] {
-        for policy in [SchedPolicy::Static, SchedPolicy::Stealing] {
+        for policy in [
+            SchedPolicy::Static,
+            SchedPolicy::Stealing,
+            SchedPolicy::ColumnStriped,
+        ] {
             for &w in &worker_counts() {
                 m.push((path, policy, w));
             }
@@ -222,6 +229,47 @@ fn fused_layer_matches_unfused_oracle() {
         );
         let seed = sage.forward(&mean_op, &x, &kernel).unwrap();
         assert!(fused.approx_eq(&seed, 1e-4).unwrap(), "sage seed sanity");
+    }
+}
+
+/// The wide-feature-dim data path end to end: a GCN layer with a
+/// 256-wide hidden dimension must route its aggregation SpMM through
+/// column stripes (pinned or via `Auto`'s dim threshold) and remain
+/// **bit-identical** to the unfused engine composition — FastMath stays
+/// off, so striping may not perturb a single bit.
+#[test]
+fn wide_hidden_dim_gcn_stripes_and_stays_exact() {
+    const OUT_DIM: usize = 256;
+    let a = gcn_normalize(&graph());
+    let x = random_features(NODES, IN_DIM, 0.4, 34);
+    let kernel = MergePathSpmm::with_threads(13);
+    let w = xavier_init(IN_DIM, OUT_DIM, 80);
+    let bias: Vec<f32> = (0..OUT_DIM)
+        .map(|j| (j % 11) as f32 * 0.125 - 0.5)
+        .collect();
+    let layer = GcnLayer::with_bias(w.clone(), bias.clone(), Activation::Relu);
+    for policy in [SchedPolicy::ColumnStriped, SchedPolicy::Auto] {
+        for &workers in &[2usize, 4, 8] {
+            let engine = ExecEngine::with_sched_policy(workers, DataPath::Auto, policy);
+            let fused = layer.forward_cached(&a, &x, &kernel, &engine, 0).unwrap();
+            assert!(
+                engine.stats().stripes_executed > 0,
+                "dim {OUT_DIM} routes through stripes (policy={policy:?} workers={workers})"
+            );
+            let hw = engine.gemm(&x, &w).unwrap();
+            let (mut want, _) = engine.spmm_cached(&kernel, &a, &hw, 0).unwrap();
+            for r in 0..want.rows() {
+                for (v, &b) in want.row_mut(r).iter_mut().zip(&bias) {
+                    *v += b;
+                }
+            }
+            Activation::Relu.apply(&mut want);
+            assert_eq!(
+                fused.max_abs_diff(&want).unwrap(),
+                0.0,
+                "wide-dim fused != unfused oracle (policy={policy:?} workers={workers})"
+            );
+        }
     }
 }
 

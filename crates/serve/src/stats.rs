@@ -221,7 +221,8 @@ pub struct ServeStats {
     /// Submit→reply latency percentiles over the recent window.
     pub latency: LatencySummary,
     /// The engine's counters (plan-cache hits/misses/evictions,
-    /// gather/stream dispatch, work-stealing chunks/steals, buffer-arena
+    /// gather/stream dispatch, work-stealing chunks/steals, column
+    /// stripes executed, GEMM k-blocks, FastMath runs, buffer-arena
     /// reuse), threaded through for one-stop telemetry.
     pub engine: EngineStats,
     /// Per-tenant breakdown, sorted by tenant name.

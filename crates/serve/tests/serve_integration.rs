@@ -332,6 +332,39 @@ fn engine_stats_are_threaded_through_serve_stats() {
 }
 
 #[test]
+fn wide_hidden_dim_gcn_serves_through_column_stripes() {
+    // A 256-wide hidden layer on a multi-worker engine: the aggregation
+    // SpMM must route through the column-striped scheduler (Auto's
+    // wide-dim choice) and the GEMM through k-blocks, both visible in
+    // the snapshot — and the answer must match the plain forward.
+    let srv = Server::start(
+        Arc::new(ExecEngine::new(4)),
+        Box::new(MergePathSpmm::with_threads(6)),
+        ServeConfig::default(),
+    );
+    let model = GcnModel::two_layer(6, 256, 3, 42);
+    srv.register("g", graph(1.0), Some(model));
+    let x = feats(6, 0);
+    let got = srv
+        .submit(req("g", "t", x.clone(), Workload::Gcn))
+        .unwrap()
+        .wait()
+        .unwrap();
+    let reference = GcnModel::two_layer(6, 256, 3, 42);
+    let expect = reference
+        .forward(&graph(1.0), &x, &MergePathSpmm::with_threads(6))
+        .unwrap();
+    assert!(got.approx_eq(&expect, 1e-4).unwrap());
+    let stats = srv.stats();
+    assert!(
+        stats.engine.stripes_executed > 0,
+        "wide hidden dim routed through column stripes"
+    );
+    assert!(stats.engine.kblocks > 0, "GEMM k-block counter surfaced");
+    srv.shutdown();
+}
+
+#[test]
 fn fused_pipeline_stats_are_threaded_through_serve_stats() {
     let srv = server(ServeConfig::default());
     srv.register("g", graph(1.0), Some(GcnModel::two_layer(6, 10, 3, 42)));

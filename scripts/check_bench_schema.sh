@@ -24,6 +24,14 @@ if [ ${#files[@]} -eq 0 ]; then
 fi
 
 status=0
+# Artifacts the tier-1 gate must always produce: their absence is a
+# failure, not a silent pass of the glob above.
+for required in BENCH_widedim.json; do
+    if [ ! -f "$required" ]; then
+        echo "FAIL $required: required artifact missing" >&2
+        status=1
+    fi
+done
 for f in "${files[@]}"; do
     if ! jq empty "$f" 2>/dev/null; then
         echo "FAIL $f: not valid JSON" >&2

@@ -7,8 +7,10 @@
 # Emits BENCH_engine.json (register-tiled baseline), BENCH_simd.json
 # (vectorized data path vs that baseline), BENCH_serve.json (serving
 # layer, smoke shape), BENCH_steal.json (scheduler comparison, smoke
-# shape), and BENCH_fused.json (fused GCN pipeline vs unfused, smoke
-# shape) in the repository root, then validates their common schema.
+# shape), BENCH_fused.json (fused GCN pipeline vs unfused, smoke
+# shape), and BENCH_widedim.json (wide-feature-dim layer pipeline vs
+# the pre-revision data path, smoke shape) in the repository root,
+# then validates their common schema.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -39,4 +41,5 @@ cargo run --release -p mpspmm-bench --bin bench_simd
 cargo run --release -p mpspmm-bench --bin bench_serve -- --smoke
 cargo run --release -p mpspmm-bench --bin bench_steal -- --smoke
 cargo run --release -p mpspmm-bench --bin bench_fused -- --smoke
+cargo run --release -p mpspmm-bench --bin bench_widedim -- --smoke
 scripts/check_bench_schema.sh
