@@ -97,9 +97,10 @@ use crate::executor::check_shapes;
 use crate::plan::{chunk_threads, static_span_skew, ChunkDesc, Flush, KernelPlan};
 use crate::pool::{ScopedJob, WorkerPool};
 use crate::spmm::{default_workers, SpmmKernel};
-use crate::stats::WriteStats;
+use crate::stats::{TunerStats, WriteStats};
 use crate::steal::run_stealing;
 use crate::stripe::run_striped;
+use crate::tuner::{arm_space, env_autotuner, ArmConfig, AutoTuner, GraphFingerprint, PlanTuner};
 use crate::tuning::{
     GATHER_MAX_NNZ, STEAL_CHUNKS_PER_WORKER, STEAL_SKEW_THRESHOLD, STRIPE_MIN_DIM,
     STRIPE_SKEW_MIN_DIM,
@@ -193,6 +194,11 @@ pub struct PreparedPlan {
     /// (`u32::MAX` for threads with no `Regular`/`Atomic` segment) — the
     /// span boundaries for monotonic static routing.
     thread_first_write_row: Vec<u32>,
+    /// Online auto-tuner slot: present only on plans built through
+    /// [`ExecEngine::plan_cached`] on a tuning-enabled engine. Shared
+    /// (`Arc`) so every clone of the plan — and the cache entry — feeds
+    /// one explorer.
+    pub(crate) tuner: Option<Arc<PlanTuner>>,
 }
 
 impl PreparedPlan {
@@ -291,6 +297,7 @@ impl PreparedPlan {
             deferred_rows,
             write_rows_monotonic,
             thread_first_write_row,
+            tuner: None,
         }
     }
 
@@ -381,6 +388,19 @@ impl PreparedPlan {
     pub fn static_span_skew(&self, workers: usize) -> f64 {
         static_span_skew(&self.thread_nnz_ends, workers)
     }
+
+    /// Convergence status of this plan's online auto-tuner slot, or
+    /// `None` when the plan was prepared without one (tuning disabled,
+    /// or the plan was built directly rather than through
+    /// [`ExecEngine::plan_cached`]).
+    pub fn tune_state(&self) -> Option<crate::tuner::TuneState> {
+        self.tuner.as_ref().map(|t| t.status())
+    }
+
+    /// Total non-zeros the plan's logical threads own.
+    pub(crate) fn total_nnz(&self) -> usize {
+        *self.thread_nnz_ends.last().unwrap_or(&0)
+    }
 }
 
 /// How the engine maps a prepared plan onto its pool workers.
@@ -468,6 +488,11 @@ pub struct EngineStats {
     /// — together with the SpMM wall time this is the "where the time
     /// goes" split of a fused GCN layer.
     pub gemm_ns: u64,
+    /// Online auto-tuner counters (see [`TunerStats`]): explorations,
+    /// their wall/excess time, and how many plans converged or
+    /// warm-started. All zero unless the engine carries an
+    /// [`AutoTuner`] ([`ExecEngine::with_autotuner`] or `MPSPMM_TUNE`).
+    pub tuner: TunerStats,
 }
 
 impl EngineStats {
@@ -531,6 +556,15 @@ pub struct ExecEngine {
     /// Cumulative non-zeros executed per worker slot, for the busy-
     /// fraction report of the stealing benchmark.
     worker_nnz: Mutex<Vec<u64>>,
+    /// Online auto-tuner this engine files verdicts with (`None` = the
+    /// static heuristics run untouched).
+    tuner: Option<Arc<AutoTuner>>,
+    tuner_explorations: AtomicU64,
+    tuner_exploration_ns: AtomicU64,
+    tuner_excess_ns: AtomicU64,
+    tuner_converged: AtomicU64,
+    tuner_plans: AtomicU64,
+    tuner_warm: AtomicU64,
 }
 
 impl ExecEngine {
@@ -595,6 +629,13 @@ impl ExecEngine {
             fused_epilogues: AtomicU64::new(0),
             gemm_ns: AtomicU64::new(0),
             worker_nnz: Mutex::new(vec![0; workers]),
+            tuner: env_autotuner(),
+            tuner_explorations: AtomicU64::new(0),
+            tuner_exploration_ns: AtomicU64::new(0),
+            tuner_excess_ns: AtomicU64::new(0),
+            tuner_converged: AtomicU64::new(0),
+            tuner_plans: AtomicU64::new(0),
+            tuner_warm: AtomicU64::new(0),
         }
     }
 
@@ -629,6 +670,86 @@ impl ExecEngine {
     /// ([`crate::fastmath_supported`]).
     pub fn fast_math(&self) -> bool {
         self.fast_math
+    }
+
+    /// Attaches an online [`AutoTuner`]: every plan built through
+    /// [`plan_cached`](Self::plan_cached) from now on carries an
+    /// explorer over its pruned configuration arm space, measured on
+    /// live executions until it converges; verdicts are filed in (and
+    /// warm-started from) `tuner`'s fingerprint-keyed table. Without
+    /// this call the engine follows the `MPSPMM_TUNE` /
+    /// `MPSPMM_CALIB_PATH` process opt-in, i.e. tuning is off by
+    /// default and `Auto` dispatch uses the static heuristics.
+    #[must_use]
+    pub fn with_autotuner(mut self, tuner: Arc<AutoTuner>) -> Self {
+        self.tuner = Some(tuner);
+        self
+    }
+
+    /// The calibration table this engine tunes against, if any.
+    pub fn autotuner(&self) -> Option<&Arc<AutoTuner>> {
+        self.tuner.as_ref()
+    }
+
+    /// The quantized shape class `prep` at dense dimension `dim` files
+    /// under in the calibration table.
+    pub fn tuner_fingerprint(&self, prep: &PreparedPlan, dim: usize) -> GraphFingerprint {
+        let logical = prep.plan.threads.len();
+        let eff = self.workers.min(logical).max(1);
+        let (gather, stream) = prep.dispatch;
+        GraphFingerprint::from_features(
+            prep.row_kind.len(),
+            prep.total_nnz(),
+            dim,
+            prep.static_span_skew(eff),
+            gather,
+            stream,
+            eff,
+        )
+    }
+
+    /// The configuration arm space this engine's tuner would explore
+    /// for `prep` at dense dimension `dim` — exposed so tests and the
+    /// autotune benchmark can enumerate the hand-pinnable candidates.
+    /// Pure: independent of whether a tuner is attached.
+    pub fn tuner_arm_space(&self, prep: &PreparedPlan, dim: usize) -> Vec<ArmConfig> {
+        let fp = self.tuner_fingerprint(prep, dim);
+        arm_space(&fp, self.sched_policy, self.data_path, self.fast_math)
+    }
+
+    /// Builds the tuner slot for a freshly prepared plan, warm-starting
+    /// from the calibration table when it already holds a verdict for
+    /// the fingerprint *that is still a member of the current arm
+    /// space* — a verdict recorded by, say, a FastMath process is not
+    /// replayable on this engine and falls back to exploring.
+    fn tuner_slot(&self, prep: &PreparedPlan, dim: usize) -> Option<Arc<PlanTuner>> {
+        let tuner = self.tuner.as_ref()?;
+        if dim == 0 || prep.plan.threads.is_empty() {
+            return None;
+        }
+        let fp = self.tuner_fingerprint(prep, dim);
+        let arms = arm_space(&fp, self.sched_policy, self.data_path, self.fast_math);
+        self.tuner_plans.fetch_add(1, Ordering::Relaxed);
+        if let Some(best) = tuner.lookup(&fp) {
+            if arms.contains(&best) {
+                self.tuner_warm.fetch_add(1, Ordering::Relaxed);
+                return Some(Arc::new(PlanTuner::warm(fp, best, arms)));
+            }
+        }
+        Some(Arc::new(PlanTuner::exploring(fp, arms)))
+    }
+
+    /// Resolves an arm's data path against `dim`, applying the arm's
+    /// panel halving and honoring the engine's FastMath opt-in (an arm
+    /// can only *request* contraction; the engine gate is ANDed in so a
+    /// poisoned arm can never enable it on an exact engine).
+    fn resolve_arm(&self, arm: ArmConfig, dim: usize) -> ResolvedPath {
+        let mut rp = arm.path.resolve_fast(dim, arm.fast_math && self.fast_math);
+        if arm.half_panel {
+            let lanes = rp.lanes.lanes();
+            rp.panel = ((rp.panel / 2).max(lanes) / lanes) * lanes;
+        }
+        rp
     }
 
     /// Disables (or re-enables) `k`-blocking in [`ExecEngine::gemm`].
@@ -871,7 +992,9 @@ impl ExecEngine {
         // second insert wins), which is the same behavior spmm_cached has
         // always had.
         self.misses.fetch_add(1, Ordering::Relaxed);
-        let prep = Arc::new(PreparedPlan::for_matrix(kernel.plan(a, dim), a));
+        let mut prep = PreparedPlan::for_matrix(kernel.plan(a, dim), a);
+        prep.tuner = self.tuner_slot(&prep, dim);
+        let prep = Arc::new(prep);
         let mut cache = self.cache.lock().unwrap();
         while cache.map.len() >= self.plan_capacity {
             let victim = cache
@@ -881,7 +1004,19 @@ impl ExecEngine {
                 .map(|(k, _)| k.clone());
             match victim {
                 Some(k) => {
-                    cache.map.remove(&k);
+                    // Recycle measured state instead of dropping it
+                    // with the entry: a converged verdict goes through
+                    // the calibration table, so re-admitting the plan
+                    // later warm-starts instead of re-exploring.
+                    if let Some(entry) = cache.map.remove(&k) {
+                        if let (Some(table), Some(slot)) =
+                            (self.tuner.as_deref(), entry.prep.tuner.as_ref())
+                        {
+                            if let Some(arm) = slot.converged_arm() {
+                                table.record(slot.fingerprint(), arm);
+                            }
+                        }
+                    }
                     self.evictions.fetch_add(1, Ordering::Relaxed);
                 }
                 None => break,
@@ -999,6 +1134,14 @@ impl ExecEngine {
             fastmath_runs: self.fastmath_runs.load(Ordering::Relaxed),
             fused_epilogues: self.fused_epilogues.load(Ordering::Relaxed),
             gemm_ns: self.gemm_ns.load(Ordering::Relaxed),
+            tuner: TunerStats {
+                explorations: self.tuner_explorations.load(Ordering::Relaxed),
+                exploration_ns: self.tuner_exploration_ns.load(Ordering::Relaxed),
+                excess_ns: self.tuner_excess_ns.load(Ordering::Relaxed),
+                converged_plans: self.tuner_converged.load(Ordering::Relaxed),
+                tuned_plans: self.tuner_plans.load(Ordering::Relaxed),
+                warm_plans: self.tuner_warm.load(Ordering::Relaxed),
+            },
         }
     }
 
@@ -1039,6 +1182,12 @@ impl ExecEngine {
         self.fastmath_runs.store(0, Ordering::Relaxed);
         self.fused_epilogues.store(0, Ordering::Relaxed);
         self.gemm_ns.store(0, Ordering::Relaxed);
+        self.tuner_explorations.store(0, Ordering::Relaxed);
+        self.tuner_exploration_ns.store(0, Ordering::Relaxed);
+        self.tuner_excess_ns.store(0, Ordering::Relaxed);
+        self.tuner_converged.store(0, Ordering::Relaxed);
+        self.tuner_plans.store(0, Ordering::Relaxed);
+        self.tuner_warm.store(0, Ordering::Relaxed);
         self.worker_nnz
             .lock()
             .unwrap()
@@ -1078,7 +1227,22 @@ impl ExecEngine {
             }
             return (out, prep.stats);
         }
-        let rp = self.data_path.resolve_fast(dim, self.fast_math);
+        // Online auto-tuning: a plan with a tuner slot executes the
+        // slot's arm instead of the static heuristics. Only *exploring*
+        // runs are timed — once the slot converges the ticket is free
+        // and steady-state runs pay zero measurement overhead.
+        let ticket = match (&self.tuner, &prep.tuner) {
+            (Some(_), Some(slot)) => Some(slot.begin()),
+            _ => None,
+        };
+        let timer = ticket
+            .as_ref()
+            .filter(|t| t.explore)
+            .map(|_| std::time::Instant::now());
+        let rp = match &ticket {
+            Some(t) => self.resolve_arm(t.arm, dim),
+            None => self.data_path.resolve_fast(dim, self.fast_math),
+        };
         if rp.fastmath {
             self.fastmath_runs.fetch_add(1, Ordering::Relaxed);
         }
@@ -1089,6 +1253,14 @@ impl ExecEngine {
         }
         let cols32 = prep.cols32.as_ref().map(AlignedVec::as_slice);
         let eff_workers = self.workers.min(logical);
+        let use_striping = match &ticket {
+            Some(t) => t.arm.sched == SchedPolicy::ColumnStriped,
+            None => self.selects_striping(prep, dim),
+        };
+        let use_stealing = match &ticket {
+            Some(t) => t.arm.sched == SchedPolicy::Stealing,
+            None => self.selects_stealing(prep),
+        };
         let mut out = self.arena.take_zeroed(rows * dim);
         // The striped path applies the deferred epilogue share per
         // stripe; every other path leaves it to the pass below.
@@ -1096,7 +1268,7 @@ impl ExecEngine {
         if eff_workers <= 1 {
             run_inline(prep, a, b, dim, &rp, cols32, epi, &mut out);
             self.add_worker_load(0, *prep.thread_nnz_ends.last().unwrap_or(&0) as u64);
-        } else if self.selects_striping(prep, dim) {
+        } else if use_striping {
             // Hardware clamp: every stripe re-walks the full index/value
             // stream, so stripes beyond the machine's actual parallelism
             // are pure re-walk overhead with nobody to run them. An
@@ -1128,7 +1300,7 @@ impl ExecEngine {
             for s in 0..stripes as usize {
                 loads[s % stripe_workers] += total_nnz;
             }
-        } else if self.selects_stealing(prep) {
+        } else if use_stealing {
             let target = (eff_workers * STEAL_CHUNKS_PER_WORKER).min(logical);
             let chunks = prep.chunk_descriptors(target);
             let outcome = run_stealing(
@@ -1183,6 +1355,24 @@ impl ExecEngine {
         if fuse && !epilogue_done {
             for &row in &prep.deferred_rows {
                 epi.apply_row(&mut out[row as usize * dim..][..dim]);
+            }
+        }
+        // Feed the explorer its measurement, file the verdict when this
+        // observation was the converging one.
+        if let (Some(ticket), Some(started)) = (&ticket, timer) {
+            let ns = started.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+            self.tuner_explorations.fetch_add(1, Ordering::Relaxed);
+            self.tuner_exploration_ns.fetch_add(ns, Ordering::Relaxed);
+            if let Some(slot) = &prep.tuner {
+                let obs = slot.observe(ticket.idx, ns);
+                self.tuner_excess_ns
+                    .fetch_add(obs.excess_ns, Ordering::Relaxed);
+                if let Some(arm) = obs.newly_converged {
+                    self.tuner_converged.fetch_add(1, Ordering::Relaxed);
+                    if let Some(table) = &self.tuner {
+                        table.record(slot.fingerprint(), arm);
+                    }
+                }
             }
         }
         let out = DenseMatrix::from_vec(rows, dim, out)

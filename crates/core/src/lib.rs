@@ -67,6 +67,7 @@ pub mod spmv;
 mod stats;
 mod steal;
 mod stripe;
+pub mod tuner;
 pub mod tuning;
 
 pub use datapath::{fastmath_supported, DataPath, LaneWidth, WideIsa};
@@ -81,10 +82,12 @@ pub use spmm::{
     default_workers, plan_from_schedule, CostPolicy, MergePathSerialFixup, MergePathSpmm,
     NeighborPartitionIndex, NnzSplitSpmm, RowSplitSpmm, SerialSpmm, SpmmKernel,
 };
-pub use stats::WriteStats;
+pub use stats::{TunerStats, WriteStats};
+pub use tuner::{arm_space, ArmConfig, AutoTuner, GraphFingerprint, TuneState, CALIB_HEADER};
 pub use tuning::{
     default_cost_for_dim, gemm_kc, panel_cols, stripe_panel_cols, thread_count, CacheModel,
     SimdMapping, GATHER_MAX_NNZ, GEMM_BAND_ROWS, GEMM_MR, GPU_SIMD_LANES, MIN_THREADS,
     PAR_APPLY_MIN_LEN, STEAL_CHUNKS_PER_WORKER, STEAL_SKEW_THRESHOLD, STRIPE_MIN_DIM,
-    STRIPE_SKEW_MIN_DIM,
+    STRIPE_SKEW_MIN_DIM, TUNE_HALF_PANEL_MIN_DIM, TUNE_MEASURES_PER_ARM, TUNE_STEAL_MIN_SKEW_Q,
+    TUNE_STRIPE_MIN_DIM, TUNE_TILED_MAX_DIM,
 };

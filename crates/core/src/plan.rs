@@ -159,6 +159,13 @@ impl KernelPlan {
         self.threads.len()
     }
 
+    /// Total non-zeros the plan's threads cover — one of the raw
+    /// features the auto-tuner's [`GraphFingerprint`](crate::tuner::GraphFingerprint)
+    /// quantizes.
+    pub fn nnz_total(&self) -> usize {
+        self.threads.iter().map(ThreadPlan::nnz).sum()
+    }
+
     /// Total serial-phase flushes (non-empty carry segments).
     pub fn serial_flushes(&self) -> usize {
         self.threads.iter().map(ThreadPlan::carries).sum()

@@ -7,8 +7,9 @@
 
 use mpspmm_core::executor::execute_sequential;
 use mpspmm_core::{
-    default_workers, DataPath, ExecEngine, MergePathSerialFixup, MergePathSpmm, NnzSplitSpmm,
-    PreparedPlan, RowSplitSpmm, SchedPolicy, SpmmKernel, STEAL_SKEW_THRESHOLD,
+    default_workers, DataPath, ExecEngine, Flush, KernelPlan, MergePathSerialFixup, MergePathSpmm,
+    NnzSplitSpmm, PreparedPlan, RowSplitSpmm, SchedPolicy, Segment, SpmmKernel, ThreadPlan,
+    STEAL_SKEW_THRESHOLD, STRIPE_MIN_DIM, STRIPE_SKEW_MIN_DIM,
 };
 use mpspmm_sparse::{CsrMatrix, DenseMatrix};
 use proptest::prelude::*;
@@ -201,4 +202,87 @@ fn resolved_worker_count_bit_matches_oracle() {
             assert_eq!(loads.iter().sum::<u64>(), a.nnz() as u64);
         }
     }
+}
+
+/// A two-row matrix and a two-thread plan whose static worker spans
+/// carry exactly (`nnz0`, `nnz1`) non-zeros — full control of the span
+/// skew, down to the exact threshold value.
+fn two_span_plan(nnz0: usize, nnz1: usize) -> (CsrMatrix<f32>, PreparedPlan) {
+    let cols = nnz0.max(nnz1);
+    let mut triplets = Vec::with_capacity(nnz0 + nnz1);
+    for c in 0..nnz0 {
+        triplets.push((0usize, c, 1.0f32));
+    }
+    for c in 0..nnz1 {
+        triplets.push((1usize, c, 1.0f32));
+    }
+    let a = CsrMatrix::from_triplets(2, cols, &triplets).unwrap();
+    let plan = KernelPlan {
+        threads: vec![
+            ThreadPlan {
+                segments: vec![Segment {
+                    row: 0,
+                    nz_start: 0,
+                    nz_end: nnz0,
+                    flush: Flush::Regular,
+                }],
+            },
+            ThreadPlan {
+                segments: vec![Segment {
+                    row: 1,
+                    nz_start: nnz0,
+                    nz_end: nnz0 + nnz1,
+                    flush: Flush::Regular,
+                }],
+            },
+        ],
+    };
+    plan.validate(&a).unwrap();
+    let prep = PreparedPlan::for_matrix(plan, &a);
+    (a, prep)
+}
+
+/// Satellite: the `Auto` heuristics at their exact threshold
+/// boundaries, pinned before the tuner makes them overridable. The
+/// skew comparison is strict — skew **equal** to
+/// [`STEAL_SKEW_THRESHOLD`] keeps the bit-identical static path — and
+/// the stripe dimension comparisons are inclusive at their minima.
+#[test]
+fn auto_routing_at_exact_threshold_boundaries() {
+    let engine = ExecEngine::with_sched_policy(2, DataPath::Vector, SchedPolicy::Auto);
+
+    // Spans (5, 3): skew = 5 / 4 = 1.25, *exactly* the threshold.
+    let (_, at) = two_span_plan(5, 3);
+    assert_eq!(at.static_span_skew(2), STEAL_SKEW_THRESHOLD);
+    assert!(
+        !engine.selects_stealing(&at),
+        "skew == threshold must stay static (strict >)"
+    );
+
+    // Spans (51, 29): skew = 51 / 40 = 1.275, one step past.
+    let (_, past) = two_span_plan(51, 29);
+    assert!(past.static_span_skew(2) > STEAL_SKEW_THRESHOLD);
+    assert!(engine.selects_stealing(&past));
+
+    // Balanced spans: striping flips exactly at STRIPE_MIN_DIM.
+    let (_, balanced) = two_span_plan(4, 4);
+    assert_eq!(balanced.static_span_skew(2), 1.0);
+    assert!(!engine.selects_striping(&balanced, STRIPE_MIN_DIM - 1));
+    assert!(engine.selects_striping(&balanced, STRIPE_MIN_DIM));
+    assert!(engine.selects_striping(&balanced, STRIPE_MIN_DIM + 1));
+
+    // Skewed spans: the lower STRIPE_SKEW_MIN_DIM bound applies.
+    assert!(!engine.selects_striping(&past, STRIPE_SKEW_MIN_DIM - 1));
+    assert!(engine.selects_striping(&past, STRIPE_SKEW_MIN_DIM));
+
+    // Skew exactly at the threshold does *not* unlock the skew-assisted
+    // stripe dimension — only the unconditional one.
+    assert!(!engine.selects_striping(&at, STRIPE_SKEW_MIN_DIM));
+    assert!(!engine.selects_striping(&at, STRIPE_MIN_DIM - 1));
+    assert!(engine.selects_striping(&at, STRIPE_MIN_DIM));
+
+    // One worker never steals or stripes, whatever the skew or dim.
+    let single = ExecEngine::with_sched_policy(1, DataPath::Vector, SchedPolicy::Auto);
+    assert!(!single.selects_stealing(&past));
+    assert!(!single.selects_striping(&past, STRIPE_MIN_DIM));
 }

@@ -8,9 +8,10 @@
 # (vectorized data path vs that baseline), BENCH_serve.json (serving
 # layer, smoke shape), BENCH_steal.json (scheduler comparison, smoke
 # shape), BENCH_fused.json (fused GCN pipeline vs unfused, smoke
-# shape), and BENCH_widedim.json (wide-feature-dim layer pipeline vs
-# the pre-revision data path, smoke shape) in the repository root,
-# then validates their common schema.
+# shape), BENCH_widedim.json (wide-feature-dim layer pipeline vs
+# the pre-revision data path, smoke shape), and BENCH_autotune.json
+# (measured arm selection vs hand-pinned configs, smoke shape) in the
+# repository root, then validates their common schema.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -24,6 +25,12 @@ cargo test --workspace -q
 # once on the default (vectorized) path and once with the data path pinned
 # to the scalar oracle via the force-scalar feature.
 cargo test -q -p mpspmm-core --test engine_oracle
+# The same oracle suite with the auto-tuner live on every engine
+# (MPSPMM_TUNE): arms only select among already-pinned strategies, so
+# exploration must never leave the oracle tolerance. (The fused_oracle
+# suite asserts run-to-run *bit* equality and would be perturbed by arm
+# switching mid-exploration; it stays untuned by design.)
+MPSPMM_TUNE=1 cargo test -q -p mpspmm-core --test engine_oracle
 cargo test -q -p mpspmm-core --features force-scalar
 # The work-stealing scheduler promises bit-identical output at any worker
 # count: pin the resolved count to a matrix of values and re-run its
@@ -42,4 +49,12 @@ cargo run --release -p mpspmm-bench --bin bench_serve -- --smoke
 cargo run --release -p mpspmm-bench --bin bench_steal -- --smoke
 cargo run --release -p mpspmm-bench --bin bench_fused -- --smoke
 cargo run --release -p mpspmm-bench --bin bench_widedim -- --smoke
+# Auto-tuner bench under a throwaway calibration directory: one run
+# proves both the cold start (exploration under the overhead bound) and
+# the warm restart (a rebuilt engine + tuner pair re-admits every plan
+# from the persisted table with zero explorations).
+calib_dir="$(mktemp -d)"
+trap 'rm -rf "$calib_dir"' EXIT
+MPSPMM_CALIB_PATH="$calib_dir/calib.v1" \
+  cargo run --release -p mpspmm-bench --bin bench_autotune -- --smoke
 scripts/check_bench_schema.sh
