@@ -96,8 +96,9 @@ use crate::epilogue::Epilogue;
 use crate::executor::check_shapes;
 use crate::plan::{chunk_threads, static_span_skew, ChunkDesc, Flush, KernelPlan};
 use crate::pool::{ScopedJob, WorkerPool};
+use crate::spgemm::{SpgemmSlots, SpgemmStrategy};
 use crate::spmm::{default_workers, SpmmKernel};
-use crate::stats::{TunerStats, WriteStats};
+use crate::stats::{SpgemmStats, TunerStats, WriteStats};
 use crate::steal::run_stealing;
 use crate::stripe::run_striped;
 use crate::tuner::{arm_space, env_autotuner, ArmConfig, AutoTuner, GraphFingerprint, PlanTuner};
@@ -493,6 +494,11 @@ pub struct EngineStats {
     /// warm-started. All zero unless the engine carries an
     /// [`AutoTuner`] ([`ExecEngine::with_autotuner`] or `MPSPMM_TUNE`).
     pub tuner: TunerStats,
+    /// Sparse×sparse counters (see [`SpgemmStats`]): rows executed
+    /// through [`ExecEngine::spgemm`], the per-accumulator row
+    /// distribution, and the symbolic/numeric phase wall split. All
+    /// zero until the first `spgemm` call.
+    pub spgemm: SpgemmStats,
 }
 
 impl EngineStats {
@@ -559,12 +565,24 @@ pub struct ExecEngine {
     /// Online auto-tuner this engine files verdicts with (`None` = the
     /// static heuristics run untouched).
     tuner: Option<Arc<AutoTuner>>,
-    tuner_explorations: AtomicU64,
-    tuner_exploration_ns: AtomicU64,
-    tuner_excess_ns: AtomicU64,
-    tuner_converged: AtomicU64,
+    pub(crate) tuner_explorations: AtomicU64,
+    pub(crate) tuner_exploration_ns: AtomicU64,
+    pub(crate) tuner_excess_ns: AtomicU64,
+    pub(crate) tuner_converged: AtomicU64,
     tuner_plans: AtomicU64,
     tuner_warm: AtomicU64,
+    /// Accumulator strategy untuned SpGEMM runs pin
+    /// ([`SpgemmStrategy::Adaptive`] = the per-row classifier).
+    pub(crate) spgemm_strategy: SpgemmStrategy,
+    pub(crate) spgemm_rows: AtomicU64,
+    pub(crate) spgemm_dense: AtomicU64,
+    pub(crate) spgemm_hash: AtomicU64,
+    pub(crate) spgemm_merge: AtomicU64,
+    pub(crate) spgemm_symbolic_ns: AtomicU64,
+    pub(crate) spgemm_numeric_ns: AtomicU64,
+    /// Per-shape-class SpGEMM tuner slots (see `crate::spgemm`); only
+    /// populated when a tuner is attached.
+    pub(crate) spgemm_slots: Mutex<SpgemmSlots>,
 }
 
 impl ExecEngine {
@@ -636,6 +654,14 @@ impl ExecEngine {
             tuner_converged: AtomicU64::new(0),
             tuner_plans: AtomicU64::new(0),
             tuner_warm: AtomicU64::new(0),
+            spgemm_strategy: SpgemmStrategy::default(),
+            spgemm_rows: AtomicU64::new(0),
+            spgemm_dense: AtomicU64::new(0),
+            spgemm_hash: AtomicU64::new(0),
+            spgemm_merge: AtomicU64::new(0),
+            spgemm_symbolic_ns: AtomicU64::new(0),
+            spgemm_numeric_ns: AtomicU64::new(0),
+            spgemm_slots: Mutex::new(SpgemmSlots::default()),
         }
     }
 
@@ -1142,6 +1168,14 @@ impl ExecEngine {
                 tuned_plans: self.tuner_plans.load(Ordering::Relaxed),
                 warm_plans: self.tuner_warm.load(Ordering::Relaxed),
             },
+            spgemm: SpgemmStats {
+                rows: self.spgemm_rows.load(Ordering::Relaxed),
+                accum_dense: self.spgemm_dense.load(Ordering::Relaxed),
+                accum_hash: self.spgemm_hash.load(Ordering::Relaxed),
+                accum_merge: self.spgemm_merge.load(Ordering::Relaxed),
+                symbolic_ns: self.spgemm_symbolic_ns.load(Ordering::Relaxed),
+                numeric_ns: self.spgemm_numeric_ns.load(Ordering::Relaxed),
+            },
         }
     }
 
@@ -1188,6 +1222,13 @@ impl ExecEngine {
         self.tuner_converged.store(0, Ordering::Relaxed);
         self.tuner_plans.store(0, Ordering::Relaxed);
         self.tuner_warm.store(0, Ordering::Relaxed);
+        self.spgemm_rows.store(0, Ordering::Relaxed);
+        self.spgemm_dense.store(0, Ordering::Relaxed);
+        self.spgemm_hash.store(0, Ordering::Relaxed);
+        self.spgemm_merge.store(0, Ordering::Relaxed);
+        self.spgemm_symbolic_ns.store(0, Ordering::Relaxed);
+        self.spgemm_numeric_ns.store(0, Ordering::Relaxed);
+        self.spgemm_slots.lock().unwrap().clear();
         self.worker_nnz
             .lock()
             .unwrap()

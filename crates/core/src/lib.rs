@@ -62,6 +62,7 @@ mod gemm;
 mod merge_path;
 mod plan;
 mod pool;
+pub mod spgemm;
 pub mod spmm;
 pub mod spmv;
 mod stats;
@@ -78,16 +79,22 @@ pub use plan::{
     chunk_threads, static_span_skew, ChunkDesc, Flush, KernelPlan, PlanError, Segment, ThreadPlan,
 };
 pub use pool::parallel_apply_chunks;
+pub use spgemm::{
+    classify_row, spgemm_flops_upper_bound, spgemm_sequential, AccumKind, SpgemmStrategy,
+};
 pub use spmm::{
     default_workers, plan_from_schedule, CostPolicy, MergePathSerialFixup, MergePathSpmm,
     NeighborPartitionIndex, NnzSplitSpmm, RowSplitSpmm, SerialSpmm, SpmmKernel,
 };
-pub use stats::{TunerStats, WriteStats};
-pub use tuner::{arm_space, ArmConfig, AutoTuner, GraphFingerprint, TuneState, CALIB_HEADER};
+pub use stats::{SpgemmStats, TunerStats, WriteStats};
+pub use tuner::{
+    arm_space, spgemm_arm_space, ArmConfig, AutoTuner, GraphFingerprint, TuneState, CALIB_HEADER,
+};
 pub use tuning::{
     default_cost_for_dim, gemm_kc, panel_cols, stripe_panel_cols, thread_count, CacheModel,
     SimdMapping, GATHER_MAX_NNZ, GEMM_BAND_ROWS, GEMM_MR, GPU_SIMD_LANES, MIN_THREADS,
-    PAR_APPLY_MIN_LEN, STEAL_CHUNKS_PER_WORKER, STEAL_SKEW_THRESHOLD, STRIPE_MIN_DIM,
+    PAR_APPLY_MIN_LEN, SPGEMM_DENSE_FILL_DIV, SPGEMM_HASH_MIN_SLOTS, SPGEMM_MERGE_MAX_WAYS,
+    SPGEMM_MERGE_SCAN_MAX_WAYS, STEAL_CHUNKS_PER_WORKER, STEAL_SKEW_THRESHOLD, STRIPE_MIN_DIM,
     STRIPE_SKEW_MIN_DIM, TUNE_HALF_PANEL_MIN_DIM, TUNE_MEASURES_PER_ARM, TUNE_STEAL_MIN_SKEW_Q,
     TUNE_STRIPE_MIN_DIM, TUNE_TILED_MAX_DIM,
 };

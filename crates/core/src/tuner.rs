@@ -346,6 +346,22 @@ pub fn arm_space(
     arms
 }
 
+/// The SpGEMM accumulator arm family a tuner-carrying engine explores
+/// for one shape class (see `crate::spgemm`): the
+/// [`Adaptive`](crate::SpgemmStrategy::Adaptive) heuristic incumbent
+/// first — so a tie converges to exactly what an untuned engine runs —
+/// then the three forced families. Degenerate classes (zero output
+/// width: nothing to accumulate) collapse to the incumbent alone.
+/// Every arm is bit-identical to every other; the explorer only ranks
+/// their numeric-phase time.
+pub fn spgemm_arm_space(fp: &GraphFingerprint) -> Vec<crate::SpgemmStrategy> {
+    use crate::SpgemmStrategy as S;
+    if fp.dim == 0 || fp.nnz_log2 == 0 {
+        return vec![S::Adaptive];
+    }
+    vec![S::Adaptive, S::Merge, S::Hash, S::Dense]
+}
+
 /// What one engine run should execute and whether its wall time feeds
 /// the explorer.
 #[derive(Debug, Clone, Copy)]

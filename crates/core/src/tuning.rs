@@ -108,6 +108,34 @@ pub const GEMM_BAND_ROWS: usize = 32;
 /// dispatch-plus-barrier cost.
 pub const PAR_APPLY_MIN_LEN: usize = 1 << 14;
 
+/// SpGEMM row classification: a row combining at most this many `B`
+/// rows runs the sorted multi-way merge accumulator. Mirroring the
+/// binary-row-merging CPU SpGEMM observation (arXiv 2206.06611), most
+/// rows of a power-law adjacency matrix merge a handful of neighbor
+/// lists; streaming them in column order emits the output row already
+/// sorted with no scratch, no hashing, and no sort — at four ways the
+/// per-entry min scan is still a couple of compares.
+pub const SPGEMM_MERGE_MAX_WAYS: usize = 4;
+
+/// SpGEMM row classification: the dense-scratch accumulator runs when
+/// the row's nnz upper bound times this factor reaches `B`'s column
+/// count (fill ≥ 1/8). At that density most scratch slots are touched
+/// anyway, so direct indexing beats hashing and the touched-column sort
+/// is the same either way; below it the dense reset-on-touch walk and
+/// cold scratch lines stop paying for themselves.
+pub const SPGEMM_DENSE_FILL_DIV: usize = 8;
+
+/// Minimum slot count of the SpGEMM hash accumulator. Tiny rows still
+/// get a table two cache lines wide so the load factor stays under 1/2
+/// and linear probes terminate quickly.
+pub const SPGEMM_HASH_MIN_SLOTS: usize = 16;
+
+/// Ways at or below which the SpGEMM merge accumulator uses the linear
+/// head scan; above it (a forced-merge strategy on a hub row) it
+/// switches to the binary heap, whose `(col, way)` pop order preserves
+/// the same ascending-`k` accumulation order bit for bit.
+pub const SPGEMM_MERGE_SCAN_MAX_WAYS: usize = 8;
+
 /// Tiny CPU cache model the plan uses to size feature-dimension panels.
 ///
 /// Only order-of-magnitude accuracy matters: the panel must keep a

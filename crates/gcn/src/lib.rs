@@ -32,5 +32,5 @@ mod model;
 pub mod ops;
 
 pub use layers::{GinLayer, SageMeanLayer};
-pub use model::{online_inference, GcnLayer, GcnModel, InferenceTiming};
+pub use model::{online_inference, GcnLayer, GcnModel, InferenceTiming, TwoHopPath};
 pub use ops::Activation;

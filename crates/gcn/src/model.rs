@@ -1,6 +1,8 @@
 //! GCN layers and models over pluggable SpMM kernels.
 
-use mpspmm_core::{parallel_apply_chunks, Epilogue, ExecEngine, Schedule, SpmmKernel};
+use mpspmm_core::{
+    parallel_apply_chunks, spgemm_flops_upper_bound, Epilogue, ExecEngine, Schedule, SpmmKernel,
+};
 use mpspmm_sparse::{CsrMatrix, DenseMatrix, SparseFormatError};
 
 use crate::ops::{gemm, Activation};
@@ -533,6 +535,112 @@ impl GcnModel {
         let prep = engine.plan_cached(kernel, a_hat, self.max_features(), epoch);
         self.forward_batched_prepared(a_hat, &prep, blocks, engine)
     }
+
+    /// Sum of all layers' output widths — the Σd term of the two-hop
+    /// crossover model.
+    fn sum_features(&self) -> usize {
+        self.layers.iter().map(GcnLayer::out_features).sum()
+    }
+
+    /// Forward pass with **two-hop aggregation**: every layer computes
+    /// `σ(Â² · H · W + b)` instead of the usual one-hop `Â · H · W` —
+    /// the propagation rule of 2-hop GCN variants. `path` picks how
+    /// `Â²` is realized (see [`TwoHopPath`]); the default
+    /// [`Auto`](TwoHopPath::Auto) resolves by the flop crossover model.
+    ///
+    /// On the [`Squared`](TwoHopPath::Squared) path the engine's
+    /// SpGEMM ([`ExecEngine::spgemm`]) materializes `Â² = Â × Â` once
+    /// and each layer aggregates through it with a derived plan epoch
+    /// (`epoch | 1 << 63`): `Â²` can share `Â`'s exact shape *and* nnz
+    /// (a permutation matrix, say), and the plan cache must never hand
+    /// one matrix the other's plan. Callers therefore must keep bit 63
+    /// of their own epochs clear — graph-stream generations do.
+    ///
+    /// The two paths are mathematically equal but associate the f32
+    /// reductions differently (`Â·(Â·HW)` vs `(Â·Â)·HW`), so their
+    /// outputs agree to rounding, not bit-for-bit — same contract as
+    /// any kernel-vs-kernel comparison in this crate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseFormatError::ShapeMismatch`] when shapes are
+    /// inconsistent.
+    pub fn forward_two_hop(
+        &self,
+        a_hat: &CsrMatrix<f32>,
+        x: &DenseMatrix<f32>,
+        kernel: &dyn SpmmKernel,
+        engine: &ExecEngine,
+        epoch: u64,
+        path: TwoHopPath,
+    ) -> Result<DenseMatrix<f32>, SparseFormatError> {
+        match path.resolve(a_hat, self.sum_features()) {
+            TwoHopPath::Squared => {
+                let a2 = engine.spgemm(a_hat, a_hat)?;
+                self.forward_cached(&a2, x, kernel, engine, epoch | 1 << 63)
+            }
+            _ => {
+                let mut h: Option<DenseMatrix<f32>> = None;
+                for layer in &self.layers {
+                    // Layer 0 keeps the zero-skipping combination for the
+                    // moderately sparse raw features, like forward_cached.
+                    let hw = match &h {
+                        None => gemm(x, &layer.weight)?,
+                        Some(prev) => engine.gemm(prev, &layer.weight)?,
+                    };
+                    let (inner, _) = engine.spmm_cached(kernel, a_hat, &hw, epoch)?;
+                    engine.recycle(hw);
+                    let out = layer.aggregate_fused(a_hat, inner, kernel, engine, epoch)?;
+                    if let Some(prev) = h.replace(out) {
+                        engine.recycle(prev);
+                    }
+                }
+                Ok(h.expect("model has at least one layer"))
+            }
+        }
+    }
+}
+
+/// How [`GcnModel::forward_two_hop`] realizes the two-hop propagation
+/// `Â² · (H W)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TwoHopPath {
+    /// `Â · (Â · (H W))` — two SpMMs per layer, `Â²` never
+    /// materialized. Wins when `Â²` would be much denser than `Â`
+    /// (flops scale with `nnz(Â²)` on the other path).
+    Chained,
+    /// `(Â · Â) · (H W)` — one SpGEMM up front, then a single SpMM per
+    /// layer against the materialized square. Wins when the layer-width
+    /// sum is large enough to amortize the SpGEMM.
+    Squared,
+    /// Flop-model crossover via [`resolve`](Self::resolve).
+    #[default]
+    Auto,
+}
+
+impl TwoHopPath {
+    /// Resolves [`Auto`](Self::Auto) for a model whose layer output
+    /// widths sum to `sum_dims`: chained costs `2 · nnz(Â) · Σd`
+    /// multiply-adds; squared costs the SpGEMM's flop upper bound
+    /// ([`spgemm_flops_upper_bound`]) once plus at most `ub · Σd` for
+    /// the per-layer SpMMs (`ub ≥ nnz(Â²)`, so the model is
+    /// conservative about squaring). Pinned variants return themselves;
+    /// the result is never `Auto`.
+    pub fn resolve(self, a_hat: &CsrMatrix<f32>, sum_dims: usize) -> TwoHopPath {
+        match self {
+            TwoHopPath::Auto => {
+                let chained = 2 * a_hat.nnz() * sum_dims;
+                let ub = spgemm_flops_upper_bound(a_hat, a_hat);
+                let squared = ub + ub * sum_dims;
+                if squared < chained {
+                    TwoHopPath::Squared
+                } else {
+                    TwoHopPath::Chained
+                }
+            }
+            pinned => pinned,
+        }
+    }
 }
 
 /// Online-vs-offline inference driver (Figure 8, §III-D and §V-C).
@@ -762,6 +870,73 @@ mod tests {
         let stats = engine.stats();
         assert_eq!(stats.plan_cache_misses, 4);
         assert_eq!(stats.plan_cache_hits, 0);
+    }
+
+    #[test]
+    fn two_hop_paths_agree_and_match_explicit_square() {
+        let a = small_graph();
+        let model = GcnModel::two_layer(16, 12, 5, 8);
+        let x = random_features(100, 16, 0.4, 3);
+        let kernel = MergePathSpmm::new();
+        let engine = ExecEngine::new(2);
+        // Reference: forward through the oracle square (bit-identical
+        // to the engine's SpGEMM) on the plain kernel path.
+        let a2 = mpspmm_core::spgemm_sequential(&a, &a).unwrap();
+        let reference = model.forward(&a2, &x, &kernel).unwrap();
+        let squared = model
+            .forward_two_hop(&a, &x, &kernel, &engine, 0, TwoHopPath::Squared)
+            .unwrap();
+        let chained = model
+            .forward_two_hop(&a, &x, &kernel, &engine, 0, TwoHopPath::Chained)
+            .unwrap();
+        assert!(squared.approx_eq(&reference, 1e-4).unwrap());
+        // Different association (Â·(Â·HW) vs (Â·Â)·HW): rounding-level
+        // agreement only.
+        assert!(chained.approx_eq(&reference, 1e-3).unwrap());
+        assert!(engine.stats().spgemm.rows > 0, "Squared path ran SpGEMM");
+    }
+
+    #[test]
+    fn two_hop_auto_resolves_by_flop_model_and_never_returns_auto() {
+        let a = small_graph();
+        for dims in [1usize, 4096] {
+            let resolved = TwoHopPath::Auto.resolve(&a, dims);
+            assert_ne!(resolved, TwoHopPath::Auto);
+        }
+        // Pinned variants resolve to themselves.
+        assert_eq!(TwoHopPath::Chained.resolve(&a, 16), TwoHopPath::Chained);
+        assert_eq!(TwoHopPath::Squared.resolve(&a, 16), TwoHopPath::Squared);
+        // A huge width sum amortizes the one-off SpGEMM iff the square's
+        // flop bound beats re-streaming Â twice per layer; check the
+        // model picks consistently with its own arithmetic.
+        let ub = mpspmm_core::spgemm_flops_upper_bound(&a, &a);
+        let dims = 4096;
+        let want = if ub + ub * dims < 2 * a.nnz() * dims {
+            TwoHopPath::Squared
+        } else {
+            TwoHopPath::Chained
+        };
+        assert_eq!(TwoHopPath::Auto.resolve(&a, dims), want);
+    }
+
+    #[test]
+    fn two_hop_squared_epoch_never_collides_with_one_hop_plans() {
+        // Â and Â² plans must coexist: run both against one engine and
+        // check the derived epoch kept their caches separate (4 misses:
+        // 2 widths × {Â, Â²}, zero evictions or cross-hits).
+        let a = small_graph();
+        let model = GcnModel::two_layer(16, 16, 4, 2);
+        let x = random_features(100, 16, 0.4, 3);
+        let kernel = MergePathSpmm::new();
+        let engine = ExecEngine::new(2);
+        let one_hop = model.forward_cached(&a, &x, &kernel, &engine, 0).unwrap();
+        model
+            .forward_two_hop(&a, &x, &kernel, &engine, 0, TwoHopPath::Squared)
+            .unwrap();
+        let again = model.forward_cached(&a, &x, &kernel, &engine, 0).unwrap();
+        assert!(again.approx_eq(&one_hop, 0.0).unwrap(), "plans not mixed");
+        let stats = engine.stats();
+        assert_eq!(stats.plan_cache_misses, 4);
     }
 
     #[test]

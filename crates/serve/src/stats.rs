@@ -251,7 +251,8 @@ pub struct ServeStats {
     /// The engine's counters (plan-cache hits/misses/evictions,
     /// gather/stream dispatch, work-stealing chunks/steals, column
     /// stripes executed, GEMM k-blocks, FastMath runs, buffer-arena
-    /// reuse), threaded through for one-stop telemetry.
+    /// reuse, SpGEMM rows per accumulator class and phase times),
+    /// threaded through for one-stop telemetry.
     pub engine: EngineStats,
     /// Per-tenant breakdown, sorted by tenant name.
     pub tenants: Vec<TenantStats>,

@@ -114,6 +114,23 @@ impl<T> CooMatrix<T> {
     }
 }
 
+impl<T: Copy> From<&crate::CsrMatrix<T>> for CooMatrix<T> {
+    /// Expands a CSR matrix into its triplet view, in row-major order —
+    /// the canonical flat form the sparse-output test helpers diff on.
+    /// Cannot fail: CSR invariants (bounds, sortedness, duplicate
+    /// freedom) imply every [`push`](CooMatrix::push) precondition.
+    fn from(csr: &crate::CsrMatrix<T>) -> Self {
+        let mut coo = CooMatrix::with_capacity(csr.rows(), csr.cols(), csr.nnz());
+        for row in csr.iter_rows() {
+            for (&c, &v) in row.cols.iter().zip(row.vals) {
+                coo.push(row.index, c, v)
+                    .expect("CsrMatrix invariants guarantee valid triplets");
+            }
+        }
+        coo
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -152,5 +169,18 @@ mod tests {
         let coo = CooMatrix::<f32>::with_capacity(10, 10, 64);
         assert_eq!(coo.nnz(), 0);
         assert!(coo.triplets().is_empty());
+    }
+
+    #[test]
+    fn csr_round_trip_via_coo_view() {
+        let csr =
+            CsrMatrix::from_triplets(3, 3, &[(0, 1, 1.0f32), (1, 0, 2.0), (1, 2, 3.0)]).unwrap();
+        let coo = CooMatrix::from(&csr);
+        assert_eq!(
+            coo.triplets(),
+            &[(0, 1, 1.0), (1, 0, 2.0), (1, 2, 3.0)],
+            "triplets come out in row-major order"
+        );
+        assert_eq!(CsrMatrix::from(coo), csr);
     }
 }

@@ -52,49 +52,7 @@ impl<T> CsrMatrix<T> {
         col_indices: Vec<usize>,
         values: Vec<T>,
     ) -> Result<Self, SparseFormatError> {
-        if row_ptr.len() != rows + 1 {
-            return Err(SparseFormatError::RowPointerLength {
-                rows,
-                len: row_ptr.len(),
-            });
-        }
-        if row_ptr[0] != 0 {
-            return Err(SparseFormatError::RowPointerStart { first: row_ptr[0] });
-        }
-        for i in 0..rows {
-            if row_ptr[i] > row_ptr[i + 1] {
-                return Err(SparseFormatError::RowPointerNotMonotonic { row: i });
-            }
-        }
-        if col_indices.len() != values.len() {
-            return Err(SparseFormatError::IndexValueLength {
-                indices: col_indices.len(),
-                values: values.len(),
-            });
-        }
-        if row_ptr[rows] != values.len() {
-            return Err(SparseFormatError::RowPointerEnd {
-                last: row_ptr[rows],
-                nnz: values.len(),
-            });
-        }
-        for (position, &c) in col_indices.iter().enumerate() {
-            if c >= cols {
-                return Err(SparseFormatError::ColumnOutOfBounds {
-                    position,
-                    column: c,
-                    cols,
-                });
-            }
-        }
-        for row in 0..rows {
-            let (start, end) = (row_ptr[row], row_ptr[row + 1]);
-            for k in start + 1..end {
-                if col_indices[k - 1] >= col_indices[k] {
-                    return Err(SparseFormatError::UnsortedRow { row, position: k });
-                }
-            }
-        }
+        validate_parts(rows, cols, &row_ptr, &col_indices, values.len())?;
         Ok(Self {
             rows,
             cols,
@@ -102,6 +60,42 @@ impl<T> CsrMatrix<T> {
             col_indices,
             values,
         })
+    }
+
+    /// Creates a CSR matrix from raw arrays **without** release-mode
+    /// validation.
+    ///
+    /// This is the constructor of hot assembly paths whose invariants
+    /// hold by construction — the SpGEMM engine stitches per-chunk row
+    /// segments that each worker emitted sorted and in-bounds, and
+    /// re-running the O(nnz) checks of [`CsrMatrix::new`] on every
+    /// stitch would double the cost of the (memcpy-bound) phase.
+    ///
+    /// Every invariant is still asserted in debug builds, so the tier-1
+    /// debug test legs exercise all callers under full validation. This
+    /// function is *not* `unsafe`: violating the contract in release
+    /// cannot break memory safety (this crate forbids `unsafe` and all
+    /// consumers index through bounds-checked slices) — it produces
+    /// wrong results or downstream panics instead.
+    pub fn from_parts_unchecked(
+        rows: usize,
+        cols: usize,
+        row_ptr: Vec<usize>,
+        col_indices: Vec<usize>,
+        values: Vec<T>,
+    ) -> Self {
+        debug_assert_eq!(
+            validate_parts(rows, cols, &row_ptr, &col_indices, values.len()),
+            Ok(()),
+            "from_parts_unchecked caller violated a CSR invariant"
+        );
+        Self {
+            rows,
+            cols,
+            row_ptr,
+            col_indices,
+            values,
+        }
     }
 
     /// Creates an empty (all-zero) matrix of the given shape.
@@ -211,6 +205,62 @@ impl<T> CsrMatrix<T> {
     }
 }
 
+/// Checks every CSR invariant over borrowed arrays; shared by
+/// [`CsrMatrix::new`] (release path) and the debug assertion of
+/// [`CsrMatrix::from_parts_unchecked`].
+fn validate_parts(
+    rows: usize,
+    cols: usize,
+    row_ptr: &[usize],
+    col_indices: &[usize],
+    values_len: usize,
+) -> Result<(), SparseFormatError> {
+    if row_ptr.len() != rows + 1 {
+        return Err(SparseFormatError::RowPointerLength {
+            rows,
+            len: row_ptr.len(),
+        });
+    }
+    if row_ptr[0] != 0 {
+        return Err(SparseFormatError::RowPointerStart { first: row_ptr[0] });
+    }
+    for i in 0..rows {
+        if row_ptr[i] > row_ptr[i + 1] {
+            return Err(SparseFormatError::RowPointerNotMonotonic { row: i });
+        }
+    }
+    if col_indices.len() != values_len {
+        return Err(SparseFormatError::IndexValueLength {
+            indices: col_indices.len(),
+            values: values_len,
+        });
+    }
+    if row_ptr[rows] != values_len {
+        return Err(SparseFormatError::RowPointerEnd {
+            last: row_ptr[rows],
+            nnz: values_len,
+        });
+    }
+    for (position, &c) in col_indices.iter().enumerate() {
+        if c >= cols {
+            return Err(SparseFormatError::ColumnOutOfBounds {
+                position,
+                column: c,
+                cols,
+            });
+        }
+    }
+    for row in 0..rows {
+        let (start, end) = (row_ptr[row], row_ptr[row + 1]);
+        for k in start + 1..end {
+            if col_indices[k - 1] >= col_indices[k] {
+                return Err(SparseFormatError::UnsortedRow { row, position: k });
+            }
+        }
+    }
+    Ok(())
+}
+
 impl<T: Copy> CsrMatrix<T> {
     /// Builds a CSR matrix from unsorted `(row, col, value)` triplets.
     ///
@@ -266,6 +316,37 @@ impl<T: Copy> CsrMatrix<T> {
             values.push(v);
         }
         Self::new(rows, cols, row_ptr, col_indices, values)
+    }
+
+    /// Builds a CSR matrix from per-row `(col, value)` lists whose
+    /// columns are already strictly increasing — the natural shape of
+    /// row-wise builders and hand-written test fixtures.
+    ///
+    /// Fully validated: delegates to [`CsrMatrix::new`], so an unsorted
+    /// or out-of-bounds row is reported with its exact position instead
+    /// of being accepted silently.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SparseFormatError`] when any row's columns are
+    /// unsorted, duplicated, or `>= cols`.
+    pub fn from_sorted_rows(
+        cols: usize,
+        rows: &[Vec<(usize, T)>],
+    ) -> Result<Self, SparseFormatError> {
+        let nnz: usize = rows.iter().map(Vec::len).sum();
+        let mut row_ptr = Vec::with_capacity(rows.len() + 1);
+        let mut col_indices = Vec::with_capacity(nnz);
+        let mut values = Vec::with_capacity(nnz);
+        row_ptr.push(0);
+        for row in rows {
+            for &(c, v) in row {
+                col_indices.push(c);
+                values.push(v);
+            }
+            row_ptr.push(col_indices.len());
+        }
+        Self::new(rows.len(), cols, row_ptr, col_indices, values)
     }
 
     /// Returns the transpose of this matrix.
@@ -503,6 +584,43 @@ mod tests {
                 position: 1
             }
         );
+    }
+
+    #[test]
+    fn from_parts_unchecked_round_trips_valid_parts() {
+        let m = sample();
+        let (rows, cols, rp, ci, vals) = m.clone().into_raw_parts();
+        let back = CsrMatrix::from_parts_unchecked(rows, cols, rp, ci, vals);
+        assert_eq!(m, back);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "violated a CSR invariant")]
+    fn from_parts_unchecked_asserts_in_debug() {
+        // Unsorted row: caught by the debug assertion, silently wrong in
+        // release (the documented contract).
+        let _ = CsrMatrix::from_parts_unchecked(1, 3, vec![0, 2], vec![2, 0], vec![1.0, 1.0]);
+    }
+
+    #[test]
+    fn from_sorted_rows_builds_and_validates() {
+        let m = CsrMatrix::from_sorted_rows(
+            3,
+            &[vec![(1, 1.0f32)], vec![(0, 2.0), (2, 3.0)], Vec::new()],
+        )
+        .unwrap();
+        assert_eq!(m, sample());
+        let err = CsrMatrix::from_sorted_rows(3, &[vec![(2, 1.0f32), (0, 2.0)]]).unwrap_err();
+        assert_eq!(
+            err,
+            SparseFormatError::UnsortedRow {
+                row: 0,
+                position: 1
+            }
+        );
+        let err = CsrMatrix::from_sorted_rows(2, &[vec![(5, 1.0f32)]]).unwrap_err();
+        assert!(matches!(err, SparseFormatError::ColumnOutOfBounds { .. }));
     }
 
     #[test]

@@ -40,6 +40,7 @@ pub mod io;
 mod packed;
 pub mod reorder;
 pub mod stats;
+pub mod testing;
 
 pub use coo::CooMatrix;
 pub use csr::{CsrMatrix, CsrRow, CsrRowIter};

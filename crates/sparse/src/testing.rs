@@ -1,0 +1,129 @@
+//! Test-support assertions for sparse results.
+//!
+//! The dense oracle suites compare outputs element-by-element; a sparse
+//! output (SpGEMM) can diverge *structurally* (an entry present on one
+//! side only), *positionally* (same nnz, different columns), or
+//! *numerically* (same pattern, different bits). A bare `assert_eq!` on
+//! two [`CsrMatrix`] values reports none of that usefully — on mismatch
+//! it dumps both full matrices. [`assert_csr_eq`] instead diffs the two
+//! through their [`CooMatrix`] triplet views and panics with the first
+//! divergent rows and entries, so a property-test shrink reads as "row
+//! 17: expected col 4 = 0.25, got col 5 = 0.25" instead of two pages of
+//! arrays.
+
+use crate::{CooMatrix, CsrMatrix};
+
+/// How many divergent entries/rows a failure message lists before
+/// eliding the rest.
+const MAX_DIFFS: usize = 8;
+
+/// Asserts that two f32 CSR matrices are **bit-identical**: same shape,
+/// same per-row structure, and per-entry values equal as bit patterns
+/// (so `-0.0 != 0.0` and `NaN == NaN` at the same payload — exactly the
+/// determinism contract the SpGEMM engine makes against its sequential
+/// oracle).
+///
+/// # Panics
+///
+/// Panics with a structured diff on any mismatch: shape, total nnz, the
+/// first rows whose lengths disagree, and the first few differing
+/// `(row, col, value)` triplets from the [`CooMatrix`] views of both
+/// sides.
+pub fn assert_csr_eq(actual: &CsrMatrix<f32>, expected: &CsrMatrix<f32>) {
+    assert_eq!(
+        (actual.rows(), actual.cols()),
+        (expected.rows(), expected.cols()),
+        "CSR shape mismatch (actual vs expected)"
+    );
+    if actual.nnz() != expected.nnz() || actual.row_ptr() != expected.row_ptr() {
+        let mut rows = Vec::new();
+        for r in 0..actual.rows() {
+            if actual.row_nnz(r) != expected.row_nnz(r) {
+                rows.push(format!(
+                    "row {r}: nnz {} (expected {})",
+                    actual.row_nnz(r),
+                    expected.row_nnz(r)
+                ));
+                if rows.len() >= MAX_DIFFS {
+                    rows.push("…".to_string());
+                    break;
+                }
+            }
+        }
+        panic!(
+            "CSR structure mismatch: total nnz {} (expected {})\n{}",
+            actual.nnz(),
+            expected.nnz(),
+            rows.join("\n")
+        );
+    }
+    let a = CooMatrix::from(actual);
+    let e = CooMatrix::from(expected);
+    let mut diffs = Vec::new();
+    for (&(ar, ac, av), &(er, ec, ev)) in a.triplets().iter().zip(e.triplets()) {
+        // Row pointers already matched, so positions pair up row by row;
+        // values compare as bits (the determinism contract).
+        if (ar, ac) != (er, ec) || av.to_bits() != ev.to_bits() {
+            diffs.push(format!(
+                "({ar}, {ac}) = {av:?} [{:#010x}], expected ({er}, {ec}) = {ev:?} [{:#010x}]",
+                av.to_bits(),
+                ev.to_bits()
+            ));
+            if diffs.len() >= MAX_DIFFS {
+                diffs.push("…".to_string());
+                break;
+            }
+        }
+    }
+    assert!(
+        diffs.is_empty(),
+        "CSR entry mismatch ({} shown):\n{}",
+        diffs.len().min(MAX_DIFFS),
+        diffs.join("\n")
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(rows: &[Vec<(usize, f32)>]) -> CsrMatrix<f32> {
+        CsrMatrix::from_sorted_rows(4, rows).unwrap()
+    }
+
+    #[test]
+    fn equal_matrices_pass() {
+        let a = m(&[vec![(0, 1.0), (2, -2.0)], vec![], vec![(3, 0.5)]]);
+        assert_csr_eq(&a, &a.clone());
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn shape_mismatch_names_shapes() {
+        assert_csr_eq(&CsrMatrix::zeros(2, 4), &CsrMatrix::zeros(3, 4));
+    }
+
+    #[test]
+    #[should_panic(expected = "row 1: nnz 0 (expected 1)")]
+    fn structure_mismatch_names_rows() {
+        let a = m(&[vec![(0, 1.0)], vec![]]);
+        let e = m(&[vec![(0, 1.0)], vec![(1, 2.0)]]);
+        assert_csr_eq(&a, &e);
+    }
+
+    #[test]
+    #[should_panic(expected = "entry mismatch")]
+    fn value_mismatch_names_entries() {
+        let a = m(&[vec![(0, 1.0), (1, 2.0)]]);
+        let e = m(&[vec![(0, 1.0), (1, 2.5)]]);
+        assert_csr_eq(&a, &e);
+    }
+
+    #[test]
+    #[should_panic(expected = "entry mismatch")]
+    fn negative_zero_differs_from_zero() {
+        let a = m(&[vec![(0, -0.0)]]);
+        let e = m(&[vec![(0, 0.0)]]);
+        assert_csr_eq(&a, &e);
+    }
+}

@@ -9,9 +9,10 @@
 # layer, smoke shape), BENCH_steal.json (scheduler comparison, smoke
 # shape), BENCH_fused.json (fused GCN pipeline vs unfused, smoke
 # shape), BENCH_widedim.json (wide-feature-dim layer pipeline vs
-# the pre-revision data path, smoke shape), and BENCH_autotune.json
-# (measured arm selection vs hand-pinned configs, smoke shape) in the
-# repository root, then validates their common schema.
+# the pre-revision data path, smoke shape), BENCH_autotune.json
+# (measured arm selection vs hand-pinned configs, smoke shape), and
+# BENCH_spgemm.json (CSR x CSR engine vs the sequential oracle, smoke
+# shape) in the repository root, then validates their common schema.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -31,12 +32,18 @@ cargo test -q -p mpspmm-core --test engine_oracle
 # suite asserts run-to-run *bit* equality and would be perturbed by arm
 # switching mid-exploration; it stays untuned by design.)
 MPSPMM_TUNE=1 cargo test -q -p mpspmm-core --test engine_oracle
+# The SpGEMM oracle suite under live tuning: accumulator arms only move
+# rows between bit-identical strategies, so exploration runs must stay
+# bit-equal to the sequential oracle.
+MPSPMM_TUNE=1 cargo test -q -p mpspmm-core --test spgemm_oracle
 cargo test -q -p mpspmm-core --features force-scalar
-# The work-stealing scheduler promises bit-identical output at any worker
-# count: pin the resolved count to a matrix of values and re-run its
-# property tests (debug build, invariant asserts live).
+# The work-stealing scheduler and the SpGEMM engine promise bit-identical
+# output at any worker count: pin the resolved count to a matrix of
+# values and re-run their property tests (debug build, invariant asserts
+# live).
 for w in 1 2 8; do
   MPSPMM_WORKERS=$w cargo test -q -p mpspmm-core --test engine_stealing
+  MPSPMM_WORKERS=$w cargo test -q -p mpspmm-core --test spgemm_oracle
 done
 # The fused layer pipeline promises fused == unfused at every worker
 # count; re-run its oracle property suite across the same matrix.
@@ -49,6 +56,7 @@ cargo run --release -p mpspmm-bench --bin bench_serve -- --smoke
 cargo run --release -p mpspmm-bench --bin bench_steal -- --smoke
 cargo run --release -p mpspmm-bench --bin bench_fused -- --smoke
 cargo run --release -p mpspmm-bench --bin bench_widedim -- --smoke
+cargo run --release -p mpspmm-bench --bin bench_spgemm -- --smoke
 # Auto-tuner bench under a throwaway calibration directory: one run
 # proves both the cold start (exploration under the overhead bound) and
 # the warm restart (a rebuilt engine + tuner pair re-admits every plan
