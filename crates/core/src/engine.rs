@@ -88,8 +88,9 @@ use std::sync::{Arc, Mutex, OnceLock};
 use mpspmm_sparse::{AlignedVec, CsrMatrix, DenseMatrix, SparseFormatError};
 
 use crate::arena::BufferArena;
+use crate::batch::BatchShapeClass;
 use crate::datapath::{
-    accumulate_segment_dispatch, env_fastmath, prefetch_segment_rows, DataPath, PathKind,
+    accumulate_segment_dispatch, env_fastmath, prefetch_segment_rows, ColIdx, DataPath, PathKind,
     ResolvedPath,
 };
 use crate::epilogue::Epilogue;
@@ -120,6 +121,47 @@ pub const DEFAULT_PLAN_CACHE_CAPACITY: usize = 256;
 struct CacheEntry {
     prep: Arc<PreparedPlan>,
     last_used: u64,
+}
+
+/// Slots resident in the batch-plan cache. Each slot is one batch-shape
+/// *class* (a quantized composition histogram), so the bound is on
+/// distinct workload shapes, not on windows served — 32 is generous for
+/// any realistic mix of small-graph traffic.
+pub const BATCH_PLAN_SLOTS: usize = 32;
+
+/// Fingerprints resident per batch-shape-class slot. A class slot keeps
+/// a small working set of exact compositions rather than a single one:
+/// steady-state traffic often cycles through a handful of window
+/// compositions that all quantize to the same class (e.g. bursts drawn
+/// round-robin from one graph population), and a one-fingerprint slot
+/// would rebuild on every window of such a cycle.
+pub const BATCH_PLANS_PER_CLASS: usize = 8;
+
+/// One resident plan within a class slot: the exact structural
+/// fingerprint it was built for, and the LRU stamp.
+#[derive(Debug)]
+struct BatchPlanEntry {
+    fingerprint: u64,
+    prep: Arc<PreparedPlan>,
+    last_used: u64,
+}
+
+/// One batch-shape-class slot: a bounded set of exact-composition plans
+/// (intra-slot LRU past [`BATCH_PLANS_PER_CLASS`]) plus the slot-level
+/// LRU stamp.
+#[derive(Debug)]
+struct BatchPlanSlot {
+    entries: Vec<BatchPlanEntry>,
+    last_used: u64,
+}
+
+/// The engine's bounded batch-plan cache, keyed by
+/// [`BatchShapeClass::class_hash`] with fingerprint-gated reuse (see
+/// [`crate::batch`]).
+#[derive(Debug, Default)]
+struct BatchPlanCache {
+    map: HashMap<u64, BatchPlanSlot>,
+    tick: u64,
 }
 
 /// The engine's bounded plan cache: a map plus a monotonic use counter.
@@ -200,6 +242,12 @@ pub struct PreparedPlan {
     /// (`Arc`) so every clone of the plan — and the cache entry — feeds
     /// one explorer.
     pub(crate) tuner: Option<Arc<PlanTuner>>,
+    /// Every write segment is a `Regular` store into a row it owns alone
+    /// — no atomics, no carries, no shared side buffer. Row-aligned
+    /// batch plans ([`crate::BatchMergeSpmm`]) are always in this class;
+    /// the single-worker executor then folds each row in one tight pass
+    /// with no per-segment flush dispatch (see [`run_inline_direct`]).
+    pub(crate) all_direct: bool,
 }
 
 impl PreparedPlan {
@@ -286,6 +334,9 @@ impl PreparedPlan {
             cum += tp.nnz();
             thread_nnz_ends.push(cum);
         }
+        let all_direct = shared_rows.is_empty()
+            && stats.atomic_row_updates == 0
+            && stats.serial_row_updates == 0;
         Self {
             plan,
             row_kind,
@@ -299,6 +350,7 @@ impl PreparedPlan {
             write_rows_monotonic,
             thread_first_write_row,
             tuner: None,
+            all_direct,
         }
     }
 
@@ -499,6 +551,16 @@ pub struct EngineStats {
     /// distribution, and the symbolic/numeric phase wall split. All
     /// zero until the first `spgemm` call.
     pub spgemm: SpgemmStats,
+    /// [`ExecEngine::plan_batch_cached`] calls whose batch-shape-class
+    /// slot held a plan with a matching structural fingerprint.
+    pub batch_plan_hits: u64,
+    /// Calls whose class had no resident slot yet (first window of a
+    /// composition).
+    pub batch_plan_misses: u64,
+    /// Calls that found the slot but with a stale fingerprint — the
+    /// batch composition changed, so the plan was rebuilt and replaced
+    /// *in place* (no new key, no LRU pressure).
+    pub batch_plan_rebuilds: u64,
 }
 
 impl EngineStats {
@@ -544,6 +606,10 @@ pub struct ExecEngine {
     pub(crate) k_blocking: bool,
     plan_capacity: usize,
     cache: Mutex<PlanCache>,
+    batch_plans: Mutex<BatchPlanCache>,
+    batch_hits: AtomicU64,
+    batch_misses: AtomicU64,
+    batch_rebuilds: AtomicU64,
     pub(crate) arena: BufferArena,
     hits: AtomicU64,
     misses: AtomicU64,
@@ -631,6 +697,10 @@ impl ExecEngine {
             k_blocking: true,
             plan_capacity,
             cache: Mutex::new(PlanCache::default()),
+            batch_plans: Mutex::new(BatchPlanCache::default()),
+            batch_hits: AtomicU64::new(0),
+            batch_misses: AtomicU64::new(0),
+            batch_rebuilds: AtomicU64::new(0),
             arena: BufferArena::default(),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
@@ -1060,6 +1130,115 @@ impl ExecEngine {
         prep
     }
 
+    /// Fetches (or builds) the prepared plan for a block-diagonal
+    /// mega-batch, cached by **batch-shape class** instead of exact
+    /// shape: `class` picks one of at most [`BATCH_PLAN_SLOTS`] slots by
+    /// its quantized composition hash, and its exact structural
+    /// fingerprint gates reuse within the slot — a resident fingerprint
+    /// returns its plan, a known class with a new composition re-plans
+    /// and joins the slot's working set of up to
+    /// [`BATCH_PLANS_PER_CLASS`] plans (counted as a rebuild, evicting
+    /// intra-slot LRU), and an absent class plans fresh (miss, LRU past
+    /// the slot bound). See [`crate::batch`] for why the ordinary
+    /// exact-shape cache would thrash under packed serving.
+    ///
+    /// Reuse is sound because the fingerprint covers every constituent's
+    /// `(rows, nnz, structure_hash)`: identical fingerprints mean an
+    /// identical packed sparsity structure (modulo hash collision), and
+    /// a [`PreparedPlan`] depends on structure only — values are read
+    /// live at execution time.
+    ///
+    /// Batch plans skip the online auto-tuner: windows are transient and
+    /// per-class, so exploration would never amortize.
+    pub fn plan_batch_cached(
+        &self,
+        kernel: &dyn SpmmKernel,
+        a: &CsrMatrix<f32>,
+        dim: usize,
+        class: &BatchShapeClass,
+    ) -> Arc<PreparedPlan> {
+        {
+            let mut cache = self.batch_plans.lock().unwrap();
+            cache.tick += 1;
+            let tick = cache.tick;
+            if let Some(slot) = cache.map.get_mut(&class.class_hash()) {
+                if let Some(entry) = slot
+                    .entries
+                    .iter_mut()
+                    .find(|e| e.fingerprint == class.fingerprint())
+                {
+                    entry.last_used = tick;
+                    slot.last_used = tick;
+                    self.batch_hits.fetch_add(1, Ordering::Relaxed);
+                    return Arc::clone(&entry.prep);
+                }
+            }
+        }
+        // Plan outside the lock (same racing-miss argument as
+        // `plan_cached`: the second insert wins).
+        let prep = Arc::new(PreparedPlan::for_matrix(kernel.plan(a, dim), a));
+        let mut cache = self.batch_plans.lock().unwrap();
+        cache.tick += 1;
+        let last_used = cache.tick;
+        let entry = BatchPlanEntry {
+            fingerprint: class.fingerprint(),
+            prep: Arc::clone(&prep),
+            last_used,
+        };
+        match cache.map.get_mut(&class.class_hash()) {
+            Some(slot) => {
+                // Known class, new exact composition: admit it to the
+                // slot's working set, evicting intra-slot LRU so the
+                // per-class footprint stays bounded.
+                self.batch_rebuilds.fetch_add(1, Ordering::Relaxed);
+                slot.last_used = last_used;
+                // A racing miss may have inserted the same fingerprint
+                // while we planned; replace rather than duplicate.
+                slot.entries
+                    .retain(|e| e.fingerprint != class.fingerprint());
+                while slot.entries.len() >= BATCH_PLANS_PER_CLASS {
+                    let victim = slot
+                        .entries
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|(_, e)| e.last_used)
+                        .map(|(i, _)| i);
+                    match victim {
+                        Some(i) => {
+                            slot.entries.swap_remove(i);
+                        }
+                        None => break,
+                    }
+                }
+                slot.entries.push(entry);
+            }
+            None => {
+                self.batch_misses.fetch_add(1, Ordering::Relaxed);
+                while cache.map.len() >= BATCH_PLAN_SLOTS {
+                    let victim = cache
+                        .map
+                        .iter()
+                        .min_by_key(|(_, s)| s.last_used)
+                        .map(|(k, _)| *k);
+                    match victim {
+                        Some(k) => {
+                            cache.map.remove(&k);
+                        }
+                        None => break,
+                    }
+                }
+                cache.map.insert(
+                    class.class_hash(),
+                    BatchPlanSlot {
+                        entries: vec![entry],
+                        last_used,
+                    },
+                );
+            }
+        }
+        prep
+    }
+
     /// Executes one prepared plan over several dense column blocks in a
     /// *single* engine run: the blocks are concatenated column-wise, the
     /// plan runs once over the combined `sum(cols)`-wide operand, and the
@@ -1176,6 +1355,9 @@ impl ExecEngine {
                 symbolic_ns: self.spgemm_symbolic_ns.load(Ordering::Relaxed),
                 numeric_ns: self.spgemm_numeric_ns.load(Ordering::Relaxed),
             },
+            batch_plan_hits: self.batch_hits.load(Ordering::Relaxed),
+            batch_plan_misses: self.batch_misses.load(Ordering::Relaxed),
+            batch_plan_rebuilds: self.batch_rebuilds.load(Ordering::Relaxed),
         }
     }
 
@@ -1194,6 +1376,17 @@ impl ExecEngine {
         self.arena.put(m.into_vec());
     }
 
+    /// Leases a zeroed `rows × cols` dense matrix from the engine's
+    /// arena — the hand-out pair of [`recycle`](Self::recycle). Callers
+    /// assembling engine inputs every cycle (the serving layer stacks a
+    /// feature matrix per packed window) reuse hot, already-faulted
+    /// pages instead of paying a fresh allocation's page faults each
+    /// time.
+    pub fn lease_zeroed(&self, rows: usize, cols: usize) -> DenseMatrix<f32> {
+        let buf = self.arena.take_zeroed(rows * cols);
+        DenseMatrix::from_vec(rows, cols, buf).expect("arena buffer sized to rows x cols")
+    }
+
     /// Drops every cached plan and pooled buffer and zeroes the
     /// hit/miss, dispatch, stealing, arena, and worker-load counters.
     pub fn clear_cache(&self) {
@@ -1201,6 +1394,13 @@ impl ExecEngine {
         cache.map.clear();
         cache.tick = 0;
         drop(cache);
+        let mut batch = self.batch_plans.lock().unwrap();
+        batch.map.clear();
+        batch.tick = 0;
+        drop(batch);
+        self.batch_hits.store(0, Ordering::Relaxed);
+        self.batch_misses.store(0, Ordering::Relaxed);
+        self.batch_rebuilds.store(0, Ordering::Relaxed);
         self.arena.clear();
         self.hits.store(0, Ordering::Relaxed);
         self.misses.store(0, Ordering::Relaxed);
@@ -1597,6 +1797,18 @@ fn run_inline(
     out: &mut [f32],
 ) {
     let fuse = !epi.is_noop();
+    // All-direct plans (row-aligned batch plans above all) skip the
+    // per-segment flush dispatch entirely when the output width has a
+    // fixed-width microkernel: at mega-batch row counts the dispatch
+    // overhead itself is the dominant cost. The scalar path keeps the
+    // generic loop — it is the correctness oracle.
+    if prep.all_direct && !fuse && rp.kind != PathKind::Scalar && matches!(dim, 1 | 2 | 4 | 8) {
+        match cols32 {
+            Some(cols) => run_inline_direct(prep, cols, a.values(), b, dim, out),
+            None => run_inline_direct(prep, a.col_indices(), a.values(), b, dim, out),
+        }
+        return;
+    }
     let mut acc = vec![0.0f32; dim];
     // Carries stay in one flat buffer — a merge-path plan at the paper's
     // 1024-thread floor produces thousands of carry segments per run,
@@ -1635,6 +1847,63 @@ fn run_inline(
         let src = &carry_data[i * dim..][..dim];
         for (dst, &v) in out[row * dim..][..dim].iter_mut().zip(src) {
             *dst += v;
+        }
+    }
+}
+
+/// Tight single-worker loop for all-direct plans: every non-empty
+/// segment is one whole row's flat fold, stored once. Dispatches the
+/// runtime width to a fixed-width microkernel so the accumulators live
+/// in registers and the inner loop carries no per-segment branch at
+/// all. Per output element the fold is the same ascending-`k` sum every
+/// other data path computes, so the result stays bit-identical to the
+/// sequential oracle.
+fn run_inline_direct<I: ColIdx>(
+    prep: &PreparedPlan,
+    cols: &[I],
+    vals: &[f32],
+    b: &DenseMatrix<f32>,
+    dim: usize,
+    out: &mut [f32],
+) {
+    match dim {
+        1 => direct_rows_fixed::<1, I>(prep, cols, vals, b, out),
+        2 => direct_rows_fixed::<2, I>(prep, cols, vals, b, out),
+        4 => direct_rows_fixed::<4, I>(prep, cols, vals, b, out),
+        8 => direct_rows_fixed::<8, I>(prep, cols, vals, b, out),
+        _ => unreachable!("run_inline_direct called for unspecialized dim {dim}"),
+    }
+}
+
+/// The fixed-width row fold behind [`run_inline_direct`]. `D` equals
+/// the dense operand's column count; the caller guarantees it.
+fn direct_rows_fixed<const D: usize, I: ColIdx>(
+    prep: &PreparedPlan,
+    cols: &[I],
+    vals: &[f32],
+    b: &DenseMatrix<f32>,
+    out: &mut [f32],
+) {
+    // `run_inline_direct` is only reached when `b.cols() == D`, so row
+    // `c` of `b` is the flat slice `[c * D, c * D + D)` — indexing the
+    // backing storage directly (and zipping vals with cols) keeps the
+    // hot loop to one bounds check per non-zero.
+    let bflat = b.as_slice();
+    for tp in &prep.plan.threads {
+        for seg in &tp.segments {
+            if seg.is_empty() {
+                continue;
+            }
+            let mut acc = [0.0f32; D];
+            let vs = &vals[seg.nz_start..seg.nz_end];
+            let cs = &cols[seg.nz_start..seg.nz_end];
+            for (&v, c) in vs.iter().zip(cs) {
+                let row = &bflat[c.to_usize() * D..][..D];
+                for d in 0..D {
+                    acc[d] += v * row[d];
+                }
+            }
+            out[seg.row * D..][..D].copy_from_slice(&acc);
         }
     }
 }
@@ -1930,6 +2199,51 @@ mod tests {
             vec![seg(0, 1, 2, Flush::Atomic), seg(1, 2, 3, Flush::Regular)],
             vec![seg(2, 3, 5, Flush::Carry)],
         ])
+    }
+
+    #[test]
+    fn batch_plan_cache_hits_rebuilds_and_misses() {
+        use crate::spmm::BatchMergeSpmm;
+        let engine = ExecEngine::new(1);
+        let kernel = BatchMergeSpmm::with_threads(4);
+        let (a, _) = small();
+        let class = |hashes: [u64; 2]| {
+            BatchShapeClass::from_graphs(hashes.iter().map(|&h| (3usize, 5usize, h)))
+        };
+        // First window of a composition: miss.
+        let c1 = class([1, 2]);
+        let p1 = engine.plan_batch_cached(&kernel, &a, 8, &c1);
+        assert_eq!(engine.stats().batch_plan_misses, 1);
+        // Same composition again: hit, same Arc.
+        let p2 = engine.plan_batch_cached(&kernel, &a, 8, &c1);
+        assert!(Arc::ptr_eq(&p1, &p2));
+        assert_eq!(engine.stats().batch_plan_hits, 1);
+        // Same class, different structure: rebuild in place, no new slot.
+        let c2 = class([1, 3]);
+        assert_eq!(c1.class_hash(), c2.class_hash());
+        let p3 = engine.plan_batch_cached(&kernel, &a, 8, &c2);
+        assert!(!Arc::ptr_eq(&p1, &p3));
+        let stats = engine.stats();
+        assert_eq!(stats.batch_plan_rebuilds, 1);
+        assert_eq!(stats.batch_plan_misses, 1, "rebuild is not a miss");
+        // The slot now serves the new fingerprint...
+        let p4 = engine.plan_batch_cached(&kernel, &a, 8, &c2);
+        assert!(Arc::ptr_eq(&p3, &p4));
+        // ...and still serves the previous one: the class keeps a
+        // working set, so cyclic window compositions hit, not rebuild.
+        let p5 = engine.plan_batch_cached(&kernel, &a, 8, &c1);
+        assert!(Arc::ptr_eq(&p1, &p5));
+        let stats = engine.stats();
+        assert_eq!(stats.batch_plan_hits, 3);
+        assert_eq!(stats.batch_plan_rebuilds, 1);
+        // Cycling through more compositions than the per-class bound
+        // evicts intra-slot LRU without ever growing the slot count.
+        for extra in 0..(BATCH_PLANS_PER_CLASS as u64 + 2) {
+            engine.plan_batch_cached(&kernel, &a, 8, &class([1, 100 + extra]));
+        }
+        assert_eq!(engine.stats().batch_plan_misses, 1, "one class, one slot");
+        engine.clear_cache();
+        assert_eq!(engine.stats().batch_plan_hits, 0);
     }
 
     #[test]

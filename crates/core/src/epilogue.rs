@@ -92,10 +92,11 @@ impl Epilogue {
         match self {
             Epilogue::None => {}
             Epilogue::Relu => {
+                // Select form — post-SpMM signs are near-random, and a
+                // branched store mispredicts half the time. `-0.0` and
+                // NaN pass through exactly as before.
                 for v in dst {
-                    if *v < 0.0 {
-                        *v = 0.0;
-                    }
+                    *v = if *v < 0.0 { 0.0 } else { *v };
                 }
             }
             Epilogue::Bias(bias) => {

@@ -54,6 +54,7 @@
 
 pub mod analysis;
 mod arena;
+pub mod batch;
 mod datapath;
 pub mod engine;
 mod epilogue;
@@ -71,8 +72,12 @@ mod stripe;
 pub mod tuner;
 pub mod tuning;
 
+pub use batch::BatchShapeClass;
 pub use datapath::{fastmath_supported, DataPath, LaneWidth, WideIsa};
-pub use engine::{EngineStats, ExecEngine, PreparedPlan, SchedPolicy, DEFAULT_PLAN_CACHE_CAPACITY};
+pub use engine::{
+    EngineStats, ExecEngine, PreparedPlan, SchedPolicy, BATCH_PLAN_SLOTS,
+    DEFAULT_PLAN_CACHE_CAPACITY,
+};
 pub use epilogue::Epilogue;
 pub use merge_path::{merge_path_search, MergeCoord, Schedule, ThreadAssignment};
 pub use plan::{
@@ -83,8 +88,9 @@ pub use spgemm::{
     classify_row, spgemm_flops_upper_bound, spgemm_sequential, AccumKind, SpgemmStrategy,
 };
 pub use spmm::{
-    default_workers, plan_from_schedule, CostPolicy, MergePathSerialFixup, MergePathSpmm,
-    NeighborPartitionIndex, NnzSplitSpmm, RowSplitSpmm, SerialSpmm, SpmmKernel,
+    default_workers, plan_from_schedule, BatchMergeSpmm, CostPolicy, MergePathSerialFixup,
+    MergePathSpmm, NeighborPartitionIndex, NnzSplitSpmm, RowSplitSpmm, SerialSpmm, SpmmKernel,
+    BATCH_MIN_THREADS,
 };
 pub use stats::{SpgemmStats, TunerStats, WriteStats};
 pub use tuner::{

@@ -15,12 +15,14 @@
 
 mod mergepath;
 mod nnz_split;
+mod row_aligned;
 mod row_split;
 mod serial;
 mod serial_fixup;
 
 pub use mergepath::{plan_from_schedule, CostPolicy, MergePathSpmm};
 pub use nnz_split::{NeighborPartitionIndex, NnzSplitSpmm};
+pub use row_aligned::{BatchMergeSpmm, BATCH_MIN_THREADS};
 pub use row_split::RowSplitSpmm;
 pub use serial::SerialSpmm;
 pub use serial_fixup::MergePathSerialFixup;

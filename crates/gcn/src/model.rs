@@ -229,6 +229,24 @@ impl GcnLayer {
         }
     }
 
+    /// Mega-batch aggregation: always the plain prepared run plus one
+    /// flat bias/activation sweep. The fused store-stage epilogue pays a
+    /// per-row dispatch that a tens-of-thousands-row packed batch of
+    /// tiny rows turns into the dominant cost; the unfused composition
+    /// computes the same bits (DESIGN.md §2.10) with one streaming pass.
+    fn aggregate_mega(
+        &self,
+        a_hat: &CsrMatrix<f32>,
+        hw: DenseMatrix<f32>,
+        prep: &mpspmm_core::PreparedPlan,
+        engine: &ExecEngine,
+    ) -> Result<DenseMatrix<f32>, SparseFormatError> {
+        let (mut out, _) = engine.execute_prepared(prep, a_hat, &hw)?;
+        engine.recycle(hw);
+        self.apply_unfused(&mut out);
+        Ok(out)
+    }
+
     /// Unified-engine forward pass with a *sparse* input feature matrix:
     /// both the combination `X × W` and the aggregation `Â × (XW)` run on
     /// the same SpMM kernel (§II: "a workload-efficient computation
@@ -536,6 +554,64 @@ impl GcnModel {
         self.forward_batched_prepared(a_hat, &prep, blocks, engine)
     }
 
+    /// Forward pass over a **block-diagonal mega-batch**: `a_hat` packs
+    /// many small graphs on the diagonal (see
+    /// [`BlockDiagCsr`](mpspmm_sparse::BlockDiagCsr)) and `stacked`
+    /// vertically stacks their feature matrices in the same order. Every
+    /// layer is then **one** GEMM over the stacked rows plus **one**
+    /// SpMM over the packed adjacency — the whole batch pays a single
+    /// dispatch per layer, however many graphs it holds.
+    ///
+    /// This is exact, not approximate: block-diagonality means row band
+    /// `i` of `Â_pack × H` reads only `H`'s band `i`, which is
+    /// `Â_i × H_i` — each graph's forward is computed as if it ran
+    /// alone, and the per-column bias/activation epilogue is uniform
+    /// across bands. Callers scatter per-graph outputs back out of the
+    /// returned matrix's row bands.
+    ///
+    /// `prep` is the packed adjacency's prepared plan, normally from
+    /// [`ExecEngine::plan_batch_cached`] so successive windows of
+    /// similar composition skip planning entirely.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseFormatError::ShapeMismatch`] when `stacked`'s
+    /// shape is inconsistent with `a_hat` or the model.
+    pub fn forward_mega_batched(
+        &self,
+        a_hat: &CsrMatrix<f32>,
+        prep: &mpspmm_core::PreparedPlan,
+        stacked: &DenseMatrix<f32>,
+        engine: &ExecEngine,
+    ) -> Result<DenseMatrix<f32>, SparseFormatError> {
+        if stacked.cols() != self.in_features() {
+            return Err(SparseFormatError::ShapeMismatch {
+                left: (a_hat.cols(), self.in_features()),
+                right: (stacked.rows(), stacked.cols()),
+            });
+        }
+        // Every combination — layer 0 included — runs on the engine's
+        // k-blocked GEMM: stacked request features behave like dense
+        // activations (thousands of unrelated rows), so the zero-skip
+        // branch of the sparse-features path would only cost.
+        //
+        // Aggregation deliberately skips the fused epilogue: at
+        // mega-batch row counts the per-row fused bookkeeping costs more
+        // than one flat bias/activation sweep over the finished output,
+        // and `spmm → epilogue` is element-for-element identical to the
+        // fused composition (DESIGN.md §2.10), so bit-identity with the
+        // per-graph oracle is preserved.
+        let first = &self.layers[0];
+        let hw = engine.gemm(stacked, &first.weight)?;
+        let mut h = first.aggregate_mega(a_hat, hw, prep, engine)?;
+        for layer in &self.layers[1..] {
+            let hw = engine.gemm(&h, &layer.weight)?;
+            let next = layer.aggregate_mega(a_hat, hw, prep, engine)?;
+            engine.recycle(std::mem::replace(&mut h, next));
+        }
+        Ok(h)
+    }
+
     /// Sum of all layers' output widths — the Σd term of the two-hop
     /// crossover model.
     fn sum_features(&self) -> usize {
@@ -718,6 +794,73 @@ mod tests {
     fn small_graph() -> CsrMatrix<f32> {
         let spec = DatasetSpec::custom("t", GraphClass::PowerLaw, 100, 400, 30);
         gcn_normalize(&spec.synthesize(3))
+    }
+
+    #[test]
+    fn mega_batched_forward_matches_per_graph_forward() {
+        use mpspmm_core::{BatchMergeSpmm, BatchShapeClass};
+        use mpspmm_sparse::BlockDiagCsr;
+        use std::sync::Arc;
+
+        let graphs: Vec<Arc<CsrMatrix<f32>>> = (0..4)
+            .map(|i| {
+                let spec =
+                    DatasetSpec::custom("m", GraphClass::Structured, 20 + i * 3, 60 + i * 10, 6);
+                Arc::new(gcn_normalize(&spec.synthesize(i as u64)))
+            })
+            .collect();
+        let model = GcnModel::two_layer(8, 12, 3, 42);
+        let feats: Vec<DenseMatrix<f32>> = graphs
+            .iter()
+            .enumerate()
+            .map(|(i, g)| random_features(g.rows(), 8, 0.6, i as u64))
+            .collect();
+
+        let pack = BlockDiagCsr::build(&graphs).unwrap();
+        let stacked = pack
+            .stack_features(&feats.iter().collect::<Vec<_>>())
+            .unwrap();
+        let engine = ExecEngine::new(2);
+        let class = BatchShapeClass::from_graphs(
+            graphs
+                .iter()
+                .map(|g| (g.rows(), g.nnz(), g.structure_hash())),
+        );
+        let prep = engine.plan_batch_cached(
+            &BatchMergeSpmm::new(),
+            pack.matrix(),
+            model.max_features(),
+            &class,
+        );
+        let packed_out = model
+            .forward_mega_batched(pack.matrix(), &prep, &stacked, &engine)
+            .unwrap();
+        assert_eq!(packed_out.rows(), pack.rows());
+
+        // Per-graph reference on a 1-worker engine with an unsplit-row
+        // plan: the same flat per-row fold, so bands must match bitwise.
+        let ref_engine = ExecEngine::new(1);
+        for (i, (g, x)) in graphs.iter().zip(&feats).enumerate() {
+            let expect = model
+                .forward_cached(g, x, &MergePathSpmm::with_threads(1), &ref_engine, i as u64)
+                .unwrap();
+            let band = pack.scatter_block(&packed_out, i);
+            assert_eq!(band, expect, "graph {i} band differs");
+        }
+    }
+
+    #[test]
+    fn mega_batched_rejects_bad_feature_width() {
+        use mpspmm_core::BatchMergeSpmm;
+        let a = small_graph();
+        let model = GcnModel::two_layer(8, 12, 3, 1);
+        let engine = ExecEngine::new(1);
+        let prep = engine.plan_cached(&BatchMergeSpmm::new(), &a, model.max_features(), 0);
+        let bad = DenseMatrix::zeros(a.rows(), 5);
+        assert!(matches!(
+            model.forward_mega_batched(&a, &prep, &bad, &engine),
+            Err(SparseFormatError::ShapeMismatch { .. })
+        ));
     }
 
     #[test]

@@ -33,13 +33,51 @@ use std::sync::atomic::Ordering;
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
-use mpspmm_core::ExecEngine;
-use mpspmm_sparse::DenseMatrix;
+use mpspmm_core::{BatchMergeSpmm, BatchShapeClass, ExecEngine};
+use mpspmm_sparse::{BlockDiagCsr, CsrMatrix, DenseMatrix};
 
 use crate::error::ServeError;
 use crate::registry::ServedGraph;
 use crate::stats::{StatsCollector, TenantState};
 use crate::{ServeConfig, Workload};
+
+/// One chunk of burst replies: `(index into the submitted vector,
+/// result)` pairs. Grouped delivery matters on the serving box: a
+/// packed window answers hundreds of requests back-to-back, and one
+/// message per reply means one receiver wake-up per reply — a context
+/// switch storm when client and dispatcher share cores. One grouped
+/// send per window keeps it to one wake-up.
+pub(crate) type BurstReplies = Vec<(usize, Result<DenseMatrix<f32>, ServeError>)>;
+
+/// Where one request's reply goes: its own channel
+/// ([`Server::submit`](crate::Server::submit)) or a slot on a burst's
+/// shared channel ([`Server::submit_many`](crate::Server::submit_many)
+/// — one channel per burst instead of one per request). The burst
+/// sender is `Arc`-wrapped so the dispatcher can group same-burst
+/// replies by channel identity.
+pub(crate) enum ReplySink {
+    Single(std::sync::mpsc::Sender<Result<DenseMatrix<f32>, ServeError>>),
+    Tagged {
+        tx: Arc<std::sync::mpsc::Sender<BurstReplies>>,
+        index: usize,
+    },
+}
+
+impl ReplySink {
+    /// Delivers one reply on its own; a disconnected receiver is the
+    /// client's business, not the dispatcher's. Batch paths should
+    /// group Tagged replies instead (see [`reply_all`]).
+    pub(crate) fn send(&self, result: Result<DenseMatrix<f32>, ServeError>) {
+        match self {
+            ReplySink::Single(tx) => {
+                let _ = tx.send(result);
+            }
+            ReplySink::Tagged { tx, index } => {
+                let _ = tx.send(vec![(*index, result)]);
+            }
+        }
+    }
+}
 
 /// One admitted request parked in the queue.
 pub(crate) struct Pending {
@@ -49,7 +87,7 @@ pub(crate) struct Pending {
     pub features: Arc<DenseMatrix<f32>>,
     pub submitted: Instant,
     pub deadline: Option<Instant>,
-    pub reply: std::sync::mpsc::Sender<Result<DenseMatrix<f32>, ServeError>>,
+    pub reply: ReplySink,
 }
 
 impl Pending {
@@ -63,6 +101,19 @@ impl Pending {
             self.workload,
         )
     }
+
+    /// Graph-packing compatibility key: unlike [`batch_key`]
+    /// (Self::batch_key), *different* graphs may share a packed window —
+    /// what must agree is the workload, the feature width (vertical
+    /// stacking), and, for GCN, the model (one mega-batched forward runs
+    /// one weight set; models are compared by `Arc` pointer).
+    fn pack_key(&self) -> (Workload, usize, usize) {
+        let model_ptr = match self.workload {
+            Workload::Spmm => 0,
+            Workload::Gcn => self.graph.model().map_or(0, |m| Arc::as_ptr(m) as usize),
+        };
+        (self.workload, self.features.cols(), model_ptr)
+    }
 }
 
 /// State shared between the submit path and the dispatcher thread.
@@ -73,6 +124,75 @@ pub(crate) struct Shared {
     pub ready: Condvar,
     pub shutdown: std::sync::atomic::AtomicBool,
     pub stats: StatsCollector,
+    pub packs: Mutex<PackCache>,
+}
+
+/// Memoized pack windows the dispatcher may see again. Steady serving
+/// of a registered population repeats window compositions exactly
+/// (aligned client bursts, cyclic scans), and rebuilding the
+/// block-diagonal matrix is a per-window `O(nnz)` copy — the single
+/// largest non-compute cost of a packed window.
+pub(crate) const PACK_CACHE_SLOTS: usize = 16;
+
+/// One memoized pack. The constituent `Arc`s are held by the entry, so
+/// their allocations cannot be freed and reused while cached — which
+/// makes the `Arc::ptr_eq` composition comparison sound (no ABA). A
+/// hot-swapped graph allocates a new `Arc`, misses here, and rebuilds
+/// the pack with the new values while the structure-keyed *plan* cache
+/// still hits.
+struct PackEntry {
+    constituents: Vec<Arc<CsrMatrix<f32>>>,
+    pack: Arc<BlockDiagCsr>,
+    last_used: u64,
+}
+
+/// LRU over [`PackEntry`] — see [`PACK_CACHE_SLOTS`].
+#[derive(Default)]
+pub(crate) struct PackCache {
+    entries: Vec<PackEntry>,
+    clock: u64,
+}
+
+/// Fetches (or builds and caches) the pack for exactly this sequence of
+/// constituent graphs, compared by `Arc` identity.
+fn cached_pack(
+    shared: &Shared,
+    constituents: &[Arc<CsrMatrix<f32>>],
+) -> Result<Arc<BlockDiagCsr>, mpspmm_sparse::SparseFormatError> {
+    let mut cache = shared.packs.lock().unwrap();
+    cache.clock += 1;
+    let now = cache.clock;
+    if let Some(e) = cache.entries.iter_mut().find(|e| {
+        e.constituents.len() == constituents.len()
+            && e.constituents
+                .iter()
+                .zip(constituents)
+                .all(|(a, b)| Arc::ptr_eq(a, b))
+    }) {
+        e.last_used = now;
+        return Ok(Arc::clone(&e.pack));
+    }
+    drop(cache);
+    // Build outside the lock — submit threads never touch this cache,
+    // but the lock also guards nothing worth holding for an O(nnz) copy.
+    let pack = Arc::new(BlockDiagCsr::build(constituents)?);
+    let mut cache = shared.packs.lock().unwrap();
+    while cache.entries.len() >= PACK_CACHE_SLOTS {
+        let oldest = cache
+            .entries
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, e)| e.last_used)
+            .map(|(i, _)| i)
+            .expect("non-empty by loop condition");
+        cache.entries.swap_remove(oldest);
+    }
+    cache.entries.push(PackEntry {
+        constituents: constituents.to_vec(),
+        pack: Arc::clone(&pack),
+        last_used: now,
+    });
+    Ok(pack)
 }
 
 /// Dispatcher body: drains the queue into batches until shutdown is
@@ -92,8 +212,13 @@ pub(crate) fn dispatcher_loop(shared: &Shared) {
                 queue = shared.ready.wait(queue).unwrap();
             }
         };
-        let (batch, degraded) = collect_batch(shared, first);
-        execute_batch(shared, batch, degraded);
+        if shared.config.pack_graphs {
+            let (batch, degraded) = collect_packed(shared, first);
+            execute_packed(shared, batch, degraded);
+        } else {
+            let (batch, degraded) = collect_batch(shared, first);
+            execute_batch(shared, batch, degraded);
+        }
     }
 }
 
@@ -139,9 +264,56 @@ fn collect_batch(shared: &Shared, first: Pending) -> (Vec<Pending>, bool) {
     (batch, degraded)
 }
 
-/// Sheds expired members, runs the survivors as one engine run, and
-/// answers every reply channel.
-fn execute_batch(shared: &Shared, batch: Vec<Pending>, degraded: bool) {
+/// Grows a **packed** window around `first`: any request whose
+/// [`pack_key`](Pending::pack_key) matches may join — different graphs
+/// included — until the window holds
+/// [`ServeConfig::max_batch_graphs`](crate::ServeConfig::max_batch_graphs)
+/// constituents or
+/// [`ServeConfig::max_batch_nnz`](crate::ServeConfig::max_batch_nnz)
+/// combined non-zeros. Degradation halves the graph budget and drops the
+/// linger, mirroring the column-batch policy.
+fn collect_packed(shared: &Shared, first: Pending) -> (Vec<Pending>, bool) {
+    let key = first.pack_key();
+    let mut nnz = first.graph.adjacency().nnz();
+    let mut batch = vec![first];
+    let mut queue = shared.queue.lock().unwrap();
+    let degraded = queue.len() > shared.config.pressure_threshold;
+    let (max_graphs, linger) = if degraded {
+        ((shared.config.max_batch_graphs / 2).max(1), Duration::ZERO)
+    } else {
+        (shared.config.max_batch_graphs, shared.config.max_linger)
+    };
+    let max_nnz = shared.config.max_batch_nnz;
+    let close_at = Instant::now() + linger;
+    loop {
+        let mut i = 0;
+        while i < queue.len() && batch.len() < max_graphs && nnz < max_nnz {
+            if queue[i].pack_key() == key {
+                let p = queue.remove(i).expect("index checked in bounds");
+                nnz += p.graph.adjacency().nnz();
+                batch.push(p);
+            } else {
+                i += 1;
+            }
+        }
+        if batch.len() >= max_graphs || nnz >= max_nnz || shared.shutdown.load(Ordering::Acquire) {
+            break;
+        }
+        let now = Instant::now();
+        if now >= close_at {
+            break;
+        }
+        let (q, _timeout) = shared.ready.wait_timeout(queue, close_at - now).unwrap();
+        queue = q;
+    }
+    drop(queue);
+    (batch, degraded)
+}
+
+/// Answers expired members with `DeadlineExceeded` and returns the
+/// survivors. Shedding is per request, whatever batching mode collected
+/// the window.
+fn shed_expired(shared: &Shared, batch: Vec<Pending>) -> Vec<Pending> {
     let now = Instant::now();
     let mut live = Vec::with_capacity(batch.len());
     for p in batch {
@@ -152,11 +324,78 @@ fn execute_batch(shared: &Shared, batch: Vec<Pending>, degraded: bool) {
                 .fetch_add(1, Ordering::Relaxed);
             p.tenant.rejected_deadline.fetch_add(1, Ordering::Relaxed);
             p.tenant.in_flight.fetch_sub(1, Ordering::Relaxed);
-            let _ = p.reply.send(Err(ServeError::DeadlineExceeded));
+            p.reply.send(Err(ServeError::DeadlineExceeded));
         } else {
             live.push(p);
         }
     }
+    live
+}
+
+/// Delivers one per-request result (or the shared failure) to every
+/// survivor's reply channel, updating completion counters either way.
+fn reply_all(
+    shared: &Shared,
+    live: Vec<Pending>,
+    result: Result<Vec<DenseMatrix<f32>>, mpspmm_sparse::SparseFormatError>,
+) {
+    // Same-burst Tagged replies are grouped into one send per channel
+    // per window — one receiver wake-up instead of one per request.
+    let mut bursts: Vec<(Arc<std::sync::mpsc::Sender<BurstReplies>>, BurstReplies)> = Vec::new();
+    let mut deliver = |p: Pending, result: Result<DenseMatrix<f32>, ServeError>| match p.reply {
+        ReplySink::Single(tx) => {
+            let _ = tx.send(result);
+        }
+        ReplySink::Tagged { tx, index } => {
+            match bursts.iter_mut().find(|(t, _)| Arc::ptr_eq(t, &tx)) {
+                Some((_, replies)) => replies.push((index, result)),
+                None => bursts.push((tx, vec![(index, result)])),
+            }
+        }
+    };
+    match result {
+        Ok(outs) => {
+            debug_assert_eq!(outs.len(), live.len());
+            // One completion instant and one latency-ring lock for the
+            // whole window — per-reply clock reads and lock round-trips
+            // are measurable at packed window sizes.
+            let now = Instant::now();
+            let mut latencies = Vec::with_capacity(live.len());
+            for (p, out) in live.into_iter().zip(outs) {
+                latencies.push(now.saturating_duration_since(p.submitted));
+                shared.stats.completed.fetch_add(1, Ordering::Relaxed);
+                p.tenant.completed.fetch_add(1, Ordering::Relaxed);
+                p.tenant.in_flight.fetch_sub(1, Ordering::Relaxed);
+                deliver(p, Ok(out));
+            }
+            shared.stats.record_latencies(latencies);
+        }
+        Err(e) => {
+            // Shapes were validated at admission, so this is a bug — but
+            // a serving loop must answer, not unwind.
+            for p in live {
+                shared.stats.internal_errors.fetch_add(1, Ordering::Relaxed);
+                p.tenant.in_flight.fetch_sub(1, Ordering::Relaxed);
+                deliver(p, Err(ServeError::Internal(e.to_string())));
+            }
+        }
+    }
+    for (tx, replies) in bursts {
+        let _ = tx.send(replies);
+    }
+}
+
+/// Sheds expired members, runs the survivors as one engine run, and
+/// answers every reply channel.
+fn execute_batch(shared: &Shared, batch: Vec<Pending>, degraded: bool) {
+    let live = shed_expired(shared, batch);
+    run_column_batch(shared, live, degraded);
+}
+
+/// The classic same-graph column batch: one engine run over the
+/// concatenated feature columns of `live` (all sharing one graph
+/// version).
+fn run_column_batch(shared: &Shared, live: Vec<Pending>, degraded: bool) {
     let Some(head) = live.first() else { return };
     let graph = Arc::clone(&head.graph);
     let workload = head.workload;
@@ -175,26 +414,83 @@ fn execute_batch(shared: &Shared, batch: Vec<Pending>, degraded: bool) {
             model.forward_batched_prepared(graph.adjacency(), graph.prep(), &blocks, &shared.engine)
         }
     };
+    drop(blocks);
     shared.stats.record_batch(live.len(), cols, degraded);
-    match result {
-        Ok(outs) => {
-            debug_assert_eq!(outs.len(), live.len());
-            for (p, out) in live.into_iter().zip(outs) {
-                shared.stats.record_latency(p.submitted.elapsed());
-                shared.stats.completed.fetch_add(1, Ordering::Relaxed);
-                p.tenant.completed.fetch_add(1, Ordering::Relaxed);
-                p.tenant.in_flight.fetch_sub(1, Ordering::Relaxed);
-                let _ = p.reply.send(Ok(out));
-            }
-        }
-        Err(e) => {
-            // Shapes were validated at admission, so this is a bug — but
-            // a serving loop must answer, not unwind.
-            for p in live {
-                shared.stats.internal_errors.fetch_add(1, Ordering::Relaxed);
-                p.tenant.in_flight.fetch_sub(1, Ordering::Relaxed);
-                let _ = p.reply.send(Err(ServeError::Internal(e.to_string())));
-            }
-        }
+    reply_all(shared, live, result);
+}
+
+/// Sheds, then runs a packed window as **one** block-diagonal execution:
+/// constituent adjacencies concatenate on the diagonal, feature blocks
+/// stack vertically, one prepared-plan run (or one mega-batched GCN
+/// forward) computes everything, and each request's result is scattered
+/// back out of its private row band.
+///
+/// A window that shrinks to a single survivor skips the packing and runs
+/// the classic path against the graph's own warmed plan — zero-copy, and
+/// exactly what a non-packing server would have done.
+fn execute_packed(shared: &Shared, batch: Vec<Pending>, degraded: bool) {
+    let live = shed_expired(shared, batch);
+    if live.len() <= 1 {
+        return run_column_batch(shared, live, degraded);
     }
+    let workload = live[0].workload;
+    let cols = live[0].features.cols();
+    let result = (|| {
+        let constituents: Vec<Arc<CsrMatrix<f32>>> = live
+            .iter()
+            .map(|p| Arc::clone(p.graph.adjacency()))
+            .collect();
+        let pack = cached_pack(shared, &constituents)?;
+        let class = BatchShapeClass::from_graphs(live.iter().map(|p| {
+            let a = p.graph.adjacency();
+            (a.rows(), a.nnz(), p.graph.structure_hash())
+        }));
+        let feats: Vec<&DenseMatrix<f32>> = live.iter().map(|p| p.features.as_ref()).collect();
+        let mut stacked = shared.engine.lease_zeroed(pack.cols(), cols);
+        pack.stack_features_into(&feats, &mut stacked)?;
+        let plan_dim = match workload {
+            Workload::Spmm => cols.max(1),
+            Workload::Gcn => live[0]
+                .graph
+                .model()
+                .map_or(cols.max(1), |m| m.max_features()),
+        };
+        let prep = shared.engine.plan_batch_cached(
+            &BatchMergeSpmm::new(),
+            pack.matrix(),
+            plan_dim,
+            &class,
+        );
+        let out = match workload {
+            Workload::Spmm => {
+                shared
+                    .engine
+                    .execute_prepared(&prep, pack.matrix(), &stacked)?
+                    .0
+            }
+            Workload::Gcn => {
+                let model = live[0]
+                    .graph
+                    .model()
+                    .expect("Gcn workload admitted only for graphs with a model");
+                model.forward_mega_batched(pack.matrix(), &prep, &stacked, &shared.engine)?
+            }
+        };
+        shared.engine.recycle(stacked);
+        shared
+            .stats
+            .record_packed(live.len(), pack.nnz(), shared.config.max_batch_nnz);
+        // Scatter: each request's rows are a private contiguous band of
+        // the packed output (bands are disjoint by construction), copied
+        // into a fresh per-request matrix — no sharing, no races.
+        let outs = (0..live.len())
+            .map(|i| pack.scatter_block(&out, i))
+            .collect();
+        shared.engine.recycle(out);
+        Ok(outs)
+    })();
+    shared
+        .stats
+        .record_batch(live.len(), cols * live.len(), degraded);
+    reply_all(shared, live, result);
 }

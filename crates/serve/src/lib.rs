@@ -79,7 +79,7 @@ use mpspmm_core::{ExecEngine, SpmmKernel};
 use mpspmm_gcn::GcnModel;
 use mpspmm_sparse::DenseMatrix;
 
-use batcher::{Pending, Shared};
+use batcher::{Pending, ReplySink, Shared};
 
 // Referenced by doc comments.
 #[allow(unused_imports)]
@@ -102,6 +102,22 @@ pub struct ServeConfig {
     /// Queue depth beyond which the degraded batching policy applies
     /// (no linger, halved column budget).
     pub pressure_threshold: usize,
+    /// Graph-packing mode: within a batch window, admit requests for
+    /// *different* small graphs (and ad-hoc inline graphs), assemble
+    /// them into one block-diagonal matrix, and run the whole window as
+    /// a single mega-batched execution. Off by default — the classic
+    /// same-graph column batching is better when traffic concentrates on
+    /// few graphs; packing is for the thousands-of-tiny-graphs (Type II
+    /// molecular) profile.
+    pub pack_graphs: bool,
+    /// Constituent-graph budget per packed window: a window closes once
+    /// it holds this many graphs. Only read when `pack_graphs` is set.
+    pub max_batch_graphs: usize,
+    /// Non-zero budget per packed window: a window closes once its
+    /// constituents' combined nnz reach this. Also the capacity against
+    /// which [`ServeStats::pack_efficiency`] is measured. Only read when
+    /// `pack_graphs` is set.
+    pub max_batch_nnz: usize,
 }
 
 impl Default for ServeConfig {
@@ -111,6 +127,9 @@ impl Default for ServeConfig {
             max_linger: Duration::from_micros(200),
             tenant_queue_limit: 64,
             pressure_threshold: 256,
+            pack_graphs: false,
+            max_batch_graphs: 256,
+            max_batch_nnz: 1 << 20,
         }
     }
 }
@@ -167,6 +186,47 @@ impl Ticket {
     }
 }
 
+/// Handle to a whole burst submitted through
+/// [`Server::submit_many`]: every admitted request's reply arrives on
+/// one shared channel, tagged with its index in the submitted vector.
+#[derive(Debug)]
+pub struct BurstTicket {
+    rx: mpsc::Receiver<batcher::BurstReplies>,
+    expected: usize,
+    total: usize,
+}
+
+impl BurstTicket {
+    /// How many requests of the burst were admitted (and will reply).
+    pub fn expected(&self) -> usize {
+        self.expected
+    }
+
+    /// Blocks until every admitted request has answered. Slot `i` holds
+    /// request `i`'s result, `None` for requests rejected at admission
+    /// (their error came back from `submit_many` itself) — or, if the
+    /// server died mid-burst, for replies that never arrived.
+    pub fn wait_all(self) -> Vec<Option<Result<DenseMatrix<f32>, ServeError>>> {
+        let mut out: Vec<Option<Result<DenseMatrix<f32>, ServeError>>> =
+            (0..self.total).map(|_| None).collect();
+        let mut got = 0usize;
+        while got < self.expected {
+            // Replies arrive in window-sized groups (see the dispatcher's
+            // grouped delivery) — one blocking receive drains a window.
+            match self.rx.recv() {
+                Ok(replies) => {
+                    for (index, result) in replies {
+                        out[index] = Some(result);
+                        got += 1;
+                    }
+                }
+                Err(_) => break,
+            }
+        }
+        out
+    }
+}
+
 /// The serving front end: admission control on the caller's thread, one
 /// dispatcher thread running the batching scheduler.
 pub struct Server {
@@ -191,6 +251,7 @@ impl Server {
             ready: Condvar::new(),
             shutdown: AtomicBool::new(false),
             stats: stats::StatsCollector::default(),
+            packs: Mutex::new(batcher::PackCache::default()),
         });
         let dispatcher = {
             let shared = Arc::clone(&shared);
@@ -232,10 +293,123 @@ impl Server {
         if self.shared.shutdown.load(Ordering::Acquire) {
             return Err(ServeError::ShuttingDown);
         }
-        let graph = self
-            .registry
-            .get(&req.graph)
-            .ok_or_else(|| ServeError::UnknownGraph(req.graph.clone()))?;
+        let (tx, rx) = mpsc::channel();
+        let pending = self.admit(req, ReplySink::Single(tx))?;
+        {
+            let mut queue = self.shared.queue.lock().unwrap();
+            queue.push_back(pending);
+        }
+        self.shared.ready.notify_all();
+        Ok(Ticket { rx })
+    }
+
+    /// **Bulk admission**: admits every request in `reqs` with one queue
+    /// lock and one dispatcher wake-up, all replies multiplexed over a
+    /// single shared channel. This is the intended front door for
+    /// mega-batch clients — a per-request [`submit`](Self::submit) pays
+    /// a channel allocation, a queue lock, and a dispatcher notify per
+    /// request, which at thousands of tiny graphs per second costs more
+    /// than the math.
+    ///
+    /// Admission checks (graph resolution, shape validation, per-tenant
+    /// queue bounds) still run per request; request `i`'s admission
+    /// error, if any, lands in slot `i` of the returned vector and no
+    /// reply will arrive for it. Admitted requests flow through the
+    /// same queue, shedding, and packing windows as singly-submitted
+    /// ones — the two entry points are indistinguishable downstream.
+    pub fn submit_many(&self, reqs: Vec<Request>) -> (Vec<Option<ServeError>>, BurstTicket) {
+        let total = reqs.len();
+        let shutdown = self.shared.shutdown.load(Ordering::Acquire);
+        let (tx, rx) = mpsc::channel();
+        let tx = Arc::new(tx);
+        let mut outcomes = Vec::with_capacity(total);
+        let mut admitted = Vec::with_capacity(total);
+        // One routing-table lock, one clock read, and (via the small
+        // per-burst cache below) one tenant-table lock per *distinct*
+        // tenant for the whole burst — per-request `admit` would pay
+        // all three per request, which at mega-batch rates is real
+        // money. Tenant entries are still created lazily, only for
+        // requests that pass validation, exactly as in `admit`.
+        let graphs = if shutdown {
+            Vec::new()
+        } else {
+            self.registry
+                .get_many(reqs.iter().map(|r| r.graph.as_str()))
+        };
+        let submitted = Instant::now();
+        let mut tenant_cache: Vec<(String, Arc<stats::TenantState>)> = Vec::new();
+        for (index, (req, graph)) in reqs
+            .into_iter()
+            .zip(graphs.into_iter().chain(std::iter::repeat(None)))
+            .enumerate()
+        {
+            if shutdown {
+                outcomes.push(Some(ServeError::ShuttingDown));
+                continue;
+            }
+            let sink = ReplySink::Tagged {
+                tx: Arc::clone(&tx),
+                index,
+            };
+            let tenant = |name: &str| match tenant_cache.iter().find(|(n, _)| n == name) {
+                Some((_, t)) => Arc::clone(t),
+                None => {
+                    let t = self.shared.stats.tenant(name);
+                    tenant_cache.push((name.to_string(), Arc::clone(&t)));
+                    t
+                }
+            };
+            match self.admit_resolved(req, graph, tenant, submitted, sink) {
+                Ok(p) => {
+                    admitted.push(p);
+                    outcomes.push(None);
+                }
+                Err(e) => outcomes.push(Some(e)),
+            }
+        }
+        let expected = admitted.len();
+        if expected > 0 {
+            let mut queue = self.shared.queue.lock().unwrap();
+            queue.extend(admitted);
+            drop(queue);
+            self.shared.ready.notify_all();
+        }
+        (
+            outcomes,
+            BurstTicket {
+                rx,
+                expected,
+                total,
+            },
+        )
+    }
+
+    /// Shared admission body of [`submit`](Self::submit) and
+    /// [`submit_many`](Self::submit_many): resolves and validates the
+    /// request, charges the tenant's queue slot, and returns the queue
+    /// entry — the caller enqueues it.
+    fn admit(&self, req: Request, reply: ReplySink) -> Result<Pending, ServeError> {
+        let graph = self.registry.get(&req.graph);
+        let tenant = |name: &str| self.shared.stats.tenant(name);
+        self.admit_resolved(req, graph, tenant, Instant::now(), reply)
+    }
+
+    /// Admission with the lock-heavy lookups already done (or deferred
+    /// into closures) by the caller: [`submit_many`](Self::submit_many)
+    /// resolves graphs for the whole burst under one registry lock and
+    /// memoizes tenant handles per burst; [`submit`](Self::submit) just
+    /// inlines the single lookups. Validation, tenant queue-bound
+    /// charging, and counters are identical on both paths.
+    fn admit_resolved(
+        &self,
+        req: Request,
+        graph: Option<Arc<registry::ServedGraph>>,
+        tenant: impl FnMut(&str) -> Arc<stats::TenantState>,
+        submitted: Instant,
+        reply: ReplySink,
+    ) -> Result<Pending, ServeError> {
+        let mut tenant = tenant;
+        let graph = graph.ok_or_else(|| ServeError::UnknownGraph(req.graph.clone()))?;
         let expected_cols = match req.workload {
             Workload::Spmm => None,
             Workload::Gcn => Some(
@@ -253,7 +427,7 @@ impl Server {
                 got,
             });
         }
-        let tenant = self.shared.stats.tenant(&req.tenant);
+        let tenant = tenant(&req.tenant);
         let limit = self.shared.config.tenant_queue_limit;
         if tenant.in_flight.fetch_add(1, Ordering::AcqRel) >= limit {
             tenant.in_flight.fetch_sub(1, Ordering::AcqRel);
@@ -269,16 +443,77 @@ impl Server {
         }
         tenant.submitted.fetch_add(1, Ordering::Relaxed);
         self.shared.stats.submitted.fetch_add(1, Ordering::Relaxed);
-        let submitted = Instant::now();
-        let (tx, rx) = mpsc::channel();
-        let pending = Pending {
+        Ok(Pending {
             graph,
             tenant,
             workload: req.workload,
             features: req.features,
             submitted,
             deadline: req.deadline.map(|d| submitted + d),
-            reply: tx,
+            reply,
+        })
+    }
+
+    /// Admits a **one-shot inline request**: an ad-hoc graph that was
+    /// never registered, carried by the request itself. The graph is
+    /// planned on the caller's thread (outside the engine's LRU plan
+    /// cache — one-shot graphs must not evict long-lived plans) and then
+    /// flows through the same queue, deadline shedding, and — when
+    /// [`ServeConfig::pack_graphs`] is on — the same block-diagonal
+    /// packing windows as registered graphs. Inline requests are
+    /// [`Workload::Spmm`] only: a GCN forward needs a registered model.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::ShuttingDown`], [`ServeError::BadShape`] (the
+    /// feature block's rows must match the adjacency's columns), or
+    /// [`ServeError::QueueFull`].
+    pub fn submit_inline(
+        &self,
+        tenant: &str,
+        adjacency: mpspmm_sparse::CsrMatrix<f32>,
+        features: Arc<DenseMatrix<f32>>,
+        deadline: Option<Duration>,
+    ) -> Result<Ticket, ServeError> {
+        if self.shared.shutdown.load(Ordering::Acquire) {
+            return Err(ServeError::ShuttingDown);
+        }
+        if features.rows() != adjacency.cols() {
+            return Err(ServeError::BadShape {
+                expected_rows: adjacency.cols(),
+                expected_cols: None,
+                got: (features.rows(), features.cols()),
+            });
+        }
+        let tenant_state = self.shared.stats.tenant(tenant);
+        let limit = self.shared.config.tenant_queue_limit;
+        if tenant_state.in_flight.fetch_add(1, Ordering::AcqRel) >= limit {
+            tenant_state.in_flight.fetch_sub(1, Ordering::AcqRel);
+            tenant_state
+                .rejected_queue_full
+                .fetch_add(1, Ordering::Relaxed);
+            self.shared
+                .stats
+                .rejected_queue_full
+                .fetch_add(1, Ordering::Relaxed);
+            return Err(ServeError::QueueFull {
+                tenant: tenant.to_string(),
+                limit,
+            });
+        }
+        tenant_state.submitted.fetch_add(1, Ordering::Relaxed);
+        self.shared.stats.submitted.fetch_add(1, Ordering::Relaxed);
+        let graph = self.registry.inline_graph(adjacency);
+        let submitted = Instant::now();
+        let (tx, rx) = mpsc::channel();
+        let pending = Pending {
+            graph,
+            tenant: tenant_state,
+            workload: Workload::Spmm,
+            features,
+            submitted,
+            deadline: deadline.map(|d| submitted + d),
+            reply: ReplySink::Single(tx),
         };
         {
             let mut queue = self.shared.queue.lock().unwrap();

@@ -42,6 +42,12 @@ pub struct ServedGraph {
     version: u64,
     epoch: u64,
     adjacency: Arc<CsrMatrix<f32>>,
+    /// [`CsrMatrix::structure_hash`] of `adjacency`, computed once at
+    /// registration: the graph-packing scheduler folds it into every
+    /// window's [`BatchShapeClass`](mpspmm_core::BatchShapeClass), so a
+    /// value-only hot swap (same structure, new weights) keeps the
+    /// batch fingerprint — and the cached batch plan — intact.
+    structure_hash: u64,
     prep: Arc<PreparedPlan>,
     model: Option<Arc<GcnModel>>,
 }
@@ -71,6 +77,12 @@ impl ServedGraph {
     /// The (normalized) adjacency matrix requests aggregate over.
     pub fn adjacency(&self) -> &Arc<CsrMatrix<f32>> {
         &self.adjacency
+    }
+
+    /// Cached sparsity-structure hash of the adjacency (values excluded)
+    /// — the constituent identity batch-shape classes are built from.
+    pub fn structure_hash(&self) -> u64 {
+        self.structure_hash
     }
 
     /// The warmed, width-independent prepared plan.
@@ -136,9 +148,23 @@ impl GraphRegistry {
         adjacency: CsrMatrix<f32>,
         model: Option<GcnModel>,
     ) -> Arc<ServedGraph> {
+        self.register_shared(name, adjacency, model.map(Arc::new))
+    }
+
+    /// [`register`](Self::register) with an already-shared model `Arc` —
+    /// the registration path for mega-batched serving, where thousands
+    /// of small graphs serve inference through **one** model and the
+    /// packing scheduler batches across graphs that share it (models are
+    /// compared by pointer, so each graph must hold the *same* `Arc`).
+    pub fn register_shared(
+        &self,
+        name: &str,
+        adjacency: CsrMatrix<f32>,
+        model: Option<Arc<GcnModel>>,
+    ) -> Arc<ServedGraph> {
         let version = self.next_version.fetch_add(1, Ordering::Relaxed) + 1;
         let plan_dim = model
-            .as_ref()
+            .as_deref()
             .map(GcnModel::max_features)
             .unwrap_or(DEFAULT_PLAN_DIM)
             .max(1);
@@ -149,15 +175,38 @@ impl GraphRegistry {
             name: name.to_string(),
             version,
             epoch: version,
+            structure_hash: adjacency.structure_hash(),
             adjacency: Arc::new(adjacency),
             prep,
-            model: model.map(Arc::new),
+            model,
         });
         self.graphs
             .lock()
             .unwrap()
             .insert(name.to_string(), Arc::clone(&graph));
         graph
+    }
+
+    /// Builds an **anonymous** served graph for a single ad-hoc request:
+    /// planned and classified like a registration, but never inserted
+    /// into the routing table and — deliberately — never put through the
+    /// engine's LRU plan cache: ad-hoc graphs are one-shot, and minting
+    /// a cache key per request would evict the plans of the graphs that
+    /// *are* long-lived. The plan still matters: if the packing window
+    /// ends up executing the request alone, it runs through this plan.
+    pub fn inline_graph(&self, adjacency: CsrMatrix<f32>) -> Arc<ServedGraph> {
+        let version = self.next_version.fetch_add(1, Ordering::Relaxed) + 1;
+        let plan = self.kernel.plan(&adjacency, DEFAULT_PLAN_DIM);
+        let prep = Arc::new(PreparedPlan::for_matrix(plan, &adjacency));
+        Arc::new(ServedGraph {
+            name: String::new(),
+            version,
+            epoch: version,
+            structure_hash: adjacency.structure_hash(),
+            adjacency: Arc::new(adjacency),
+            prep,
+            model: None,
+        })
     }
 
     /// Removes `name` from the routing table. In-flight requests holding
@@ -171,6 +220,20 @@ impl GraphRegistry {
     /// The currently routed version of `name`.
     pub fn get(&self, name: &str) -> Option<Arc<ServedGraph>> {
         self.graphs.lock().unwrap().get(name).cloned()
+    }
+
+    /// Resolves a whole burst of names under **one** table lock — the
+    /// bulk-admission counterpart of [`get`](Self::get). Slot `i` of the
+    /// result is the routed version of the `i`-th name (or `None`). The
+    /// burst sees a single consistent snapshot of the routing table: a
+    /// concurrent hot-swap lands either before every slot or after
+    /// every slot, never between two of them.
+    pub fn get_many<'a>(
+        &self,
+        names: impl IntoIterator<Item = &'a str>,
+    ) -> Vec<Option<Arc<ServedGraph>>> {
+        let graphs = self.graphs.lock().unwrap();
+        names.into_iter().map(|n| graphs.get(n).cloned()).collect()
     }
 
     /// Number of currently registered graphs.

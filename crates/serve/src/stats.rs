@@ -51,7 +51,12 @@ pub(crate) struct StatsCollector {
     pub degraded_batches: AtomicU64,
     pub batched_requests: AtomicU64,
     pub batched_cols: AtomicU64,
+    pub packed_batches: AtomicU64,
+    pub packed_graphs: AtomicU64,
+    pub packed_nnz: AtomicU64,
+    pub packed_capacity_nnz: AtomicU64,
     batch_hist: [AtomicU64; BATCH_HIST_BUCKETS],
+    graphs_hist: [AtomicU64; BATCH_HIST_BUCKETS],
     latencies: Mutex<LatencyRing>,
     tenants: Mutex<HashMap<String, Arc<TenantState>>>,
 }
@@ -89,17 +94,34 @@ impl StatsCollector {
         }
     }
 
-    /// Records one request's submit→reply latency.
-    pub fn record_latency(&self, latency: std::time::Duration) {
-        let ns = latency.as_nanos().min(u128::from(u64::MAX)) as u64;
+    /// Records one executed **packed** (block-diagonal) window of
+    /// `graphs` constituent graphs totalling `nnz` packed non-zeros,
+    /// against a window capacity of `capacity_nnz` — the pair behind the
+    /// pack-efficiency ratio.
+    pub fn record_packed(&self, graphs: usize, nnz: usize, capacity_nnz: usize) {
+        self.packed_batches.fetch_add(1, Ordering::Relaxed);
+        self.packed_graphs
+            .fetch_add(graphs as u64, Ordering::Relaxed);
+        self.packed_nnz.fetch_add(nnz as u64, Ordering::Relaxed);
+        self.packed_capacity_nnz
+            .fetch_add(capacity_nnz as u64, Ordering::Relaxed);
+        self.graphs_hist[batch_bucket(graphs)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a window's worth of submit→reply latencies under one
+    /// ring lock instead of one lock per reply.
+    pub fn record_latencies<I: IntoIterator<Item = std::time::Duration>>(&self, latencies: I) {
         let mut ring = self.latencies.lock().unwrap();
-        if ring.samples_ns.len() < LATENCY_WINDOW {
-            ring.samples_ns.push(ns);
-        } else {
-            let next = ring.next;
-            ring.samples_ns[next] = ns;
+        for latency in latencies {
+            let ns = latency.as_nanos().min(u128::from(u64::MAX)) as u64;
+            if ring.samples_ns.len() < LATENCY_WINDOW {
+                ring.samples_ns.push(ns);
+            } else {
+                let next = ring.next;
+                ring.samples_ns[next] = ns;
+            }
+            ring.next = (ring.next + 1) % LATENCY_WINDOW;
         }
-        ring.next = (ring.next + 1) % LATENCY_WINDOW;
     }
 
     /// Snapshot of everything, with `queue_depth`, the engine counters,
@@ -134,8 +156,16 @@ impl StatsCollector {
         for (dst, src) in batch_size_hist.iter_mut().zip(&self.batch_hist) {
             *dst = src.load(Ordering::Relaxed);
         }
+        let mut graphs_per_batch_hist = [0u64; BATCH_HIST_BUCKETS];
+        for (dst, src) in graphs_per_batch_hist.iter_mut().zip(&self.graphs_hist) {
+            *dst = src.load(Ordering::Relaxed);
+        }
         let batches = self.batches.load(Ordering::Relaxed);
         let batched_requests = self.batched_requests.load(Ordering::Relaxed);
+        let packed_batches = self.packed_batches.load(Ordering::Relaxed);
+        let packed_graphs = self.packed_graphs.load(Ordering::Relaxed);
+        let packed_nnz = self.packed_nnz.load(Ordering::Relaxed);
+        let packed_capacity_nnz = self.packed_capacity_nnz.load(Ordering::Relaxed);
         ServeStats {
             submitted: self.submitted.load(Ordering::Relaxed),
             completed: self.completed.load(Ordering::Relaxed),
@@ -151,6 +181,19 @@ impl StatsCollector {
                 batched_requests as f64 / batches as f64
             },
             batch_size_hist,
+            packed_batches,
+            mean_graphs_per_batch: if packed_batches == 0 {
+                0.0
+            } else {
+                packed_graphs as f64 / packed_batches as f64
+            },
+            graphs_per_batch_hist,
+            packed_nnz,
+            pack_efficiency: if packed_capacity_nnz == 0 {
+                0.0
+            } else {
+                packed_nnz as f64 / packed_capacity_nnz as f64
+            },
             queue_depth,
             latency,
             engine,
@@ -239,6 +282,21 @@ pub struct ServeStats {
     /// Batch-size histogram over request counts: buckets
     /// `1, 2, 3-4, 5-8, …, 65+`.
     pub batch_size_hist: [u64; BATCH_HIST_BUCKETS],
+    /// Block-diagonal packed windows executed (graph-packing mode only;
+    /// a subset of `batches`).
+    pub packed_batches: u64,
+    /// Mean constituent graphs per packed window.
+    pub mean_graphs_per_batch: f64,
+    /// Graphs-per-packed-window histogram, same bucket scheme as
+    /// `batch_size_hist`.
+    pub graphs_per_batch_hist: [u64; BATCH_HIST_BUCKETS],
+    /// Total non-zeros executed through packed windows.
+    pub packed_nnz: u64,
+    /// Pack efficiency: packed non-zeros over cumulative window nnz
+    /// capacity ([`ServeConfig::max_batch_nnz`](crate::ServeConfig::max_batch_nnz)
+    /// per window), in `[0, 1]`. Low values mean windows close on the
+    /// graph-count bound or the linger timer, not the nnz budget.
+    pub pack_efficiency: f64,
     /// Requests queued but not yet executing at snapshot time.
     pub queue_depth: usize,
     /// Submit→reply latency percentiles over the recent window.
@@ -308,7 +366,7 @@ mod tests {
     fn latency_ring_is_bounded() {
         let c = StatsCollector::default();
         for i in 0..(LATENCY_WINDOW + 10) {
-            c.record_latency(std::time::Duration::from_nanos(i as u64));
+            c.record_latencies(std::iter::once(std::time::Duration::from_nanos(i as u64)));
         }
         let snap = c.snapshot(0, EngineStats::default(), Vec::new());
         assert_eq!(snap.latency.samples, LATENCY_WINDOW);

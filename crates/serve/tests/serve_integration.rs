@@ -441,3 +441,331 @@ fn fused_pipeline_stats_are_threaded_through_serve_stats() {
     );
     srv.shutdown();
 }
+
+// ---------------------------------------------------------------------------
+// Mega-batching: block-diagonal graph packing
+// ---------------------------------------------------------------------------
+
+/// A small ring-with-chords graph of arbitrary node count, structure
+/// fixed by `nodes` and values by `seed` — so hot-swapping the seed is a
+/// value-only swap.
+fn small_graph(nodes: usize, seed: f32) -> CsrMatrix<f32> {
+    let mut trips = Vec::new();
+    for r in 0..nodes {
+        trips.push((r, (r + 1) % nodes, seed + r as f32 * 0.25));
+        if r % 3 == 0 {
+            trips.push((r, (r + 5) % nodes, 0.5 * seed));
+        }
+    }
+    CsrMatrix::from_triplets(nodes, nodes, &trips).unwrap()
+}
+
+fn small_feats(nodes: usize, cols: usize, salt: usize) -> DenseMatrix<f32> {
+    DenseMatrix::from_fn(nodes, cols, |r, c| {
+        ((r * 29 + c * 11 + salt) % 17) as f32 * 0.25 - 2.0
+    })
+}
+
+fn pack_server(linger_ms: u64) -> Server {
+    server(ServeConfig {
+        pack_graphs: true,
+        max_linger: Duration::from_millis(linger_ms),
+        ..ServeConfig::default()
+    })
+}
+
+#[test]
+fn packed_windows_mix_graphs_and_match_sequential_execution() {
+    let srv = pack_server(200);
+    let sizes = [8usize, 12, 17, 24, 9, 31];
+    for (i, &n) in sizes.iter().enumerate() {
+        srv.register(&format!("g{i}"), small_graph(n, 1.0 + i as f32), None);
+    }
+    // Submit everything before waiting: one packed window coalesces all
+    // six *different* graphs into a single block-diagonal execution.
+    let tickets: Vec<_> = sizes
+        .iter()
+        .enumerate()
+        .map(|(i, &n)| {
+            let b = small_feats(n, 4, i);
+            let t = srv
+                .submit(req(&format!("g{i}"), "t", b, Workload::Spmm))
+                .unwrap();
+            (i, n, t)
+        })
+        .collect();
+    let reference = MergePathSpmm::with_threads(1);
+    for (i, n, ticket) in tickets {
+        let a = small_graph(n, 1.0 + i as f32);
+        let (expect, _) = reference
+            .spmm_sequential(&a, &small_feats(n, 4, i))
+            .unwrap();
+        let got = ticket.wait().unwrap();
+        assert_eq!(got.rows(), n, "graph {i}");
+        // Row-aligned packed execution is bit-identical to sequential.
+        assert_eq!(got.max_abs_diff(&expect).unwrap(), 0.0, "graph {i}");
+    }
+    let stats = srv.stats();
+    assert_eq!(stats.completed, 6);
+    assert!(
+        stats.packed_batches >= 1,
+        "expected at least one packed window"
+    );
+    assert!(
+        stats.mean_graphs_per_batch > 1.0,
+        "packed windows hold more than one graph"
+    );
+    assert!(stats.packed_nnz > 0);
+    assert!(
+        stats.pack_efficiency > 0.0 && stats.pack_efficiency <= 1.0,
+        "pack efficiency is a fraction of the window nnz budget, got {}",
+        stats.pack_efficiency
+    );
+    assert_eq!(
+        stats.graphs_per_batch_hist.iter().sum::<u64>(),
+        stats.packed_batches,
+        "every packed window lands in exactly one histogram bucket"
+    );
+    assert!(
+        stats.engine.batch_plan_misses >= 1,
+        "first window plans fresh"
+    );
+    srv.shutdown();
+}
+
+#[test]
+fn inline_graphs_pack_with_registered_ones() {
+    let srv = pack_server(200);
+    srv.register("g", small_graph(16, 2.0), None);
+    let t_reg = srv
+        .submit(req("g", "t", small_feats(16, 3, 0), Workload::Spmm))
+        .unwrap();
+    let ad_hoc = small_graph(11, 3.5);
+    let t_inline = srv
+        .submit_inline("t", ad_hoc.clone(), Arc::new(small_feats(11, 3, 1)), None)
+        .unwrap();
+    let reference = MergePathSpmm::with_threads(1);
+    let (expect_reg, _) = reference
+        .spmm_sequential(&small_graph(16, 2.0), &small_feats(16, 3, 0))
+        .unwrap();
+    let (expect_inline, _) = reference
+        .spmm_sequential(&ad_hoc, &small_feats(11, 3, 1))
+        .unwrap();
+    assert_eq!(
+        t_reg.wait().unwrap().max_abs_diff(&expect_reg).unwrap(),
+        0.0
+    );
+    assert_eq!(
+        t_inline
+            .wait()
+            .unwrap()
+            .max_abs_diff(&expect_inline)
+            .unwrap(),
+        0.0
+    );
+    assert_eq!(srv.stats().completed, 2);
+    // Inline admission still validates shapes.
+    let err = srv
+        .submit_inline(
+            "t",
+            small_graph(9, 1.0),
+            Arc::new(small_feats(8, 3, 0)),
+            None,
+        )
+        .unwrap_err();
+    assert!(matches!(err, ServeError::BadShape { .. }));
+    srv.shutdown();
+}
+
+#[test]
+fn packed_gcn_windows_share_one_model_across_graphs() {
+    let srv = pack_server(200);
+    let model = Arc::new(GcnModel::two_layer(5, 9, 2, 7));
+    let sizes = [10usize, 14, 21];
+    for (i, &n) in sizes.iter().enumerate() {
+        srv.registry().register_shared(
+            &format!("g{i}"),
+            small_graph(n, 0.5 + i as f32),
+            Some(Arc::clone(&model)),
+        );
+    }
+    let tickets: Vec<_> = sizes
+        .iter()
+        .enumerate()
+        .map(|(i, &n)| {
+            let x = small_feats(n, 5, i);
+            let t = srv
+                .submit(req(&format!("g{i}"), "t", x, Workload::Gcn))
+                .unwrap();
+            (i, n, t)
+        })
+        .collect();
+    let ref_engine = ExecEngine::new(1);
+    let ref_kernel = MergePathSpmm::with_threads(1);
+    for (i, n, ticket) in tickets {
+        let a = small_graph(n, 0.5 + i as f32);
+        let expect = model
+            .forward_cached(
+                &a,
+                &small_feats(n, 5, i),
+                &ref_kernel,
+                &ref_engine,
+                i as u64,
+            )
+            .unwrap();
+        let got = ticket.wait().unwrap();
+        assert_eq!(got.max_abs_diff(&expect).unwrap(), 0.0, "graph {i}");
+    }
+    assert_eq!(srv.stats().completed, 3);
+    srv.shutdown();
+}
+
+#[test]
+fn value_only_hot_swap_keeps_batch_plan_structural_swap_rebuilds() {
+    let srv = pack_server(200);
+    for i in 0..4 {
+        srv.register(&format!("g{i}"), graph(1.0 + i as f32), None);
+    }
+    let run_window = |salt: usize| -> Vec<DenseMatrix<f32>> {
+        let tickets: Vec<_> = (0..4)
+            .map(|i| {
+                srv.submit(req(
+                    &format!("g{i}"),
+                    "t",
+                    feats(3, salt + i),
+                    Workload::Spmm,
+                ))
+                .unwrap()
+            })
+            .collect();
+        tickets.into_iter().map(|t| t.wait().unwrap()).collect()
+    };
+    run_window(0);
+    let s1 = srv.stats();
+    assert_eq!(s1.packed_batches, 1, "all four requests packed one window");
+    assert_eq!(s1.engine.batch_plan_misses, 1);
+    assert_eq!(s1.engine.batch_plan_hits, 0);
+
+    // Value-only hot swap of one constituent: identical structure, new
+    // edge weights. The batch-shape-class plan must survive untouched.
+    srv.register("g1", graph(42.0), None);
+    let outs = run_window(10);
+    let s2 = srv.stats();
+    assert_eq!(
+        s2.engine.batch_plan_hits, 1,
+        "value-only swap must reuse the packed plan"
+    );
+    assert_eq!(s2.engine.batch_plan_rebuilds, 0);
+    assert_eq!(s2.engine.batch_plan_misses, 1);
+    // The reused plan still reads the *new* values.
+    let (expect_swapped, _) = MergePathSpmm::with_threads(1)
+        .spmm_sequential(&graph(42.0), &feats(3, 11))
+        .unwrap();
+    assert_eq!(outs[1].max_abs_diff(&expect_swapped).unwrap(), 0.0);
+
+    // Structural swap: one extra edge. Same size class (nnz bucket is
+    // unchanged), new structure fingerprint — the slot re-prepares in
+    // place instead of minting a new cache entry.
+    let mut trips = Vec::new();
+    for r in 0..NODES {
+        trips.push((r, (r + 1) % NODES, 2.0 + r as f32 * 0.25));
+        if r % 3 == 0 {
+            trips.push((r, (r + 7) % NODES, 1.0));
+        }
+    }
+    trips.push((0, 13, 1.0));
+    let structural = CsrMatrix::from_triplets(NODES, NODES, &trips).unwrap();
+    srv.register("g1", structural, None);
+    run_window(20);
+    let s3 = srv.stats();
+    assert_eq!(
+        s3.engine.batch_plan_rebuilds, 1,
+        "structural swap re-prepares the slot in place"
+    );
+    assert_eq!(
+        s3.engine.batch_plan_misses, 1,
+        "composition class unchanged — no new cache slot"
+    );
+    assert_eq!(s3.engine.batch_plan_hits, 1);
+    srv.shutdown();
+}
+
+#[test]
+fn burst_submission_aligns_outcomes_and_groups_replies() {
+    // Bulk admission front door: one burst mixing admissible requests
+    // (different graphs, several tenants) with every admission-error
+    // class. Outcome slot i must describe request i, rejected requests
+    // must never reply, and every admitted request's packed answer must
+    // be bit-identical to the sequential oracle.
+    let srv = server(ServeConfig {
+        pack_graphs: true,
+        max_linger: Duration::from_millis(200),
+        tenant_queue_limit: 2,
+        ..ServeConfig::default()
+    });
+    let sizes = [9usize, 14, 21, 11];
+    for (i, &n) in sizes.iter().enumerate() {
+        srv.register(&format!("g{i}"), small_graph(n, 3.0 + i as f32), None);
+    }
+    let mut reqs: Vec<Request> = sizes
+        .iter()
+        .enumerate()
+        .map(|(i, &n)| {
+            req(
+                &format!("g{i}"),
+                if i % 2 == 0 { "even" } else { "odd" },
+                small_feats(n, 3, i),
+                Workload::Spmm,
+            )
+        })
+        .collect();
+    // Slot 4: unknown graph. Slot 5: wrong feature rows. Slot 6: third
+    // request for tenant "even" (limit 2) — typed queue-full rejection.
+    reqs.push(req("missing", "even", small_feats(9, 3, 4), Workload::Spmm));
+    reqs.push(req("g1", "odd", small_feats(9, 3, 5), Workload::Spmm));
+    reqs.push(req("g3", "even", small_feats(11, 3, 6), Workload::Spmm));
+    let (outcomes, ticket) = srv.submit_many(reqs);
+    assert_eq!(outcomes.len(), 7);
+    assert!(
+        outcomes[..4].iter().all(Option::is_none),
+        "valid slots admit"
+    );
+    assert!(matches!(outcomes[4], Some(ServeError::UnknownGraph(_))));
+    assert!(matches!(outcomes[5], Some(ServeError::BadShape { .. })));
+    assert!(matches!(
+        outcomes[6],
+        Some(ServeError::QueueFull { ref tenant, limit: 2 }) if tenant == "even"
+    ));
+    assert_eq!(ticket.expected(), 4);
+    let replies = ticket.wait_all();
+    assert_eq!(replies.len(), 7);
+    assert!(
+        replies[4..].iter().all(Option::is_none),
+        "rejected requests never reply"
+    );
+    let reference = MergePathSpmm::with_threads(1);
+    for (i, &n) in sizes.iter().enumerate() {
+        let a = small_graph(n, 3.0 + i as f32);
+        let (expect, _) = reference
+            .spmm_sequential(&a, &small_feats(n, 3, i))
+            .unwrap();
+        let got = replies[i]
+            .as_ref()
+            .expect("admitted request replies")
+            .as_ref()
+            .expect("burst request succeeds");
+        assert_eq!(
+            got.max_abs_diff(&expect).unwrap(),
+            0.0,
+            "burst slot {i} deviates from the sequential oracle"
+        );
+    }
+    let stats = srv.stats();
+    assert_eq!(stats.completed, 4);
+    assert_eq!(stats.rejected_queue_full, 1);
+    assert!(
+        stats.tenants.iter().all(|t| t.in_flight == 0),
+        "rejections must not leak in-flight slots"
+    );
+    srv.shutdown();
+}

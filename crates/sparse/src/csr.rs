@@ -192,6 +192,33 @@ impl<T> CsrMatrix<T> {
         (0..self.rows).map(|r| self.row_nnz(r)).collect()
     }
 
+    /// FNV-1a hash of the sparsity *structure* — shape, row pointer, and
+    /// column indices, but **not** the stored values.
+    ///
+    /// Two matrices with the same structure hash (and, outside hash
+    /// collisions, only those) admit the same merge-path plan: planning
+    /// reads only `row_ptr`/`col_indices`, so a value-only update (edge
+    /// re-weighting, GCN renormalization) keeps every prepared plan
+    /// valid. Batch-shape-class plan caching keys on this.
+    pub fn structure_hash(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = FNV_OFFSET;
+        let mut mix = |word: u64| {
+            h ^= word;
+            h = h.wrapping_mul(FNV_PRIME);
+        };
+        mix(self.rows as u64);
+        mix(self.cols as u64);
+        for &p in &self.row_ptr {
+            mix(p as u64);
+        }
+        for &c in &self.col_indices {
+            mix(c as u64);
+        }
+        h
+    }
+
     /// Consumes the matrix and returns its raw parts
     /// `(rows, cols, row_ptr, col_indices, values)`.
     pub fn into_raw_parts(self) -> (usize, usize, Vec<usize>, Vec<usize>, Vec<T>) {

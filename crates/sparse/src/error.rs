@@ -66,6 +66,8 @@ pub enum SparseFormatError {
         /// Position in the index array where order breaks.
         position: usize,
     },
+    /// A batched operation was given zero constituents.
+    EmptyBatch,
     /// Two matrices have incompatible shapes for the requested operation.
     ShapeMismatch {
         /// Shape of the left operand (rows, cols).
@@ -119,6 +121,9 @@ impl fmt::Display for SparseFormatError {
                 f,
                 "column indices of row {row} are not strictly increasing at position {position}"
             ),
+            Self::EmptyBatch => {
+                write!(f, "batched operation requires at least one constituent")
+            }
             Self::ShapeMismatch { left, right } => write!(
                 f,
                 "shape mismatch: left operand is {}x{}, right operand is {}x{}",

@@ -32,6 +32,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod block_diag;
 mod coo;
 mod csr;
 mod dense;
@@ -42,6 +43,7 @@ pub mod reorder;
 pub mod stats;
 pub mod testing;
 
+pub use block_diag::BlockDiagCsr;
 pub use coo::CooMatrix;
 pub use csr::{CsrMatrix, CsrRow, CsrRowIter};
 pub use dense::DenseMatrix;

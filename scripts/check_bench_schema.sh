@@ -26,7 +26,7 @@ fi
 status=0
 # Artifacts the tier-1 gate must always produce: their absence is a
 # failure, not a silent pass of the glob above.
-for required in BENCH_widedim.json BENCH_autotune.json BENCH_spgemm.json; do
+for required in BENCH_widedim.json BENCH_autotune.json BENCH_spgemm.json BENCH_batch.json; do
     if [ ! -f "$required" ]; then
         echo "FAIL $required: required artifact missing" >&2
         status=1
@@ -47,6 +47,17 @@ for f in "${files[@]}"; do
         echo "FAIL $f: missing top-level numeric key \"speedup\"" >&2
         status=1
         continue
+    fi
+    # Committed artifacts must come from full benchmark runs. The
+    # working-tree copy may be a smoke artifact (tier1 regenerates most
+    # benches in smoke shape), so the gate inspects the version at HEAD:
+    # files not (yet) tracked are skipped.
+    if committed=$(git show "HEAD:$f" 2>/dev/null); then
+        if jq -e '.smoke == true' <<<"$committed" >/dev/null 2>&1; then
+            echo "FAIL $f: committed artifact is a smoke run — commit a full run" >&2
+            status=1
+            continue
+        fi
     fi
     printf 'ok   %-20s speedup %sx vs %s\n' "$f" \
         "$(jq -r '.speedup' "$f")" "$(jq -r '.baseline' "$f")"

@@ -10,9 +10,11 @@
 # shape), BENCH_fused.json (fused GCN pipeline vs unfused, smoke
 # shape), BENCH_widedim.json (wide-feature-dim layer pipeline vs
 # the pre-revision data path, smoke shape), BENCH_autotune.json
-# (measured arm selection vs hand-pinned configs, smoke shape), and
+# (measured arm selection vs hand-pinned configs, smoke shape),
 # BENCH_spgemm.json (CSR x CSR engine vs the sequential oracle, smoke
-# shape) in the repository root, then validates their common schema.
+# shape), and BENCH_batch.json (block-diagonal mega-batching vs
+# per-request serving, smoke shape) in the repository root, then
+# validates their common schema.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -37,13 +39,16 @@ MPSPMM_TUNE=1 cargo test -q -p mpspmm-core --test engine_oracle
 # bit-equal to the sequential oracle.
 MPSPMM_TUNE=1 cargo test -q -p mpspmm-core --test spgemm_oracle
 cargo test -q -p mpspmm-core --features force-scalar
-# The work-stealing scheduler and the SpGEMM engine promise bit-identical
-# output at any worker count: pin the resolved count to a matrix of
-# values and re-run their property tests (debug build, invariant asserts
-# live).
+# The work-stealing scheduler, the SpGEMM engine, and the block-diagonal
+# mega-batch path promise bit-identical output at any worker count: pin
+# the resolved count to a matrix of values and re-run their property
+# tests (debug build, invariant asserts live). batch_oracle sweeps
+# packed-vs-sequential across DataPath x SchedPolicy, including empty
+# graphs and single-graph windows.
 for w in 1 2 8; do
   MPSPMM_WORKERS=$w cargo test -q -p mpspmm-core --test engine_stealing
   MPSPMM_WORKERS=$w cargo test -q -p mpspmm-core --test spgemm_oracle
+  MPSPMM_WORKERS=$w cargo test -q -p mpspmm-core --test batch_oracle
 done
 # The fused layer pipeline promises fused == unfused at every worker
 # count; re-run its oracle property suite across the same matrix.
@@ -57,6 +62,10 @@ cargo run --release -p mpspmm-bench --bin bench_steal -- --smoke
 cargo run --release -p mpspmm-bench --bin bench_fused -- --smoke
 cargo run --release -p mpspmm-bench --bin bench_widedim -- --smoke
 cargo run --release -p mpspmm-bench --bin bench_spgemm -- --smoke
+# Mega-batch bench, smoke shape: exercises the packed serving pipeline
+# end to end (bulk admission, block-diagonal assembly, scatter) and its
+# untimed bit-identity spot check against the sequential oracle.
+cargo run --release -p mpspmm-bench --bin bench_batch -- --smoke
 # Auto-tuner bench under a throwaway calibration directory: one run
 # proves both the cold start (exploration under the overhead bound) and
 # the warm restart (a rebuilt engine + tuner pair re-admits every plan
