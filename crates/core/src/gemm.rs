@@ -42,7 +42,7 @@ use mpspmm_sparse::{DenseMatrix, SparseFormatError};
 
 use crate::datapath::{gemm_band, gemm_pack_width, pack_b, PathKind};
 use crate::engine::{ExecEngine, SchedPolicy};
-use crate::pool::{ScopedJob, WorkerPool};
+use crate::pool::ScopedJob;
 use crate::tuning::{gemm_kc, CacheModel, GEMM_BAND_ROWS};
 
 /// A take-once slot holding one output band's starting row and `&mut`
@@ -145,7 +145,7 @@ impl ExecEngine {
                     total_panels.fetch_add(local, Ordering::Relaxed);
                 }));
             }
-            WorkerPool::global().scope_run(jobs);
+            self.pool.get().scope_run(jobs);
             panels = total_panels.into_inner();
         } else {
             // Self-scheduled bands: each band's `&mut` slice sits in a
@@ -182,7 +182,7 @@ impl ExecEngine {
                     }) as ScopedJob<'_>
                 })
                 .collect();
-            WorkerPool::global().scope_run(jobs);
+            self.pool.get().scope_run(jobs);
             panels = total_panels.into_inner();
         }
         self.arena.put(packed);

@@ -130,6 +130,7 @@ pub(crate) fn run_stealing(
     cols32: Option<&[u32]>,
     epi: &Epilogue,
     chunks: &[ChunkDesc],
+    pool: &WorkerPool,
     out: &mut [f32],
 ) -> StealOutcome {
     // Deal contiguous chunk blocks so an undisturbed run visits logical
@@ -216,7 +217,7 @@ pub(crate) fn run_stealing(
             }) as ScopedJob<'_>
         })
         .collect();
-    WorkerPool::global().scope_run(jobs);
+    pool.scope_run(jobs);
 
     // Serial fixup in the sequential executor's order: parallel-phase
     // flushes (shared regular stores, atomic adds) by (thread, segment)

@@ -1,0 +1,193 @@
+//! Sharded-execution oracle: bit-identity of the multi-shard
+//! scatter/gather path against the sequential reference, swept across
+//! shard counts × worker counts (tier-1 runs this leg at
+//! `MPSPMM_WORKERS={1,2,8}` × `MPSPMM_SHARDS={1,2,4}`).
+//!
+//! The contract under test (DESIGN.md §2.15): `ShardedEngine::spmm` is
+//! **bit-identical** to `execute_sequential` on the whole matrix at
+//! every shard × worker combination, because shard plans are row-aligned
+//! (`BatchMergeSpmm`), the halo remap is monotone, and scatter bands are
+//! disjoint. `MPSPMM_SHARDS`, when set, pins the shard sweep to a single
+//! count so the tier-1 matrix exercises each cell in its own process
+//! (worker resolution is cached per process).
+
+use mpspmm_core::executor::execute_sequential;
+use mpspmm_core::{BatchMergeSpmm, Epilogue, ExecEngine, ShardedEngine, SpmmKernel};
+use mpspmm_graphs::{DatasetSpec, GraphClass};
+use mpspmm_sparse::{CsrMatrix, DenseMatrix, ShardedCsr};
+
+/// Shard counts to sweep: `MPSPMM_SHARDS` pins one, otherwise a spread
+/// including a non-power-of-two.
+fn shard_counts() -> Vec<usize> {
+    match std::env::var("MPSPMM_SHARDS") {
+        Ok(s) => vec![s.trim().parse().expect("MPSPMM_SHARDS must be a count")],
+        Err(_) => vec![1, 2, 4, 7],
+    }
+}
+
+/// Total workers the sharded engine divides among shards — the same
+/// `MPSPMM_WORKERS`-resolved count the unsharded engine would use.
+fn total_workers() -> usize {
+    mpspmm_core::default_workers()
+}
+
+fn power_law(nodes: usize, nnz: usize, seed: u64) -> CsrMatrix<f32> {
+    DatasetSpec::custom("shard-pl", GraphClass::PowerLaw, nodes, nnz, nodes / 3).synthesize(seed)
+}
+
+fn dense(rows: usize, dim: usize, salt: usize) -> DenseMatrix<f32> {
+    DenseMatrix::from_fn(rows, dim, |r, c| {
+        ((r * 37 + c * 11 + salt) % 17) as f32 * 0.375 - 3.0
+    })
+}
+
+fn sequential_oracle(a: &CsrMatrix<f32>, b: &DenseMatrix<f32>) -> DenseMatrix<f32> {
+    let plan = BatchMergeSpmm::new().plan(a, b.cols());
+    execute_sequential(&plan, a, b).unwrap().0
+}
+
+#[test]
+fn sharded_spmm_bit_identical_to_sequential_at_every_combination() {
+    let a = power_law(600, 5400, 17);
+    let workers = total_workers();
+    for dim in [1usize, 8, 32] {
+        let b = dense(600, dim, dim);
+        let want = sequential_oracle(&a, &b);
+        for shards in shard_counts() {
+            let se = ShardedEngine::new(&a, shards, workers);
+            let got = se.spmm(&b).unwrap();
+            assert_eq!(
+                got.as_slice(),
+                want.as_slice(),
+                "shards={shards} workers={workers} dim={dim}"
+            );
+        }
+    }
+}
+
+#[test]
+fn one_shard_bit_matches_unsharded_private_engine() {
+    let a = power_law(300, 2400, 5);
+    let b = dense(300, 16, 3);
+    let engine = ExecEngine::with_worker_count(total_workers());
+    let kernel = BatchMergeSpmm::new();
+    let prep = engine.plan_cached(&kernel, &a, 16, 0);
+    let (want, _) = engine.execute_prepared(&prep, &a, &b).unwrap();
+    let se = ShardedEngine::new(&a, 1, total_workers());
+    let got = se.spmm(&b).unwrap();
+    assert_eq!(got.as_slice(), want.as_slice());
+}
+
+#[test]
+fn fused_epilogue_identical_across_shard_counts() {
+    let a = power_law(240, 1900, 9);
+    let dim = 10;
+    let b = dense(240, dim, 1);
+    let epi = Epilogue::BiasRelu((0..dim).map(|j| j as f32 * 0.5 - 2.0).collect());
+    let baseline = ShardedEngine::new(&a, 1, total_workers())
+        .spmm_fused(&b, &epi)
+        .unwrap();
+    for shards in shard_counts() {
+        let got = ShardedEngine::new(&a, shards, total_workers())
+            .spmm_fused(&b, &epi)
+            .unwrap();
+        assert_eq!(got.as_slice(), baseline.as_slice(), "shards={shards}");
+    }
+}
+
+#[test]
+fn all_boundary_graph_every_column_is_a_halo() {
+    // Every row touches the full column range's extremes, so every
+    // shard's halo spans (nearly) all columns — the worst-case gather
+    // amplification. Correctness must be unaffected.
+    let n = 64;
+    let mut trips = Vec::new();
+    for r in 0..n {
+        trips.push((r, 0, 1.0 + r as f32 * 0.125));
+        trips.push((r, n - 1, 2.0 - r as f32 * 0.0625));
+        let mid = (r * 29) % n;
+        if mid != 0 && mid != n - 1 {
+            trips.push((r, mid, 0.75));
+        }
+    }
+    let a = CsrMatrix::from_triplets(n, n, &trips).unwrap();
+    let b = dense(n, 6, 7);
+    let want = sequential_oracle(&a, &b);
+    for shards in shard_counts() {
+        let sharded = ShardedCsr::partition(&a, shards);
+        if shards > 1 {
+            assert!(
+                sharded.halo_amplification() > 1.0,
+                "extreme columns force cross-shard halos"
+            );
+        }
+        let se = ShardedEngine::from_sharded(sharded, total_workers());
+        assert_eq!(se.spmm(&b).unwrap().as_slice(), want.as_slice());
+    }
+}
+
+#[test]
+fn empty_shards_and_shard_count_above_row_count() {
+    // 6 rows, half of them empty; shard counts beyond the row count
+    // produce empty trailing shards that must execute as no-ops.
+    let a = CsrMatrix::from_triplets(
+        6,
+        6,
+        &[(0, 3, 1.5), (2, 0, -2.0), (2, 5, 0.25), (5, 2, 4.0)],
+    )
+    .unwrap();
+    let b = dense(6, 4, 2);
+    let want = sequential_oracle(&a, &b);
+    for shards in [1usize, 2, 4, 6, 9, 13] {
+        let se = ShardedEngine::new(&a, shards, total_workers());
+        assert_eq!(se.shard_count(), shards);
+        assert_eq!(se.spmm(&b).unwrap().as_slice(), want.as_slice());
+    }
+}
+
+#[test]
+fn partitioner_covers_balances_and_round_trips() {
+    for (nodes, nnz, seed) in [(150usize, 900usize, 1u64), (400, 4000, 2), (64, 200, 3)] {
+        let a = power_law(nodes, nnz, seed);
+        let max_row_nnz = (0..a.rows())
+            .map(|r| a.row_ptr()[r + 1] - a.row_ptr()[r])
+            .max()
+            .unwrap_or(0);
+        for shards in [1usize, 2, 3, 5, 8] {
+            let sharded = ShardedCsr::partition(&a, shards);
+            // Bands are contiguous, disjoint, and cover all rows.
+            let mut next = 0;
+            for s in sharded.shards() {
+                assert_eq!(s.row_start, next);
+                next += s.matrix.rows();
+            }
+            assert_eq!(next, a.rows());
+            // Round trip: shards reassemble to the original exactly.
+            assert_eq!(sharded.reassemble().unwrap(), a);
+            // Balance: row-aligned boundaries can miss the ideal merge
+            // diagonal by at most one row's items.
+            let ideal = (a.rows() + a.nnz()) as f64 / shards as f64;
+            for (i, s) in sharded.shards().iter().enumerate() {
+                let items = (s.matrix.rows() + s.nnz()) as f64;
+                assert!(
+                    items <= ideal + (max_row_nnz + 1) as f64 + 1.0,
+                    "{nodes}n/{nnz}nnz shards={shards}: shard {i} holds {items} \
+                     items vs ideal {ideal} beyond one-row granularity"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn sharded_gemm_matches_single_engine_across_shard_counts() {
+    let a = power_law(200, 1500, 4);
+    let h = dense(200, 24, 5);
+    let w = DenseMatrix::from_fn(24, 9, |r, c| ((r * 13 + c * 5) % 7) as f32 * 0.25 - 0.75);
+    let want = ExecEngine::with_worker_count(1).gemm(&h, &w).unwrap();
+    for shards in shard_counts() {
+        let se = ShardedEngine::new(&a, shards, total_workers());
+        let got = se.gemm(&h, &w).unwrap();
+        assert_eq!(got.as_slice(), want.as_slice(), "shards={shards}");
+    }
+}
